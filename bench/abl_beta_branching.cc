@@ -1,0 +1,93 @@
+// Ablation: descendant-set bound β for branching versions (§5.2).
+// A branch-heavy what-if workload (repeated side branches + writes at every
+// tip) with β in {2, 3, 4}: larger β absorbs more copy targets per node
+// before a discretionary copy is needed, trading per-node space for fewer
+// extra copies — the trade-off §5.2 discusses for side-branch-heavy trees.
+#include "bench/harness/setup.h"
+#include "version/version_manager.h"
+
+int main() {
+  using namespace minuet::bench;
+  using namespace minuet;
+
+  constexpr uint64_t kPreload = 4000;
+  PrintHeader("Ablation: branching beta vs. discretionary copy-on-write",
+              "beta  branches  discretionary_copies  cow_copies  "
+              "slabs_allocated  mean_put_ms");
+
+  for (uint32_t beta : {2u, 3u, 4u}) {
+    ClusterOptions opts;
+    opts.machines = 8;
+    opts.node_size = 1024;
+    opts.beta = beta;
+    Cluster cluster(opts);
+    auto tree = cluster.CreateTree(/*branching=*/true);
+    if (!tree.ok()) std::abort();
+    Proxy& proxy = cluster.proxy(0);
+    for (uint64_t i = 0; i < kPreload; i++) {
+      if (!proxy.PutAtBranch(*tree, 0, EncodeUserKey(i), EncodeValue(i))
+               .ok()) {
+        std::abort();
+      }
+    }
+    const uint64_t slabs_before = cluster.allocator()->allocated_count();
+
+    // Build a bushy version tree: a mainline with a side branch per
+    // generation (each vertex ends with 2 children <= every beta), then
+    // write rounds at every live tip so old nodes accumulate copy targets
+    // scattered across the tree.
+    Rng rng(5);
+    std::vector<uint64_t> tips = {0};
+    uint64_t mainline = 0;
+    CostModel model;
+    Aggregate puts;
+    net::OpTrace trace;
+    for (int gen = 0; gen < 6; gen++) {
+      auto next = proxy.CreateBranch(*tree, mainline);
+      if (!next.ok()) {
+        std::fprintf(stderr, "branch(next) gen %d from %llu: %s\n", gen,
+                     (unsigned long long)mainline,
+                     next.status().ToString().c_str());
+        std::abort();
+      }
+      auto side = proxy.CreateBranch(*tree, mainline);
+      if (!side.ok()) {
+        std::fprintf(stderr, "branch(side) gen %d from %llu: %s\n", gen,
+                     (unsigned long long)mainline,
+                     side.status().ToString().c_str());
+        std::abort();
+      }
+      tips.erase(std::find(tips.begin(), tips.end(), mainline));
+      tips.push_back(*next);
+      tips.push_back(*side);
+      mainline = *next;
+      for (uint64_t tip : tips) {
+        for (int i = 0; i < 150; i++) {
+          trace.Reset(opts.machines);
+          net::Fabric::SetThreadTrace(&trace);
+          Status st = proxy.PutAtBranch(
+              *tree, tip, EncodeUserKey(rng.Uniform(kPreload)),
+              EncodeValue(rng.Next()));
+          net::Fabric::SetThreadTrace(nullptr);
+          if (!st.ok()) {
+            std::fprintf(stderr, "put at tip %llu gen %d: %s\n",
+                         (unsigned long long)tip, gen,
+                         st.ToString().c_str());
+            std::abort();
+          }
+          puts.Add(trace, model.OpLatencyMs(trace));
+        }
+      }
+    }
+    const auto& stats = proxy.tree(*tree)->stats();
+    std::printf("%4u  %8zu  %20llu  %10llu  %15llu  %11.3f\n", beta,
+                tips.size(),
+                static_cast<unsigned long long>(
+                    stats.discretionary_copies.load()),
+                static_cast<unsigned long long>(stats.cow_copies.load()),
+                static_cast<unsigned long long>(
+                    cluster.allocator()->allocated_count() - slabs_before),
+                puts.mean_latency_ms());
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks for the hot building blocks: node
+// encode/decode/search, minitransaction execution, dynamic-transaction
+// commit, cache lookups, and the zipfian generator.
+#include <benchmark/benchmark.h>
+
+#include "btree/node.h"
+#include "common/key_codec.h"
+#include "common/random.h"
+#include "sinfonia/coordinator.h"
+#include "txn/object_cache.h"
+#include "txn/txn.h"
+
+namespace minuet {
+namespace {
+
+btree::Node MakeLeaf(int entries) {
+  btree::Node n;
+  n.height = 0;
+  n.low_fence = EncodeUserKey(0);
+  n.high_fence = EncodeUserKey(1000000);
+  for (int i = 0; i < entries; i++) {
+    n.Upsert(EncodeUserKey(i * 10), EncodeValue(i), sinfonia::kNullAddr);
+  }
+  return n;
+}
+
+void BM_NodeEncode(benchmark::State& state) {
+  btree::Node n = MakeLeaf(static_cast<int>(state.range(0)));
+  std::string out;
+  for (auto _ : state) {
+    n.EncodeTo(&out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_NodeEncode)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_NodeDecode(benchmark::State& state) {
+  const std::string encoded = MakeLeaf(static_cast<int>(state.range(0))).Encode();
+  for (auto _ : state) {
+    auto node = btree::Node::Decode(encoded);
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_NodeDecode)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_NodeSearch(benchmark::State& state) {
+  btree::Node n = MakeLeaf(128);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(n.FindKey(EncodeUserKey(rng.Uniform(1280))));
+  }
+}
+BENCHMARK(BM_NodeSearch);
+
+void BM_MiniTxnSingleNode(benchmark::State& state) {
+  net::Fabric fabric(1);
+  sinfonia::Memnode node(0);
+  sinfonia::Coordinator coord(&fabric, {&node});
+  sinfonia::MiniTxn seed;
+  seed.AddWrite(sinfonia::Addr{0, 64}, "12345678");
+  sinfonia::MiniResult r;
+  (void)coord.Execute(seed, &r);
+  for (auto _ : state) {
+    sinfonia::MiniTxn t;
+    t.AddCompare(sinfonia::Addr{0, 64}, "12345678");
+    t.AddRead(sinfonia::Addr{0, 64}, 8);
+    (void)coord.Execute(t, &r);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MiniTxnSingleNode);
+
+void BM_DynamicTxnReadCommit(benchmark::State& state) {
+  net::Fabric fabric(2);
+  sinfonia::Memnode n0(0), n1(1);
+  sinfonia::Coordinator coord(&fabric, {&n0, &n1});
+  txn::ObjectRef ref;
+  ref.addr = sinfonia::Addr{0, 4096};
+  ref.payload_len = 64;
+  {
+    txn::DynamicTxn t(&coord, nullptr);
+    (void)t.WriteNew(ref, std::string(64, 'x'));
+    (void)t.Commit();
+  }
+  for (auto _ : state) {
+    txn::DynamicTxn t(&coord, nullptr);
+    benchmark::DoNotOptimize(t.Read(ref));
+    (void)t.Commit();
+  }
+}
+BENCHMARK(BM_DynamicTxnReadCommit);
+
+void BM_ObjectCacheLookup(benchmark::State& state) {
+  txn::ObjectCache cache(1 << 12);
+  for (uint64_t i = 0; i < 1000; i++) {
+    cache.Insert(sinfonia::Addr{0, i}, 1, std::string(256, 'v'));
+  }
+  Rng rng(2);
+  txn::ObjectCache::Entry e;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Lookup(sinfonia::Addr{0, rng.Uniform(1000)}, &e));
+  }
+}
+BENCHMARK(BM_ObjectCacheLookup);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(3);
+  ScrambledZipfianGenerator zipf(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+}  // namespace
+}  // namespace minuet
+
+BENCHMARK_MAIN();

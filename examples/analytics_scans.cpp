@@ -1,0 +1,97 @@
+// In-situ analytics (the paper's §1 motivation): a live OLTP stream of
+// order updates runs concurrently with long analytical scans. The scans
+// execute against copy-on-write snapshots, so they see a consistent view
+// and never abort, while the OLTP stream keeps committing.
+//
+// Also demonstrates the stale-snapshot policy (k): analytics that tolerate
+// k seconds of staleness share snapshots instead of creating one each.
+//
+//   $ ./build/examples/analytics_scans
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "minuet/cluster.h"
+
+int main() {
+  using namespace minuet;
+
+  ClusterOptions options;
+  options.machines = 4;
+  options.snapshot_min_interval_seconds = 0.05;  // analytics may lag 50 ms
+  Cluster cluster(options);
+  auto tree = cluster.CreateTree();
+  if (!tree.ok()) return 1;
+
+  // Seed the operational state: 5000 orders with amounts.
+  constexpr uint64_t kOrders = 5000;
+  for (uint64_t i = 0; i < kOrders; i++) {
+    if (!cluster.proxy(0)
+             .Put(*tree, EncodeUserKey(i), EncodeValue(100 + i % 50))
+             .ok()) {
+      return 1;
+    }
+  }
+
+  // OLTP: two writer threads keep mutating order amounts.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> oltp_ops{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; w++) {
+    writers.emplace_back([&, w] {
+      Proxy& proxy = cluster.proxy(1 + w);
+      Rng rng(w + 1);
+      while (!stop) {
+        if (proxy
+                .Put(*tree, EncodeUserKey(rng.Uniform(kOrders)),
+                     EncodeValue(100 + rng.Uniform(1000)))
+                .ok()) {
+          oltp_ops++;
+        }
+      }
+    });
+  }
+
+  // Analytics: full-table aggregation over snapshots, repeatedly. Each scan
+  // sees ALL orders exactly once (a consistent snapshot), even though the
+  // table churns underneath.
+  Proxy& analyst = cluster.proxy(0);
+  for (int round = 0; round < 5; round++) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    Status st = analyst.Scan(*tree, EncodeUserKey(0), kOrders, &rows);
+    if (!st.ok()) {
+      std::fprintf(stderr, "scan: %s\n", st.ToString().c_str());
+      stop = true;
+      for (auto& t : writers) t.join();
+      return 1;
+    }
+    uint64_t revenue = 0;
+    for (const auto& [k, v] : rows) revenue += DecodeValue(v);
+    std::printf(
+        "analytics round %d: %zu orders, total amount %llu "
+        "(OLTP ops so far: %llu)\n",
+        round, rows.size(), static_cast<unsigned long long>(revenue),
+        static_cast<unsigned long long>(oltp_ops.load()));
+    if (rows.size() != kOrders) {
+      std::fprintf(stderr, "INCONSISTENT SNAPSHOT!\n");
+      return 1;
+    }
+  }
+  stop = true;
+  for (auto& t : writers) t.join();
+
+  auto* scs = cluster.snapshot_service(*tree);
+  std::printf("snapshots created: %llu, borrowed: %llu, stale reuses: %llu\n",
+              static_cast<unsigned long long>(scs->snapshots_created()),
+              static_cast<unsigned long long>(scs->snapshots_borrowed()),
+              static_cast<unsigned long long>(scs->stale_reuses()));
+
+  // Housekeeping: reclaim nodes only reachable from retired snapshots.
+  auto report = cluster.CollectGarbage(*tree);
+  if (report.ok()) {
+    std::printf("gc: scanned %llu slabs, freed %llu\n",
+                static_cast<unsigned long long>(report->scanned),
+                static_cast<unsigned long long>(report->freed));
+  }
+  return 0;
+}

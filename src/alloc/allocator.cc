@@ -1,0 +1,142 @@
+#include "alloc/allocator.h"
+
+namespace minuet::alloc {
+
+namespace {
+
+struct Meta {
+  uint64_t bump;
+  uint64_t free_head;  // 0 = empty
+};
+
+Meta ParseMeta(const std::string& payload, const Layout& layout) {
+  Meta m;
+  if (payload.size() >= 16) {
+    m.bump = DecodeFixed64(payload.data());
+    m.free_head = DecodeFixed64(payload.data() + 8);
+  } else {
+    m.bump = 0;
+    m.free_head = 0;
+  }
+  if (m.bump < layout.slab_base()) m.bump = layout.slab_base();
+  return m;
+}
+
+std::string SerializeMeta(const Meta& m) {
+  std::string out;
+  PutFixed64(&out, m.bump);
+  PutFixed64(&out, m.free_head);
+  return out;
+}
+
+}  // namespace
+
+NodeAllocator::NodeAllocator(Layout layout, sinfonia::Coordinator* coord,
+                             Options options)
+    : layout_(layout), coord_(coord), options_(options) {
+  reserved_.reserve(layout_.n_memnodes);
+  for (uint32_t i = 0; i < layout_.n_memnodes; i++) {
+    reserved_.push_back(std::make_unique<Reservation>());
+  }
+}
+
+Result<std::pair<uint64_t, bool>> NodeAllocator::TakeReserved(
+    MemnodeId memnode) {
+  Reservation& r = *reserved_[memnode];
+  std::lock_guard<std::mutex> g(r.mu);
+  if (r.pool.empty()) {
+    // Replenish with one standalone transaction: drain the shared free
+    // list first (reusing garbage-collected slabs), then advance the bump
+    // pointer for the remainder of the batch.
+    std::vector<std::pair<uint64_t, bool>> taken;
+    Status st = txn::RunTransaction(
+        coord_, nullptr, {}, 64, [&](txn::DynamicTxn& t) -> Status {
+          taken.clear();
+          auto meta_raw = t.Read(layout_.MetaRef(memnode));
+          if (!meta_raw.ok()) return meta_raw.status();
+          Meta meta = ParseMeta(*meta_raw, layout_);
+          uint64_t head = meta.free_head;
+          while (head != 0 && taken.size() < options_.batch) {
+            auto raw = t.Read(layout_.SlabRef(Addr{memnode, head}));
+            if (!raw.ok()) return raw.status();
+            taken.emplace_back(head, /*fresh=*/false);
+            head = raw->size() >= 8 ? DecodeFixed64(raw->data()) : 0;
+          }
+          meta.free_head = head;
+          while (taken.size() < options_.batch) {
+            taken.emplace_back(meta.bump, /*fresh=*/true);
+            meta.bump += layout_.node_size;
+          }
+          return t.Write(layout_.MetaRef(memnode), SerializeMeta(meta));
+        });
+    MINUET_RETURN_NOT_OK(st);
+    r.pool = std::move(taken);
+  }
+  auto slab = r.pool.back();
+  r.pool.pop_back();
+  return slab;
+}
+
+Result<AllocatedSlab> NodeAllocator::Allocate(txn::DynamicTxn& txn,
+                                              MemnodeId memnode) {
+  allocated_.fetch_add(1, std::memory_order_relaxed);
+
+  if (options_.batch > 0) {
+    auto taken = TakeReserved(memnode);
+    if (!taken.ok()) return taken.status();
+    AllocatedSlab slab;
+    slab.ref = layout_.SlabRef(Addr{memnode, taken->first});
+    slab.fresh = taken->second;
+    return slab;
+  }
+
+  // Unbatched path: manipulate {bump, free_head} inside the caller's
+  // transaction, preferring the free list.
+  auto meta_raw = txn.Read(layout_.MetaRef(memnode));
+  if (!meta_raw.ok()) return meta_raw.status();
+  Meta meta = ParseMeta(*meta_raw, layout_);
+
+  AllocatedSlab slab;
+  if (meta.free_head != 0) {
+    const Addr addr{memnode, meta.free_head};
+    slab.ref = layout_.SlabRef(addr);
+    slab.fresh = false;
+    // Read the freed slab to learn the next free pointer (and to pull its
+    // current seqnum into the read set so the re-initializing Write
+    // validates).
+    auto raw = txn.Read(slab.ref);
+    if (!raw.ok()) return raw.status();
+    meta.free_head = raw->size() >= 8 ? DecodeFixed64(raw->data()) : 0;
+  } else {
+    const Addr addr{memnode, meta.bump};
+    slab.ref = layout_.SlabRef(addr);
+    slab.fresh = true;
+    meta.bump += layout_.node_size;
+  }
+  MINUET_RETURN_NOT_OK(
+      txn.Write(layout_.MetaRef(memnode), SerializeMeta(meta)));
+  return slab;
+}
+
+Result<AllocatedSlab> NodeAllocator::AllocateAnywhere(txn::DynamicTxn& txn) {
+  return Allocate(txn, NextPlacement());
+}
+
+Status NodeAllocator::Free(txn::DynamicTxn& txn, Addr slab) {
+  const MemnodeId memnode = slab.memnode;
+  auto meta_raw = txn.Read(layout_.MetaRef(memnode));
+  if (!meta_raw.ok()) return meta_raw.status();
+  Meta meta = ParseMeta(*meta_raw, layout_);
+
+  // Link the slab at the head of the free list. The write bumps the slab's
+  // seqnum, permanently invalidating any cached copy of the node it held.
+  std::string link;
+  PutFixed64(&link, meta.free_head);
+  link.resize(layout_.slab_payload_len(), '\0');
+  MINUET_RETURN_NOT_OK(txn.Write(layout_.SlabRef(slab), std::move(link)));
+
+  meta.free_head = slab.offset;
+  return txn.Write(layout_.MetaRef(memnode), SerializeMeta(meta));
+}
+
+}  // namespace minuet::alloc

@@ -1,0 +1,97 @@
+// Distributed B-tree node allocator (paper §2.3: "a distributed memory
+// allocator decides the placement of B-tree nodes in a way that balances
+// load. The allocator itself is a data structure implemented using dynamic
+// transactions").
+//
+// Per memnode, the allocator keeps one metadata object {bump, free_head}
+// and an intrusive free list threaded through freed slabs. Allocation and
+// free run inside the caller's dynamic transaction, so they commit or abort
+// atomically with the B-tree operation that needed the node.
+//
+// To keep concurrent splits from serializing on the metadata object's
+// sequence number, proxies may reserve slabs in batches: a small standalone
+// transaction advances the bump pointer by `batch` slabs and the proxy hands
+// them out locally (slabs from an unused reservation are simply recycled by
+// the proxy, never leaked to other proxies' view since they were never
+// linked into the tree).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "alloc/layout.h"
+#include "common/status.h"
+#include "txn/txn.h"
+
+namespace minuet::alloc {
+
+struct AllocatedSlab {
+  ObjectRef ref;
+  // True if the slab has never been used: its seqnum is still zero, so the
+  // caller must initialize it with WriteNew. Recycled slabs were read into
+  // the transaction already and are updated with an ordinary Write.
+  bool fresh = true;
+};
+
+class NodeAllocator {
+ public:
+  struct Options {
+    // Slabs reserved per batch; 0 disables batching (every allocation goes
+    // through the shared metadata object transactionally).
+    uint32_t batch = 32;
+  };
+
+  NodeAllocator(Layout layout, sinfonia::Coordinator* coord)
+      : NodeAllocator(layout, coord, Options()) {}
+  NodeAllocator(Layout layout, sinfonia::Coordinator* coord, Options options);
+
+  const Layout& layout() const { return layout_; }
+
+  // Allocate one slab on `memnode` inside `txn`.
+  Result<AllocatedSlab> Allocate(txn::DynamicTxn& txn, MemnodeId memnode);
+
+  // Allocate on a memnode chosen round-robin (load balancing placement).
+  Result<AllocatedSlab> AllocateAnywhere(txn::DynamicTxn& txn);
+
+  // Return a slab to the memnode's free list inside `txn`. The slab's
+  // content is replaced by a free-list link; its seqnum keeps advancing, so
+  // stale cached copies can never validate again.
+  Status Free(txn::DynamicTxn& txn, Addr slab);
+
+  // Next memnode in the placement rotation (exposed so callers that must
+  // allocate several nodes in one transaction can spread them).
+  MemnodeId NextPlacement() {
+    return static_cast<MemnodeId>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                                  layout_.n_memnodes);
+  }
+
+  // Slabs handed out since construction (monitoring/tests).
+  uint64_t allocated_count() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Take one slab from the proxy-local reservation for `memnode`,
+  // replenishing it with a standalone transaction when empty. The
+  // replenishment drains the shared free list first (so garbage-collected
+  // slabs are reused), then falls back to the bump pointer.
+  Result<std::pair<uint64_t, bool>> TakeReserved(MemnodeId memnode);
+
+  Layout layout_;
+  sinfonia::Coordinator* coord_;
+  Options options_;
+  std::atomic<uint64_t> rr_{0};
+  std::atomic<uint64_t> allocated_{0};
+
+  struct Reservation {
+    std::mutex mu;
+    // (offset, fresh) pairs awaiting hand-out. Recycled slabs (fresh=false)
+    // come from the shared free list during replenishment.
+    std::vector<std::pair<uint64_t, bool>> pool;
+  };
+  std::vector<std::unique_ptr<Reservation>> reserved_;
+};
+
+}  // namespace minuet::alloc

@@ -1,0 +1,137 @@
+// Address-space layout shared by every memnode.
+//
+// Each memnode's byte space is carved into fixed regions so that replicated
+// objects (which live at the SAME offset on every memnode) and the
+// replicated sequence-number table have well-known homes:
+//
+//   [0, 4096)                      reserved null page (Addr{m,0} == "null")
+//   [replicated_base, +repl_size)  replicated-data objects: tip snapshot id,
+//                                  tip root location (§4.1), version catalog
+//                                  entries (§5.1)
+//   [seq_table_base, +entries*8)   replicated seqnum table (the Aguilera
+//                                  baseline's per-internal-node seqnums, §3)
+//   [alloc_meta_base, +64)         allocator metadata object
+//   [slab_base, ...)               B-tree node slabs, node_size bytes each
+#pragma once
+
+#include <cstdint>
+
+#include "txn/object.h"
+
+namespace minuet::alloc {
+
+using sinfonia::Addr;
+using sinfonia::MemnodeId;
+using txn::ObjectRef;
+
+struct Layout {
+  // Slab size in bytes, including the 8-byte seqnum header. 4 KB B-tree
+  // nodes as in the paper's experiments.
+  uint32_t node_size = 4096;
+  uint64_t replicated_base = 4096;
+  // The replicated region is divided into per-tree slots of kTreeStride
+  // bytes (a cluster hosts several independent B-trees, as in the paper's
+  // multi-index experiments).
+  uint64_t replicated_size = 4 << 20;
+  static constexpr uint64_t kTreeStride = 256 << 10;
+  // One slot per slab per memnode; see SeqSlotFor.
+  uint64_t seq_table_slabs_per_node = 1 << 16;
+  uint32_t n_memnodes = 1;
+
+  uint32_t max_trees() const {
+    return static_cast<uint32_t>(replicated_size / kTreeStride);
+  }
+
+  uint64_t seq_table_base() const {
+    return replicated_base + replicated_size;
+  }
+  uint64_t seq_table_entries() const {
+    return seq_table_slabs_per_node * n_memnodes;
+  }
+  uint64_t alloc_meta_base() const {
+    return seq_table_base() + seq_table_entries() * 8;
+  }
+  uint64_t slab_base() const {
+    // Keep slabs aligned to node_size for readability of dumps.
+    const uint64_t raw = alloc_meta_base() + 64;
+    return (raw + node_size - 1) / node_size * node_size;
+  }
+
+  uint32_t slab_payload_len() const { return node_size - txn::kSeqnumBytes; }
+
+  // --- Well-known replicated objects (per tree slot) ----------------------
+  uint64_t tree_base(uint32_t tree) const {
+    return replicated_base + static_cast<uint64_t>(tree) * kTreeStride;
+  }
+
+  static ObjectRef Replicated(uint64_t offset, uint32_t payload_len) {
+    ObjectRef r;
+    r.addr = Addr{0, offset};
+    r.payload_len = payload_len;
+    r.replicated_data = true;
+    return r;
+  }
+
+  // Tip snapshot id (8-byte payload), replicated at all memnodes (§4.1).
+  ObjectRef TipIdRef(uint32_t tree) const {
+    return Replicated(tree_base(tree), 8);
+  }
+  // Tip root location (12-byte payload: memnode u32 + offset u64).
+  ObjectRef TipRootRef(uint32_t tree) const {
+    return Replicated(tree_base(tree) + 64, 12);
+  }
+  // Next snapshot id to assign in branching mode (§5.1).
+  ObjectRef NextSidRef(uint32_t tree) const {
+    return Replicated(tree_base(tree) + 128, 8);
+  }
+  // Lowest retained snapshot id: the garbage-collection horizon (§4.4).
+  ObjectRef LowestSidRef(uint32_t tree) const {
+    return Replicated(tree_base(tree) + 192, 8);
+  }
+
+  // Version catalog entries (§5.1), 64-byte stride; payload holds
+  // {root addr (12), branch id (8), parent sid (8), branch count (4)}.
+  static constexpr uint32_t kCatalogEntryStride = 64;
+  static constexpr uint32_t kCatalogPayloadLen = 32;
+  uint64_t catalog_base(uint32_t tree) const {
+    return tree_base(tree) + 4096;
+  }
+  uint64_t max_catalog_entries() const {
+    return (kTreeStride - 4096) / kCatalogEntryStride;
+  }
+  ObjectRef CatalogRef(uint32_t tree, uint64_t sid) const {
+    return Replicated(catalog_base(tree) + sid * kCatalogEntryStride,
+                      kCatalogPayloadLen);
+  }
+
+  // --- Slabs ---------------------------------------------------------------
+  ObjectRef SlabRef(Addr addr) const {
+    ObjectRef r;
+    r.addr = addr;
+    r.payload_len = slab_payload_len();
+    return r;
+  }
+
+  uint64_t SlabIndex(Addr addr) const {
+    return (addr.offset - slab_base()) / node_size;
+  }
+
+  // Slot in the replicated seqnum table for the slab at `addr`. Derived
+  // deterministically from the address, so no id allocation is needed and
+  // the slot survives copy-free slab recycling (seqnums stay monotonic
+  // per slab).
+  uint64_t SeqSlotFor(Addr addr) const {
+    const uint64_t index =
+        addr.memnode * seq_table_slabs_per_node + SlabIndex(addr);
+    return seq_table_base() + index * 8;
+  }
+
+  ObjectRef MetaRef(MemnodeId m) const {
+    ObjectRef r;
+    r.addr = Addr{m, alloc_meta_base()};
+    r.payload_len = 16;  // bump (8) + free-list head (8)
+    return r;
+  }
+};
+
+}  // namespace minuet::alloc

@@ -1,0 +1,210 @@
+#include "btree/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/byteio.h"
+
+namespace minuet::btree {
+
+namespace {
+// Node magic: distinguishes live nodes from zeroed or freed slabs during
+// garbage-collection scans.
+constexpr uint16_t kNodeMagic = 0xB7EE;
+
+// Fixed header: magic(2) height(1) ndesc(1) nkeys(2) lowlen(2) highlen(2)
+// created_sid(8) = 18 bytes, then descendants, fences, entries.
+constexpr size_t kFixedHeader = 18;
+constexpr size_t kDescBytes = kDescEntryBytes;
+}  // namespace
+
+size_t Node::LowerBound(const Slice& key) const {
+  size_t lo = 0, hi = entries.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(entries[mid].key).compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t Node::ChildIndexFor(const Slice& key) const {
+  assert(!is_leaf());
+  assert(!entries.empty());
+  const size_t lb = LowerBound(key);
+  if (lb < entries.size() && Slice(entries[lb].key).compare(key) == 0) {
+    return lb;  // exact separator match: that child owns [key, next)
+  }
+  // First entry with key > `key`; the responsible child is the previous one.
+  return lb == 0 ? 0 : lb - 1;
+}
+
+size_t Node::FindKey(const Slice& key) const {
+  const size_t lb = LowerBound(key);
+  if (lb < entries.size() && Slice(entries[lb].key).compare(key) == 0) {
+    return lb;
+  }
+  return entries.size();
+}
+
+void Node::Upsert(const std::string& key, std::string value, Addr child) {
+  const size_t lb = LowerBound(key);
+  if (lb < entries.size() && entries[lb].key == key) {
+    entries[lb].value = std::move(value);
+    entries[lb].child = child;
+    return;
+  }
+  NodeEntry e;
+  e.key = key;
+  e.value = std::move(value);
+  e.child = child;
+  entries.insert(entries.begin() + lb, std::move(e));
+}
+
+bool Node::Erase(const Slice& key) {
+  const size_t i = FindKey(key);
+  if (i == entries.size()) return false;
+  entries.erase(entries.begin() + i);
+  return true;
+}
+
+std::string Node::SplitInto(Node* right) {
+  assert(entries.size() >= 4);
+  const size_t mid = entries.size() / 2;
+  const std::string separator = entries[mid].key;
+
+  right->height = height;
+  right->created_sid = created_sid;
+  right->descendants.clear();
+  right->low_fence = separator;
+  right->high_fence = high_fence;
+  right->entries.assign(std::make_move_iterator(entries.begin() + mid),
+                        std::make_move_iterator(entries.end()));
+
+  entries.resize(mid);
+  high_fence = separator;
+  return separator;
+}
+
+size_t Node::EncodedSize() const {
+  size_t size = kFixedHeader + descendants.size() * kDescBytes +
+                low_fence.size() + high_fence.size();
+  for (const NodeEntry& e : entries) {
+    size += 2 + e.key.size();
+    if (is_leaf()) {
+      size += 2 + e.value.size();
+    } else {
+      size += 12;  // child memnode (4) + offset (8)
+    }
+  }
+  return size;
+}
+
+void Node::EncodeTo(std::string* out) const {
+  out->clear();
+  out->reserve(EncodedSize());
+  PutFixed16(out, kNodeMagic);
+  out->push_back(static_cast<char>(height));
+  out->push_back(static_cast<char>(descendants.size()));
+  PutFixed16(out, static_cast<uint16_t>(entries.size()));
+  PutFixed16(out, static_cast<uint16_t>(low_fence.size()));
+  PutFixed16(out, static_cast<uint16_t>(high_fence.size()));
+  PutFixed64(out, created_sid);
+  for (const DescendantEntry& d : descendants) {
+    PutFixed64(out, d.sid);
+    PutFixed32(out, d.copy_addr.memnode);
+    PutFixed64(out, d.copy_addr.offset);
+    out->push_back(d.discretionary ? 1 : 0);
+  }
+  out->append(low_fence);
+  out->append(high_fence);
+  for (const NodeEntry& e : entries) {
+    PutFixed16(out, static_cast<uint16_t>(e.key.size()));
+    out->append(e.key);
+    if (is_leaf()) {
+      PutFixed16(out, static_cast<uint16_t>(e.value.size()));
+      out->append(e.value);
+    } else {
+      PutFixed32(out, e.child.memnode);
+      PutFixed64(out, e.child.offset);
+    }
+  }
+}
+
+Result<Node> Node::Decode(const std::string& payload) {
+  if (payload.size() < kFixedHeader) {
+    return Status::Corruption("node too short");
+  }
+  const char* p = payload.data();
+  if (DecodeFixed16(p) != kNodeMagic) {
+    return Status::Corruption("bad node magic");
+  }
+  Node node;
+  node.height = static_cast<uint8_t>(p[2]);
+  const uint8_t ndesc = static_cast<uint8_t>(p[3]);
+  const uint16_t nkeys = DecodeFixed16(p + 4);
+  const uint16_t low_len = DecodeFixed16(p + 6);
+  const uint16_t high_len = DecodeFixed16(p + 8);
+  node.created_sid = DecodeFixed64(p + 10);
+  size_t off = kFixedHeader;
+
+  if (ndesc > kMaxDescendants) return Status::Corruption("descendant count");
+  auto need = [&](size_t n) { return off + n <= payload.size(); };
+
+  if (!need(ndesc * kDescBytes)) return Status::Corruption("truncated desc");
+  for (uint8_t i = 0; i < ndesc; i++) {
+    DescendantEntry d;
+    d.sid = DecodeFixed64(p + off);
+    d.copy_addr.memnode = DecodeFixed32(p + off + 8);
+    d.copy_addr.offset = DecodeFixed64(p + off + 12);
+    d.discretionary = p[off + 20] != 0;
+    node.descendants.push_back(d);
+    off += kDescBytes;
+  }
+
+  if (!need(low_len + high_len)) return Status::Corruption("truncated fence");
+  node.low_fence.assign(p + off, low_len);
+  off += low_len;
+  node.high_fence.assign(p + off, high_len);
+  off += high_len;
+
+  node.entries.reserve(nkeys);
+  for (uint16_t i = 0; i < nkeys; i++) {
+    if (!need(2)) return Status::Corruption("truncated entry");
+    const uint16_t klen = DecodeFixed16(p + off);
+    off += 2;
+    if (!need(klen)) return Status::Corruption("truncated key");
+    NodeEntry e;
+    e.key.assign(p + off, klen);
+    off += klen;
+    if (node.is_leaf()) {
+      if (!need(2)) return Status::Corruption("truncated vlen");
+      const uint16_t vlen = DecodeFixed16(p + off);
+      off += 2;
+      if (!need(vlen)) return Status::Corruption("truncated value");
+      e.value.assign(p + off, vlen);
+      off += vlen;
+    } else {
+      if (!need(12)) return Status::Corruption("truncated child");
+      e.child.memnode = DecodeFixed32(p + off);
+      e.child.offset = DecodeFixed64(p + off + 4);
+      off += 12;
+    }
+    node.entries.push_back(std::move(e));
+  }
+  return node;
+}
+
+size_t MaxEntryBytes(size_t payload_capacity) {
+  // A splittable node must hold 4 entries plus the header, the descendant
+  // set, and two fences. Fences are copies of keys, so they are bounded by
+  // the entry bound e itself: 4*(e+4) + 2*e + header + desc <= capacity.
+  const size_t fixed = kFixedHeader + kMaxDescendants * kDescBytes + 16;
+  if (payload_capacity <= fixed + 6) return 0;
+  return (payload_capacity - fixed) / 6;
+}
+
+}  // namespace minuet::btree

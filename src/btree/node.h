@@ -1,0 +1,110 @@
+// On-memnode B-tree node format.
+//
+// Every node carries (paper §3, §4.2, §5.2):
+//   - fence keys [low_fence, high_fence) delimiting the key range the node
+//     is responsible for, whether or not the keys are present — the safety
+//     net that makes dirty traversals sound,
+//   - its height (0 = leaf) — traversals check height monotonicity,
+//   - the snapshot id at which the node was created,
+//   - a bounded descendant set: the snapshot ids to which this node has
+//     been copied (at most one entry in the linear-snapshot mode of §4;
+//     up to β entries with branching versions, §5.2). Each entry records
+//     the copy's address so traversals on read-only snapshots can follow
+//     "the copy (or a copy of the copy, etc.)".
+//
+// Internal nodes store (separator, child address) pairs where child i is
+// responsible for [key_i, key_{i+1}) (key_0 == low_fence); leaves store
+// (key, value) pairs. An empty high fence means +infinity; the empty low
+// fence means -infinity. Empty user keys are rejected at the API boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "sinfonia/addr.h"
+
+namespace minuet::btree {
+
+using sinfonia::Addr;
+
+// Maximum descendant-set entries a node can hold; β may be configured up to
+// this bound.
+inline constexpr uint32_t kMaxDescendants = 4;
+// Serialized size of one descendant entry (sid + address + flags). Nodes
+// must keep this much slack per missing descendant entry so copy-on-write
+// bookkeeping can never overflow a slab.
+inline constexpr size_t kDescEntryBytes = 8 + 4 + 8 + 1;
+
+struct DescendantEntry {
+  uint64_t sid = 0;
+  Addr copy_addr;
+  // Discretionary copies (§5.2) duplicate content to bound the set; they
+  // never signal divergence on their own.
+  bool discretionary = false;
+};
+
+struct NodeEntry {
+  std::string key;
+  std::string value;  // leaf payload; empty for internal entries
+  Addr child;         // internal child pointer; kNullAddr for leaf entries
+};
+
+struct Node {
+  uint8_t height = 0;  // 0 = leaf
+  uint64_t created_sid = 0;
+  std::string low_fence;   // inclusive lower bound ("" = -infinity)
+  std::string high_fence;  // exclusive upper bound ("" = +infinity)
+  std::vector<DescendantEntry> descendants;
+  std::vector<NodeEntry> entries;  // sorted by key
+
+  bool is_leaf() const { return height == 0; }
+
+  // True iff `key` lies in [low_fence, high_fence).
+  bool InFenceRange(const Slice& key) const {
+    if (!low_fence.empty() && key.compare(low_fence) < 0) return false;
+    if (!high_fence.empty() && key.compare(high_fence) >= 0) return false;
+    return true;
+  }
+
+  // --- Entry search -------------------------------------------------------
+  // Index of the first entry with key >= `key` (entries.size() if none).
+  size_t LowerBound(const Slice& key) const;
+  // Internal nodes: index of the child responsible for `key`, i.e. the
+  // greatest i with entries[i].key <= key. Requires InFenceRange(key).
+  size_t ChildIndexFor(const Slice& key) const;
+  // Leaves: exact-match lookup; returns entries.size() when absent.
+  size_t FindKey(const Slice& key) const;
+
+  // --- Mutation -----------------------------------------------------------
+  // Insert or overwrite (key → value/child), keeping order.
+  void Upsert(const std::string& key, std::string value, Addr child);
+  // Remove key if present; returns whether it was.
+  bool Erase(const Slice& key);
+
+  // Move the upper half of the entries into `right` and shrink this node.
+  // Fences and metadata of `right` are set; this node's high fence becomes
+  // the separator. Returns the separator key (the first key of `right`).
+  std::string SplitInto(Node* right);
+
+  // --- Serialization --------------------------------------------------------
+  // Serialized size in bytes (to check against the slab payload capacity).
+  size_t EncodedSize() const;
+  void EncodeTo(std::string* out) const;
+  static Result<Node> Decode(const std::string& payload);
+
+  std::string Encode() const {
+    std::string out;
+    EncodeTo(&out);
+    return out;
+  }
+};
+
+// Largest entry (key+value) a node of `payload_capacity` can accept while
+// still guaranteeing a legal split (each half must hold at least two
+// entries plus fences).
+size_t MaxEntryBytes(size_t payload_capacity);
+
+}  // namespace minuet::btree

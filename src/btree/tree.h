@@ -1,0 +1,240 @@
+// The distributed multiversion B-tree (the paper's core contribution).
+//
+// Nodes live in Sinfonia slabs and are accessed through dynamic
+// transactions. Traversal follows Fig. 5: internal nodes are read with
+// DIRTY reads (proxy cache, no validation) and the leaf joins the read set;
+// fence keys, height monotonicity and copied-snapshot checks replace
+// validation of the path. The Aguilera-et-al. baseline (dirty traversals
+// OFF) reads the whole path transactionally and validates internal nodes
+// against the replicated sequence-number table.
+//
+// Writes are copy-on-write against the tip snapshot (§4.1): updating a node
+// whose created-snapshot id predates the tip copies it (and its ancestors
+// up to, but excluding, the root — the root is re-created at snapshot
+// creation time). With branching versions (§5), copies are recorded in the
+// bounded descendant set and discretionary copies keep the set within β.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "btree/node.h"
+#include "btree/version_oracle.h"
+#include "common/status.h"
+#include "txn/txn.h"
+
+namespace minuet::btree {
+
+using alloc::Layout;
+using alloc::NodeAllocator;
+using txn::DynamicTxn;
+using txn::ObjectCache;
+using txn::ObjectRef;
+
+struct TreeOptions {
+  // Paper §3: traverse internal levels with dirty reads. OFF reproduces the
+  // Aguilera baseline (whole path in the read set).
+  bool dirty_traversals = true;
+  // Aguilera baseline companion: replicate internal-node seqnums at every
+  // memnode so path validation can happen at the leaf's memnode. Splits
+  // then engage all memnodes.
+  bool replicate_internal_seqnums = false;
+  // Descendant-set bound β for branching versions (≤ kMaxDescendants).
+  uint32_t beta = 2;
+  // Retry budget for optimistic B-tree operations.
+  uint32_t max_attempts = 10000;
+  // Commit snapshot-creation transactions with blocking minitransactions.
+  bool blocking_snapshot_commit = true;
+};
+
+// A writable tip resolved inside a transaction: operating snapshot id, root
+// location, and where the root must be re-published if it moves.
+struct TipContext {
+  uint64_t sid = 0;
+  Addr root;
+  enum class Source { kLinearTip, kBranch } source = Source::kLinearTip;
+};
+
+// Read-only snapshot handle (returned by snapshot creation).
+struct SnapshotRef {
+  uint64_t sid = 0;
+  Addr root;
+};
+
+class BTree {
+ public:
+  struct Stats {
+    std::atomic<uint64_t> op_aborts{0};
+    std::atomic<uint64_t> traversal_aborts{0};
+    std::atomic<uint64_t> cow_copies{0};
+    std::atomic<uint64_t> discretionary_copies{0};
+    std::atomic<uint64_t> splits{0};
+    std::atomic<uint64_t> redirects{0};
+  };
+
+  BTree(sinfonia::Coordinator* coord, NodeAllocator* allocator,
+        ObjectCache* cache, const VersionOracle* oracle, uint32_t tree_slot,
+        TreeOptions options);
+
+  // One-time, cluster-wide: initialize tip objects, catalog entry 0 and an
+  // empty root leaf. Exactly one proxy calls this per tree.
+  Status CreateTree();
+
+  // --- Single-key operations on the (linear) tip snapshot ------------------
+  Status Get(const std::string& key, std::string* value);
+  Status Put(const std::string& key, const std::string& value);
+  Status Remove(const std::string& key);
+
+  // --- Operations on a writable branch tip (branching mode) ---------------
+  Status GetAtBranch(uint64_t branch_sid, const std::string& key,
+                     std::string* value);
+  Status PutAtBranch(uint64_t branch_sid, const std::string& key,
+                     const std::string& value);
+  Status RemoveAtBranch(uint64_t branch_sid, const std::string& key);
+
+  // --- In-transaction variants (multi-key / multi-tree transactions) ------
+  // The caller owns the transaction and its commit; these read the tip
+  // inside the caller's transaction so everything validates together.
+  Status GetInTxn(DynamicTxn& txn, const std::string& key,
+                  std::string* value);
+  Status PutInTxn(DynamicTxn& txn, const std::string& key,
+                  const std::string& value);
+  Status RemoveInTxn(DynamicTxn& txn, const std::string& key);
+
+  // --- Read-only snapshot operations (§4.2: no validation, fence-key and
+  // copied-snapshot checks only; traversals follow copies when stale) ------
+  Status GetAtSnapshot(const SnapshotRef& snap, const std::string& key,
+                       std::string* value);
+  // Scan up to `limit` pairs starting at `start_key` (inclusive).
+  Status ScanAtSnapshot(const SnapshotRef& snap, const std::string& start_key,
+                        size_t limit,
+                        std::vector<std::pair<std::string, std::string>>* out);
+
+  // Strictly serializable scan against the tip: every leaf joins the read
+  // set, so concurrent updates within the range abort the scan. This is the
+  // operation the paper shows "may never commit" without snapshots.
+  Status ScanAtTip(const std::string& start_key, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out);
+
+  // --- Snapshot creation (Fig. 6; called via the mvcc snapshot service) ----
+  // Freezes the current tip and installs tip id + 1. Returns the frozen
+  // (read-only) snapshot. The whole effect takes place when `txn` commits.
+  Result<SnapshotRef> CreateSnapshotInTxn(DynamicTxn& txn);
+
+  // --- Tip plumbing (shared with mvcc/version modules) ---------------------
+  Result<TipContext> ReadTipInTxn(DynamicTxn& txn);
+  Result<TipContext> ReadBranchTipInTxn(DynamicTxn& txn, uint64_t branch_sid,
+                                        bool for_write);
+  // Invalidate the proxy-cached tip objects (called after aborts so the
+  // retry refetches them).
+  void InvalidateTipCache();
+
+  // Resolve a read-only snapshot's root by following recorded root copies —
+  // used by readers that only know the sid (branch catalog lookups).
+  Result<Addr> BranchRootInTxn(DynamicTxn& txn, uint64_t sid);
+
+  // Copy-on-write of an arbitrary node into snapshot `sid` (used by branch
+  // creation to copy the root eagerly). Returns the copy's address.
+  Result<Addr> CopyNodeInTxn(DynamicTxn& txn, Addr node_addr, uint64_t sid,
+                             bool record_copy);
+
+  const Stats& stats() const { return stats_; }
+  const Layout& layout() const { return allocator_->layout(); }
+  uint32_t tree_slot() const { return tree_slot_; }
+  const TreeOptions& options() const { return options_; }
+  sinfonia::Coordinator* coordinator() { return coord_; }
+  ObjectCache* cache() { return cache_; }
+  NodeAllocator* allocator() { return allocator_; }
+  // Replace the ancestry oracle (installed by the version manager when a
+  // tree is switched to branching mode).
+  void set_oracle(const VersionOracle* oracle) { oracle_ = oracle; }
+
+ private:
+  enum class TraverseMode {
+    kUpToDate,      // leaf joins the read set; abort on applicable copies
+    kSnapshotRead,  // nothing joins the read set; follow applicable copies
+  };
+
+  struct PathEntry {
+    // Where the node's content lives. When the traversal followed a
+    // discretionary copy (content-identical, §5.2), this is the copy.
+    Addr addr;
+    // The address the PARENT's child entry holds — the entry point of the
+    // redirect chain. Equal to `addr` unless a discretionary hop happened.
+    Addr link_addr;
+    Node node;
+  };
+
+  ObjectRef NodeRef(Addr addr, bool internal) const;
+  uint32_t capacity() const { return layout().slab_payload_len(); }
+
+  // Fetch and decode a node. `internal_hint` selects the access path
+  // (dirty/cached vs validated leaf read).
+  Result<Node> FetchNode(DynamicTxn& txn, Addr addr, bool as_leaf,
+                         TraverseMode mode);
+
+  // Fig. 5 traversal plus the §4.2/§5.2 version checks. On success the
+  // returned path runs root → leaf. Aborts (Status::Aborted) on any safety
+  // check failure after invalidating implicated cache entries.
+  Result<std::vector<PathEntry>> Traverse(DynamicTxn& txn, uint64_t sid,
+                                          Addr root, const Slice& key,
+                                          TraverseMode mode);
+
+  // Write back a modified leaf (path.back()), performing copy-on-write,
+  // splits and parent updates as needed; re-publishes the root if it moves
+  // or splits.
+  Status ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
+                           std::vector<PathEntry>& path, Node leaf);
+
+  // Record that `old_addr` (content `old_node`) has been copied to
+  // snapshot `sid` at `copy_addr`, maintaining the β-bounded descendant-set
+  // invariant with discretionary copies. Writes the old node.
+  Status RecordCopy(DynamicTxn& txn, Addr old_addr, Node old_node,
+                    uint64_t sid, Addr copy_addr);
+
+  // Allocate a slab and write `node` into it.
+  Result<Addr> WriteFreshNode(DynamicTxn& txn, const Node& node);
+
+  Status PublishRoot(DynamicTxn& txn, const TipContext& tip, Addr new_root);
+
+  Status CheckKeyValue(const std::string& key, const std::string& value) const;
+
+  // Fails with InvalidArgument when `sid` precedes the published
+  // garbage-collection horizon (such snapshots are no longer queryable).
+  Status CheckGcHorizon(uint64_t sid);
+
+  // Retry wrapper for whole-operation optimistic retry.
+  template <typename Body>
+  Status RunOp(Body&& body);
+
+  sinfonia::Coordinator* coord_;
+  NodeAllocator* allocator_;
+  ObjectCache* cache_;
+  const VersionOracle* oracle_;
+  uint32_t tree_slot_;
+  TreeOptions options_;
+  mutable Stats stats_;
+};
+
+// Encoders for the small tip/catalog payloads (shared with mvcc/version).
+std::string EncodeTipId(uint64_t sid);
+uint64_t DecodeTipId(const std::string& payload);
+std::string EncodeRootLoc(Addr root);
+Addr DecodeRootLoc(const std::string& payload);
+
+struct CatalogEntry {
+  Addr root;
+  uint64_t branch_id = 0;  // first branch created from this snapshot; 0=none
+  uint64_t parent = kNoParent;
+  uint32_t branch_count = 0;
+
+  static constexpr uint64_t kNoParent = ~0ULL;
+};
+std::string EncodeCatalogEntry(const CatalogEntry& e);
+CatalogEntry DecodeCatalogEntry(const std::string& payload);
+
+}  // namespace minuet::btree

@@ -1,0 +1,42 @@
+// Version-tree ancestry queries used by B-tree traversals.
+//
+// With linear snapshots (§4), snapshots are totally ordered and "a is an
+// ancestor of b" is just a <= b. With branching versions (§5), snapshots
+// form a tree and the traversal needs real ancestry tests; the version
+// module provides an oracle backed by the (immutable) parent pointers in
+// the snapshot catalog.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace minuet::btree {
+
+class VersionOracle {
+ public:
+  virtual ~VersionOracle() = default;
+
+  // True iff `a` lies on the path from the version-tree root to `b`
+  // (a vertex is its own ancestor).
+  virtual bool IsAncestorOrEqual(uint64_t a, uint64_t b) const = 0;
+
+  // Lowest common ancestor of `a` and `b`.
+  virtual uint64_t Lca(uint64_t a, uint64_t b) const = 0;
+
+  // Distance from the version-tree root (root has depth 0).
+  virtual uint64_t Depth(uint64_t sid) const = 0;
+};
+
+// Linear snapshot history: ancestry is numeric order.
+class LinearOracle : public VersionOracle {
+ public:
+  bool IsAncestorOrEqual(uint64_t a, uint64_t b) const override {
+    return a <= b;
+  }
+  uint64_t Lca(uint64_t a, uint64_t b) const override {
+    return std::min(a, b);
+  }
+  uint64_t Depth(uint64_t sid) const override { return sid; }
+};
+
+}  // namespace minuet::btree

@@ -1,0 +1,43 @@
+// Hash helpers shared by lock-table striping, key scrambling, and the CDB
+// baseline's hash partitioner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace minuet {
+
+inline uint64_t FnvHash64(uint64_t v) {
+  // FNV-1a over the 8 bytes of v (the YCSB FNVhash64).
+  constexpr uint64_t kOffset = 0xCBF29CE484222325ULL;
+  constexpr uint64_t kPrime = 0x100000001B3ULL;
+  uint64_t h = kOffset;
+  for (int i = 0; i < 8; i++) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kPrime;
+  }
+  return h;
+}
+
+inline uint64_t HashBytes(const char* data, size_t n,
+                          uint64_t seed = 0xCBF29CE484222325ULL) {
+  constexpr uint64_t kPrime = 0x100000001B3ULL;
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; i++) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kPrime;
+  }
+  return h;
+}
+
+// Finalizer from MurmurHash3; good avalanche for integer keys.
+inline uint64_t MixHash64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace minuet

@@ -1,0 +1,100 @@
+// Latency histogram with percentile queries. Buckets grow geometrically so
+// the range covers sub-microsecond to minutes with bounded memory; used by
+// the benchmark harness to report mean / 95th-percentile latency as in the
+// paper's Figures 11 and 18.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace minuet {
+
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 256;
+  // Bucket i covers [kBase^i, kBase^(i+1)) microseconds-scale units;
+  // values are dimensionless (the caller decides the unit).
+  Histogram() { Clear(); }
+
+  void Clear() {
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+    buckets_.fill(0);
+  }
+
+  void Add(double v) {
+    if (v < 0) v = 0;
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    count_++;
+    sum_ += v;
+    buckets_[BucketFor(v)]++;
+  }
+
+  void Merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (int i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // p in [0, 100]. Linear interpolation within the winning bucket.
+  double Percentile(double p) const {
+    if (count_ == 0) return 0;
+    const uint64_t want =
+        static_cast<uint64_t>(std::ceil(count_ * p / 100.0));
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; i++) {
+      seen += buckets_[i];
+      if (seen >= want) {
+        const double lo = BucketLow(i), hi = BucketHigh(i);
+        const double frac =
+            buckets_[i] == 0
+                ? 0.5
+                : 1.0 - static_cast<double>(seen - want) / buckets_[i];
+        return std::clamp(lo + (hi - lo) * frac, min_, max_);
+      }
+    }
+    return max_;
+  }
+
+ private:
+  static int BucketFor(double v) {
+    if (v < 1.0) return 0;
+    // log base 1.2 keeps relative error under 20% per bucket.
+    int b = 1 + static_cast<int>(std::log(v) / std::log(1.2));
+    return std::min(b, kNumBuckets - 1);
+  }
+  static double BucketLow(int i) {
+    return i == 0 ? 0.0 : std::pow(1.2, i - 1);
+  }
+  static double BucketHigh(int i) { return std::pow(1.2, i); }
+
+  uint64_t count_;
+  double sum_, min_, max_;
+  std::array<uint64_t, kNumBuckets> buckets_;
+};
+
+}  // namespace minuet

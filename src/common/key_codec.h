@@ -1,0 +1,41 @@
+// Order-preserving encoding of integer record ids into fixed-width string
+// keys (YCSB's "user########" format). Keys encode zero-padded so that
+// lexicographic order over the encoded form equals numeric order, which the
+// scan benchmarks rely on ("N consecutive keys starting at a search key").
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace minuet {
+
+// 14-byte keys as in the paper's experimental setup ("14-byte keys and
+// 8-byte integer values"): "user" + 10 decimal digits.
+inline std::string EncodeUserKey(uint64_t id) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "user%010llu",
+                static_cast<unsigned long long>(id % 10000000000ULL));
+  return std::string(buf, 14);
+}
+
+inline uint64_t DecodeUserKey(const std::string& key) {
+  if (key.size() != 14 || key.compare(0, 4, "user") != 0) return 0;
+  return std::strtoull(key.c_str() + 4, nullptr, 10);
+}
+
+inline std::string EncodeValue(uint64_t v) {
+  std::string s(8, '\0');
+  for (int i = 0; i < 8; i++) s[i] = static_cast<char>((v >> (i * 8)) & 0xFF);
+  return s;
+}
+
+inline uint64_t DecodeValue(const std::string& s) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8 && i < static_cast<int>(s.size()); i++) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(s[i])) << (i * 8);
+  }
+  return v;
+}
+
+}  // namespace minuet

@@ -1,0 +1,140 @@
+// Deterministic random number generation and the key-distribution generators
+// used by the YCSB-style workload layer: uniform, zipfian (Gray et al.'s
+// incremental algorithm, as in the YCSB reference implementation),
+// scrambled zipfian, and "latest".
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace minuet {
+
+// xoshiro256** — fast, high-quality, deterministic PRNG. One instance per
+// logical client so that workloads are reproducible regardless of thread
+// scheduling.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding.
+    for (auto& w : s_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(hi >= lo);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+// Zipfian generator over [0, n) with parameter theta (default 0.99, the
+// YCSB constant). Uses the Gray et al. "Quickly generating billion-record
+// synthetic databases" rejection-free formula.
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianGenerator(uint64_t n, double theta = kDefaultTheta)
+      : n_(n), theta_(theta) {
+    assert(n > 0);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  uint64_t n() const { return n_; }
+
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+// Scrambled zipfian: spreads the zipfian head uniformly over the keyspace
+// by hashing, as YCSB does, so hot keys are not clustered.
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n,
+                                     double theta = ZipfianGenerator::kDefaultTheta)
+      : n_(n), zipf_(n, theta) {}
+
+  uint64_t Next(Rng& rng) const {
+    return FnvHash64(zipf_.Next(rng)) % n_;
+  }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+// "Latest" distribution: zipfian over recency — item (max - z) where z is
+// zipfian-distributed, favouring recently inserted records.
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t n) : zipf_(n) {}
+
+  uint64_t Next(Rng& rng, uint64_t current_max) const {
+    const uint64_t z = zipf_.Next(rng);
+    return z >= current_max ? 0 : current_max - z;
+  }
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace minuet

@@ -1,0 +1,175 @@
+#include "minuet/cluster.h"
+
+namespace minuet {
+
+// ---------------------------------------------------------------------------
+// Cluster
+
+Cluster::Cluster(ClusterOptions options) : options_(options) {
+  if (!options_.dirty_traversals) {
+    // The paper's baseline pairs validated traversals with the replicated
+    // seqnum table.
+    options_.replicate_internal_seqnums = true;
+  }
+  layout_.node_size = options_.node_size;
+  layout_.n_memnodes = options_.machines;
+
+  fabric_ = std::make_unique<net::Fabric>(options_.machines);
+  std::vector<sinfonia::Memnode*> raw;
+  for (uint32_t i = 0; i < options_.machines; i++) {
+    memnodes_.push_back(std::make_unique<sinfonia::Memnode>(i));
+    raw.push_back(memnodes_.back().get());
+  }
+  sinfonia::Coordinator::Options copts;
+  copts.replication = options_.replication;
+  coord_ = std::make_unique<sinfonia::Coordinator>(fabric_.get(), raw, copts);
+
+  alloc::NodeAllocator::Options aopts;
+  aopts.batch = options_.alloc_batch;
+  allocator_ =
+      std::make_unique<alloc::NodeAllocator>(layout_, coord_.get(), aopts);
+
+  for (uint32_t i = 0; i < options_.machines; i++) {
+    proxies_.push_back(std::unique_ptr<Proxy>(new Proxy(this, i)));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Result<uint32_t> Cluster::CreateTree(bool branching) {
+  if (next_tree_ >= layout_.max_trees()) {
+    return Status::NoSpace("tree slots exhausted");
+  }
+  const uint32_t slot = next_tree_++;
+
+  btree::TreeOptions topts;
+  topts.dirty_traversals = options_.dirty_traversals;
+  topts.replicate_internal_seqnums = options_.replicate_internal_seqnums;
+  topts.beta = options_.beta;
+  topts.max_attempts = options_.max_op_attempts;
+
+  for (auto& proxy : proxies_) {
+    proxy->trees_.push_back(std::make_unique<btree::BTree>(
+        coord_.get(), allocator_.get(), proxy->cache_.get(), &linear_oracle_,
+        slot, topts));
+    proxy->version_managers_.push_back(
+        branching ? std::make_unique<version::VersionManager>(
+                        proxy->trees_.back().get())
+                  : nullptr);
+  }
+  MINUET_RETURN_NOT_OK(proxies_[0]->trees_[slot]->CreateTree());
+  tree_branching_.push_back(branching);
+
+  mvcc::SnapshotService::Options sopts;
+  sopts.min_interval_seconds = options_.snapshot_min_interval_seconds;
+  sopts.retain_last = options_.retain_snapshots;
+  snapshot_services_.push_back(std::make_unique<mvcc::SnapshotService>(
+      proxies_[0]->trees_[slot].get(), sopts, snapshot_clock_));
+  gcs_.push_back(std::make_unique<mvcc::GarbageCollector>(
+      proxies_[0]->trees_[slot].get()));
+  return slot;
+}
+
+Result<mvcc::GarbageCollector::Report> Cluster::CollectGarbage(
+    uint32_t tree) {
+  return gcs_[tree]->CollectOnce(snapshot_services_[tree]->LowestRetained());
+}
+
+void Cluster::CrashMemnode(uint32_t id) {
+  fabric_->SetUp(id, false);
+  memnodes_[id]->LoseState();
+}
+
+void Cluster::RecoverMemnode(uint32_t id) { coord_->Recover(id); }
+
+// ---------------------------------------------------------------------------
+// Proxy
+
+Proxy::Proxy(Cluster* cluster, uint32_t id)
+    : cluster_(cluster),
+      id_(id),
+      coord_(cluster->coord_.get()),
+      max_attempts_(cluster->options_.max_op_attempts),
+      cache_(std::make_unique<txn::ObjectCache>(
+          cluster->options_.cache_capacity)) {}
+
+Status Proxy::Get(uint32_t tree, const std::string& key, std::string* value) {
+  return trees_[tree]->Get(key, value);
+}
+
+Status Proxy::Put(uint32_t tree, const std::string& key,
+                  const std::string& value) {
+  return trees_[tree]->Put(key, value);
+}
+
+Status Proxy::Remove(uint32_t tree, const std::string& key) {
+  return trees_[tree]->Remove(key);
+}
+
+Status Proxy::ScanAtTip(
+    uint32_t tree, const std::string& start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  return trees_[tree]->ScanAtTip(start, limit, out);
+}
+
+Result<btree::SnapshotRef> Proxy::CreateSnapshot(uint32_t tree) {
+  return cluster_->snapshot_service(tree)->CreateSnapshot();
+}
+
+Status Proxy::Scan(uint32_t tree, const std::string& start, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+  auto snap = cluster_->snapshot_service(tree)->AcquireForScan();
+  if (!snap.ok()) return snap.status();
+  return trees_[tree]->ScanAtSnapshot(*snap, start, limit, out);
+}
+
+Status Proxy::GetAtSnapshot(uint32_t tree, const btree::SnapshotRef& snap,
+                            const std::string& key, std::string* value) {
+  return trees_[tree]->GetAtSnapshot(snap, key, value);
+}
+
+Status Proxy::ScanAtSnapshot(
+    uint32_t tree, const btree::SnapshotRef& snap, const std::string& start,
+    size_t limit, std::vector<std::pair<std::string, std::string>>* out) {
+  return trees_[tree]->ScanAtSnapshot(snap, start, limit, out);
+}
+
+Result<uint64_t> Proxy::CreateBranch(uint32_t tree, uint64_t from_sid) {
+  if (vm(tree) == nullptr) {
+    return Status::InvalidArgument("tree was not created as branching");
+  }
+  return vm(tree)->CreateBranch(from_sid);
+}
+
+Result<version::BranchInfo> Proxy::BranchInfo(uint32_t tree, uint64_t sid) {
+  if (vm(tree) == nullptr) {
+    return Status::InvalidArgument("tree was not created as branching");
+  }
+  return vm(tree)->Info(sid);
+}
+
+Status Proxy::GetAtBranch(uint32_t tree, uint64_t branch,
+                          const std::string& key, std::string* value) {
+  return trees_[tree]->GetAtBranch(branch, key, value);
+}
+
+Status Proxy::PutAtBranch(uint32_t tree, uint64_t branch,
+                          const std::string& key, const std::string& value) {
+  return trees_[tree]->PutAtBranch(branch, key, value);
+}
+
+Status Proxy::RemoveAtBranch(uint32_t tree, uint64_t branch,
+                             const std::string& key) {
+  return trees_[tree]->RemoveAtBranch(branch, key);
+}
+
+Status Proxy::ScanAtBranch(
+    uint32_t tree, uint64_t branch, const std::string& start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  auto info = BranchInfo(tree, branch);
+  if (!info.ok()) return info.status();
+  return trees_[tree]->ScanAtSnapshot(btree::SnapshotRef{branch, info->root},
+                                      start, limit, out);
+}
+
+}  // namespace minuet

@@ -1,0 +1,208 @@
+// Public facade: assembles a Minuet cluster (fabric, memnodes, Sinfonia
+// coordinator, allocator, per-proxy caches) and hands out Proxy handles
+// through which applications issue transactional B-tree operations,
+// snapshots, scans and branches.
+//
+// Quickstart:
+//   minuet::ClusterOptions opts;
+//   opts.machines = 4;
+//   minuet::Cluster cluster(opts);
+//   auto tree = cluster.CreateTree();          // returns the tree slot
+//   minuet::Proxy& p = cluster.proxy(0);
+//   p.Put(*tree, "key", "value");
+//   std::string v;
+//   p.Get(*tree, "key", &v);
+//   auto snap = cluster.snapshot_service(*tree)->CreateSnapshot();
+//   p.ScanAtSnapshot(*tree, *snap, "a", 100, &rows);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "btree/tree.h"
+#include "cdb/cdb.h"
+#include "mvcc/gc.h"
+#include "mvcc/snapshot_service.h"
+#include "net/fabric.h"
+#include "sinfonia/coordinator.h"
+#include "version/version_manager.h"
+#include "ycsb/workload.h"
+
+namespace minuet {
+
+struct ClusterOptions {
+  // "Machines": each contributes one memnode and one proxy, as in the
+  // paper's experimental deployment (Fig. 9).
+  uint32_t machines = 4;
+  uint32_t node_size = 4096;
+  bool dirty_traversals = true;
+  // Aguilera baseline (forced on automatically when dirty_traversals is
+  // off, as in the paper's Fig. 10 comparison).
+  bool replicate_internal_seqnums = false;
+  bool replication = true;  // Sinfonia primary-backup
+  uint32_t beta = 2;
+  uint32_t alloc_batch = 32;
+  size_t cache_capacity = 1 << 16;
+  double snapshot_min_interval_seconds = 0;  // the paper's k
+  uint64_t retain_snapshots = 16;
+  uint32_t max_op_attempts = 10000;
+};
+
+class Cluster;
+
+// A proxy: executes B-tree operations on behalf of clients, with its own
+// incoherent cache of internal nodes (paper §2.3).
+class Proxy {
+ public:
+  // --- Up-to-date (strictly serializable) single-key operations -----------
+  Status Get(uint32_t tree, const std::string& key, std::string* value);
+  Status Put(uint32_t tree, const std::string& key, const std::string& value);
+  Status Remove(uint32_t tree, const std::string& key);
+
+  // Strictly serializable scan at the tip (aborts under write contention —
+  // prefer snapshots for long scans).
+  Status ScanAtTip(uint32_t tree, const std::string& start, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out);
+
+  // --- Snapshot operations --------------------------------------------------
+  Result<btree::SnapshotRef> CreateSnapshot(uint32_t tree);
+  // Acquire under the cluster's staleness policy (k) and scan.
+  Status Scan(uint32_t tree, const std::string& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+  Status GetAtSnapshot(uint32_t tree, const btree::SnapshotRef& snap,
+                       const std::string& key, std::string* value);
+  Status ScanAtSnapshot(uint32_t tree, const btree::SnapshotRef& snap,
+                        const std::string& start, size_t limit,
+                        std::vector<std::pair<std::string, std::string>>* out);
+
+  // --- Branching versions (writable clones, §5) ----------------------------
+  Result<uint64_t> CreateBranch(uint32_t tree, uint64_t from_sid);
+  Result<version::BranchInfo> BranchInfo(uint32_t tree, uint64_t sid);
+  Status GetAtBranch(uint32_t tree, uint64_t branch, const std::string& key,
+                     std::string* value);
+  Status PutAtBranch(uint32_t tree, uint64_t branch, const std::string& key,
+                     const std::string& value);
+  Status RemoveAtBranch(uint32_t tree, uint64_t branch,
+                        const std::string& key);
+  Status ScanAtBranch(uint32_t tree, uint64_t branch, const std::string& start,
+                      size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out);
+
+  // --- Multi-key / multi-tree transactions ---------------------------------
+  // Runs `body` in a dynamic transaction with automatic retry; use the
+  // tree handles' *InTxn operations inside.
+  template <typename Body>
+  Status Transaction(Body&& body) {
+    return txn::RunTransaction(coord_, cache_.get(), {}, max_attempts_,
+                               std::forward<Body>(body));
+  }
+
+  // Direct tree handle (advanced use, *InTxn ops).
+  btree::BTree* tree(uint32_t slot) { return trees_[slot].get(); }
+  txn::ObjectCache* cache() { return cache_.get(); }
+
+ private:
+  friend class Cluster;
+  Proxy(Cluster* cluster, uint32_t id);
+  version::VersionManager* vm(uint32_t tree) {
+    return version_managers_[tree].get();
+  }
+
+  Cluster* cluster_;
+  uint32_t id_;
+  sinfonia::Coordinator* coord_;
+  uint32_t max_attempts_;
+  std::unique_ptr<txn::ObjectCache> cache_;
+  std::vector<std::unique_ptr<btree::BTree>> trees_;
+  std::vector<std::unique_ptr<version::VersionManager>> version_managers_;
+};
+
+// Adapter: drive a Proxy through the YCSB KVInterface.
+class ProxyKV : public ycsb::KVInterface {
+ public:
+  // scan_mode: kSnapshot uses the cluster snapshot policy (the paper's
+  // production configuration); kTip runs strictly serializable tip scans.
+  enum class ScanMode { kSnapshot, kTip };
+
+  ProxyKV(Proxy* proxy, uint32_t tree, ScanMode scan_mode = ScanMode::kSnapshot)
+      : proxy_(proxy), tree_(tree), scan_mode_(scan_mode) {}
+
+  Status Read(const std::string& key, std::string* value) override {
+    return proxy_->Get(tree_, key, value);
+  }
+  Status Update(const std::string& key, const std::string& value) override {
+    return proxy_->Put(tree_, key, value);
+  }
+  Status Insert(const std::string& key, const std::string& value) override {
+    return proxy_->Put(tree_, key, value);
+  }
+  Status Scan(const std::string& start, uint32_t count,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    return scan_mode_ == ScanMode::kSnapshot
+               ? proxy_->Scan(tree_, start, count, out)
+               : proxy_->ScanAtTip(tree_, start, count, out);
+  }
+
+ private:
+  Proxy* proxy_;
+  uint32_t tree_;
+  ScanMode scan_mode_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  // Create a new B-tree; returns its slot id. `branching` trees use the
+  // version catalog (PutAtBranch etc.); linear trees use the replicated
+  // tip and the snapshot service.
+  Result<uint32_t> CreateTree(bool branching = false);
+
+  Proxy& proxy(uint32_t i) { return *proxies_[i]; }
+  uint32_t n_proxies() const {
+    return static_cast<uint32_t>(proxies_.size());
+  }
+
+  mvcc::SnapshotService* snapshot_service(uint32_t tree) {
+    return snapshot_services_[tree].get();
+  }
+  // Run one GC pass over `tree` using the snapshot service's horizon.
+  Result<mvcc::GarbageCollector::Report> CollectGarbage(uint32_t tree);
+
+  // --- Fault injection -------------------------------------------------------
+  void CrashMemnode(uint32_t id);
+  void RecoverMemnode(uint32_t id);
+
+  // --- Plumbing (benchmarks, tests) -----------------------------------------
+  net::Fabric* fabric() { return fabric_.get(); }
+  sinfonia::Coordinator* coordinator() { return coord_.get(); }
+  alloc::NodeAllocator* allocator() { return allocator_.get(); }
+  const ClusterOptions& options() const { return options_; }
+  const alloc::Layout& layout() const { return layout_; }
+  // Override the snapshot-policy clock (benchmarks inject virtual time).
+  void set_snapshot_clock(std::function<double()> clock) {
+    snapshot_clock_ = std::move(clock);
+  }
+
+ private:
+  friend class Proxy;
+
+  ClusterOptions options_;
+  alloc::Layout layout_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<sinfonia::Memnode>> memnodes_;
+  std::unique_ptr<sinfonia::Coordinator> coord_;
+  std::unique_ptr<alloc::NodeAllocator> allocator_;
+  btree::LinearOracle linear_oracle_;
+  std::vector<std::unique_ptr<Proxy>> proxies_;
+  std::vector<std::unique_ptr<mvcc::SnapshotService>> snapshot_services_;
+  std::vector<std::unique_ptr<mvcc::GarbageCollector>> gcs_;
+  std::vector<bool> tree_branching_;
+  std::function<double()> snapshot_clock_;
+  uint32_t next_tree_ = 0;
+};
+
+}  // namespace minuet

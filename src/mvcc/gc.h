@@ -1,0 +1,45 @@
+// Snapshot garbage collection (paper §4.4).
+//
+// Minuet records a global lowest retained snapshot id; a background pass
+// walks the B-tree slabs stored at each memnode and frees every node that
+// has been copied to a snapshot at or below that horizon — such a node
+// serves only snapshots older than any still queryable. Freed slabs return
+// to the allocator free lists; their sequence numbers keep advancing, so
+// stale cached pointers can never validate against a recycled slab.
+#pragma once
+
+#include <cstdint>
+
+#include "btree/tree.h"
+
+namespace minuet::mvcc {
+
+class GarbageCollector {
+ public:
+  struct Report {
+    uint64_t scanned = 0;
+    uint64_t freed = 0;
+    uint64_t skipped_live = 0;
+    uint64_t skipped_non_node = 0;  // free-list links, unused slabs
+  };
+
+  explicit GarbageCollector(btree::BTree* tree) : tree_(tree) {}
+
+  // One full pass over every memnode's slab region. `lowest_sid` is the GC
+  // horizon (typically SnapshotService::LowestRetained()). Also publishes
+  // the horizon to the replicated lowest-sid object so other proxies can
+  // observe it.
+  Result<Report> CollectOnce(uint64_t lowest_sid);
+
+  uint64_t total_freed() const { return total_freed_; }
+
+ private:
+  // Frees one slab in its own small transaction; returns true if freed.
+  Result<bool> TryFreeSlab(sinfonia::Addr addr, uint64_t lowest_sid,
+                           Report* report);
+
+  btree::BTree* tree_;
+  uint64_t total_freed_ = 0;
+};
+
+}  // namespace minuet::mvcc

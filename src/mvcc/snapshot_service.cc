@@ -1,0 +1,89 @@
+#include "mvcc/snapshot_service.h"
+
+namespace minuet::mvcc {
+
+SnapshotService::SnapshotService(BTree* tree, Options options,
+                                 std::function<double()> clock)
+    : tree_(tree), options_(options), clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
+}
+
+Result<SnapshotRef> SnapshotService::CreateLocked() {
+  // Runs with mutex_ held. Fig. 6: the snapshot materializes when the
+  // dynamic transaction commits; the tip update uses a blocking
+  // minitransaction so snapshot storms degrade to queueing, not livelock.
+  txn::DynamicTxn::Options topts;
+  topts.blocking_commit = options_.blocking_commit;
+  Status last = Status::Aborted("no attempts");
+  for (uint32_t attempt = 0; attempt < options_.max_attempts; attempt++) {
+    txn::DynamicTxn txn(tree_->coordinator(), tree_->cache(), topts);
+    auto snap = tree_->CreateSnapshotInTxn(txn);
+    if (snap.ok()) {
+      Status st = txn.Commit();
+      if (st.ok()) {
+        {
+          std::lock_guard<std::mutex> g(last_mu_);
+          last_ = *snap;
+          last_created_at_ = clock_();
+        }
+        num_snapshots_.fetch_add(1, std::memory_order_release);
+        created_.fetch_add(1, std::memory_order_relaxed);
+        return *snap;
+      }
+      if (!st.IsRetryable()) return st;
+      last = st;
+    } else if (snap.status().IsRetryable()) {
+      last = snap.status();
+    } else {
+      return snap.status();
+    }
+    tree_->InvalidateTipCache();
+  }
+  return last;
+}
+
+Result<SnapshotRef> SnapshotService::CreateSnapshot() {
+  // Fig. 7: read the counter before and after entering the critical
+  // section; an advance of >= 2 proves a complete creation within this
+  // call's window, making the latest snapshot borrowable.
+  const uint64_t tmp1 = num_snapshots_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> g(mutex_);
+  const uint64_t tmp2 = num_snapshots_.load(std::memory_order_acquire);
+  if (!options_.enable_borrowing || tmp2 < tmp1 + 2) {
+    return CreateLocked();
+  }
+  borrowed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lg(last_mu_);
+  return last_;
+}
+
+Result<SnapshotRef> SnapshotService::AcquireForScan() {
+  if (options_.min_interval_seconds > 0) {
+    std::lock_guard<std::mutex> lg(last_mu_);
+    if (last_created_at_ + options_.min_interval_seconds > clock_() &&
+        num_snapshots_.load(std::memory_order_acquire) > 0) {
+      stale_reuses_.fetch_add(1, std::memory_order_relaxed);
+      return last_;
+    }
+  }
+  return CreateSnapshot();
+}
+
+uint64_t SnapshotService::LowestRetained() const {
+  std::lock_guard<std::mutex> lg(last_mu_);
+  const uint64_t newest = last_.sid;
+  return newest > options_.retain_last ? newest - options_.retain_last : 0;
+}
+
+SnapshotRef SnapshotService::latest() const {
+  std::lock_guard<std::mutex> lg(last_mu_);
+  return last_;
+}
+
+}  // namespace minuet::mvcc

@@ -1,0 +1,70 @@
+#include "net/fabric.h"
+
+namespace minuet::net {
+
+namespace {
+thread_local OpTrace* t_trace = nullptr;
+// Depth of open RoundTripScopes; >0 means messages join the current round.
+thread_local int t_batch_depth = 0;
+// True once the open batch has charged its round trip.
+thread_local bool t_batch_charged = false;
+}  // namespace
+
+Fabric::Fabric(uint32_t n_nodes)
+    : n_nodes_(n_nodes),
+      up_(new std::atomic<bool>[n_nodes]),
+      node_msgs_(new std::atomic<uint64_t>[n_nodes]) {
+  for (uint32_t i = 0; i < n_nodes; i++) {
+    up_[i].store(true, std::memory_order_relaxed);
+    node_msgs_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Status Fabric::ChargeMessage(NodeId to) {
+  if (to >= n_nodes_ || !IsUp(to)) {
+    return Status::Unavailable("memnode down");
+  }
+  node_msgs_[to].fetch_add(1, std::memory_order_relaxed);
+  if (OpTrace* tr = t_trace) {
+    tr->messages++;
+    if (to < tr->per_node.size()) tr->per_node[to]++;
+    if (t_batch_depth > 0) {
+      if (!t_batch_charged) {
+        tr->round_trips++;
+        t_batch_charged = true;
+      }
+    } else {
+      tr->round_trips++;
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Fabric::TotalMessages() const {
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < n_nodes_; i++) {
+    sum += node_msgs_[i].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Fabric::ResetCounters() {
+  for (uint32_t i = 0; i < n_nodes_; i++) {
+    node_msgs_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Fabric::SetThreadTrace(OpTrace* trace) { t_trace = trace; }
+OpTrace* Fabric::ThreadTrace() { return t_trace; }
+
+RoundTripScope::RoundTripScope() : outermost_(t_batch_depth == 0) {
+  t_batch_depth++;
+  if (outermost_) t_batch_charged = false;
+}
+
+RoundTripScope::~RoundTripScope() {
+  t_batch_depth--;
+  if (outermost_) t_batch_charged = false;
+}
+
+}  // namespace minuet::net

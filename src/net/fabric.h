@@ -1,0 +1,102 @@
+// The message fabric connecting proxies to memnodes.
+//
+// In the paper's testbed, components communicate by RPC over a 10 GigE data
+// center LAN. In this reproduction the whole cluster lives in one process:
+// an "RPC" is a direct function call dispatched through the fabric, which
+//   (1) checks failure-injection state (a downed node returns Unavailable,
+//       exactly as a crashed memnode would),
+//   (2) counts one message against the destination node (used by the
+//       benchmark cost model to locate capacity bottlenecks), and
+//   (3) records the message and round trip in the calling thread's OpTrace,
+//       from which per-operation network cost is derived.
+//
+// Parallel fan-out (a coordinator contacting several memnodes at once, as in
+// Sinfonia's two-phase commit) is expressed with RoundTripScope so that a
+// batch of concurrent messages is charged a single round trip, matching how
+// the real system overlaps them on the wire.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace minuet::net {
+
+using NodeId = uint32_t;
+
+// Per-operation network trace, attached to the current thread while a
+// B-tree operation (or CDB stored procedure) executes. The benchmark
+// harness turns (round_trips, messages) into modeled latency.
+struct OpTrace {
+  uint64_t messages = 0;
+  uint64_t round_trips = 0;
+  uint64_t retries = 0;        // minitransaction re-executions (busy locks)
+  uint64_t validation_aborts = 0;
+  uint64_t nodes_copied = 0;   // copy-on-write node copies in this op
+  std::vector<uint32_t> per_node;  // messages per destination node
+
+  void Reset(size_t n_nodes) {
+    messages = round_trips = retries = validation_aborts = nodes_copied = 0;
+    per_node.assign(n_nodes, 0);
+  }
+};
+
+class Fabric {
+ public:
+  explicit Fabric(uint32_t n_nodes);
+
+  uint32_t n_nodes() const { return n_nodes_; }
+
+  // --- Failure injection -------------------------------------------------
+  bool IsUp(NodeId id) const {
+    return up_[id].load(std::memory_order_acquire);
+  }
+  void SetUp(NodeId id, bool up) {
+    up_[id].store(up, std::memory_order_release);
+  }
+
+  // --- Accounting ---------------------------------------------------------
+  // Charge one message to `to`. Returns Unavailable if the node is down.
+  // When already inside a RoundTripScope the message joins the open round
+  // trip; otherwise it is its own round trip.
+  Status ChargeMessage(NodeId to);
+
+  // Total messages ever delivered to `to` (capacity-model input).
+  uint64_t NodeMessages(NodeId to) const {
+    return node_msgs_[to].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalMessages() const;
+  void ResetCounters();
+
+  // Attach/detach the per-op trace for the current thread. Pass nullptr to
+  // detach. The caller owns the trace.
+  static void SetThreadTrace(OpTrace* trace);
+  static OpTrace* ThreadTrace();
+
+ private:
+  friend class RoundTripScope;
+
+  uint32_t n_nodes_;
+  std::unique_ptr<std::atomic<bool>[]> up_;
+  std::unique_ptr<std::atomic<uint64_t>[]> node_msgs_;
+};
+
+// Opens a "parallel batch": every ChargeMessage issued by this thread while
+// the scope is alive shares one round trip. Nested scopes are flattened
+// into the outermost one (a coordinator's fan-out is one network step no
+// matter how the code composes it).
+class RoundTripScope {
+ public:
+  RoundTripScope();
+  ~RoundTripScope();
+  RoundTripScope(const RoundTripScope&) = delete;
+  RoundTripScope& operator=(const RoundTripScope&) = delete;
+
+ private:
+  bool outermost_;
+};
+
+}  // namespace minuet::net

@@ -1,0 +1,43 @@
+// Sinfonia addressing: each memnode exports an unstructured byte-addressable
+// address space; a global address is (memnode id, byte offset).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/fabric.h"
+
+namespace minuet::sinfonia {
+
+using MemnodeId = net::NodeId;
+
+struct Addr {
+  MemnodeId memnode = 0;
+  uint64_t offset = 0;
+
+  bool operator==(const Addr& o) const {
+    return memnode == o.memnode && offset == o.offset;
+  }
+  bool operator!=(const Addr& o) const { return !(*this == o); }
+  bool operator<(const Addr& o) const {
+    return memnode != o.memnode ? memnode < o.memnode : offset < o.offset;
+  }
+
+  std::string ToString() const {
+    return "<" + std::to_string(memnode) + "," + std::to_string(offset) + ">";
+  }
+};
+
+// A null address: offset 0 on memnode 0 is reserved by every memnode layout
+// so that Addr{} can mean "no node" (e.g. a leaf's missing child).
+inline constexpr Addr kNullAddr{0, 0};
+
+struct AddrHash {
+  size_t operator()(const Addr& a) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(a.memnode) << 48) ^
+                                 a.offset);
+  }
+};
+
+}  // namespace minuet::sinfonia

@@ -1,0 +1,81 @@
+// The Sinfonia application library: executes minitransactions against the
+// memnode set. Implements the paper's commit protocol (§2.1):
+//   - the two-phase protocol for multi-memnode minitransactions,
+//   - collapsed single-phase execution when one memnode is involved,
+//   - automatic, transparent retry when a lock is busy (compare failures
+//     are returned to the application instead),
+//   - blocking minitransactions that wait (bounded) at the memnode,
+//   - optional primary-backup replication of committed writes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "net/fabric.h"
+#include "sinfonia/memnode.h"
+#include "sinfonia/minitxn.h"
+
+namespace minuet::sinfonia {
+
+class Coordinator {
+ public:
+  struct Options {
+    // Give up after this many busy-lock re-executions. The paper's library
+    // retries "automatically and transparently"; the cap only bounds
+    // pathological livelock in tests.
+    uint32_t max_retries = 256;
+    bool replication = false;  // primary-backup mirroring of writes
+  };
+
+  Coordinator(net::Fabric* fabric, std::vector<Memnode*> memnodes)
+      : Coordinator(fabric, std::move(memnodes), Options()) {}
+  Coordinator(net::Fabric* fabric, std::vector<Memnode*> memnodes,
+              Options options);
+
+  // Execute a minitransaction to completion. Returns:
+  //   OK           — protocol ran; inspect result->committed / failed_compares
+  //   Busy         — lock contention persisted past max_retries
+  //   Unavailable  — a participant memnode is down
+  Status Execute(const MiniTxn& mtx, MiniResult* result);
+
+  uint32_t n_memnodes() const {
+    return static_cast<uint32_t>(memnodes_.size());
+  }
+  Memnode* memnode(MemnodeId id) { return memnodes_[id]; }
+  net::Fabric* fabric() { return fabric_; }
+  const Options& options() const { return options_; }
+
+  MemnodeId BackupOf(MemnodeId id) const {
+    return static_cast<MemnodeId>((id + 1) % memnodes_.size());
+  }
+
+  // Restore a recovered memnode's state from its backup peer.
+  void Recover(MemnodeId id);
+
+ private:
+  struct PerNode {
+    MemnodeId node;
+    std::vector<MiniTxn::CompareItem> compares;
+    std::vector<uint32_t> compare_index;  // original index per compare
+    std::vector<MiniTxn::ReadItem> reads;
+    std::vector<uint32_t> read_index;  // original index per read
+    std::vector<MiniTxn::WriteItem> writes;
+  };
+
+  static std::vector<PerNode> Partition(const MiniTxn& mtx);
+
+  Status ExecuteSingle(TxId tx, const PerNode& pn, bool blocking,
+                       MiniResult* result);
+  Status ExecuteTwoPhase(TxId tx, const std::vector<PerNode>& parts,
+                         bool blocking, MiniResult* result);
+  void ReplicateWrites(const PerNode& pn);
+
+  net::Fabric* fabric_;
+  std::vector<Memnode*> memnodes_;
+  Options options_;
+  std::atomic<TxId> next_tx_{1};
+};
+
+}  // namespace minuet::sinfonia

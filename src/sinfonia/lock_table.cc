@@ -1,0 +1,113 @@
+#include "sinfonia/lock_table.h"
+
+#include <algorithm>
+
+namespace minuet::sinfonia {
+
+LockTable::LockTable(uint32_t n_stripes, uint32_t granularity)
+    : n_stripes_(n_stripes),
+      granularity_(granularity),
+      stripes_(n_stripes) {}
+
+std::vector<uint32_t> LockTable::StripesFor(
+    const std::vector<Range>& ranges) const {
+  std::vector<uint32_t> out;
+  for (const Range& r : ranges) {
+    if (r.len == 0) continue;
+    const uint64_t first = r.offset / granularity_;
+    const uint64_t last = (r.offset + r.len - 1) / granularity_;
+    for (uint64_t s = first; s <= last; s++) {
+      out.push_back(StripeFor(s));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Status LockTable::Lock(TxId tx, const std::vector<Range>& ranges,
+                       std::chrono::microseconds max_wait) {
+  std::vector<uint32_t> want = StripesFor(ranges);
+  std::vector<uint32_t> taken;
+  taken.reserve(want.size());
+
+  Status failure = Status::OK();
+  for (uint32_t s : want) {
+    Stripe& st = stripes_[s];
+    std::unique_lock<std::mutex> lk(st.mu);
+    if (st.owner == tx) continue;  // re-entrant within a transaction
+    if (st.owner == 0) {
+      st.owner = tx;
+      taken.push_back(s);
+      continue;
+    }
+    if (max_wait.count() == 0) {
+      failure = Status::Busy("lock stripe busy");
+    } else {
+      // Blocking minitransaction: wait, but only up to the threshold so a
+      // stuck holder cannot wedge the memnode (paper §4.1).
+      const bool got = st.cv.wait_for(lk, max_wait,
+                                      [&st] { return st.owner == 0; });
+      if (got) {
+        st.owner = tx;
+        taken.push_back(s);
+        continue;
+      }
+      failure = Status::TimedOut("lock wait threshold exceeded");
+    }
+    // Failure: roll back everything this call acquired.
+    lk.unlock();
+    for (uint32_t t : taken) {
+      Stripe& rt = stripes_[t];
+      std::lock_guard<std::mutex> g(rt.mu);
+      rt.owner = 0;
+      rt.cv.notify_all();
+    }
+    return failure;
+  }
+
+  if (!taken.empty()) {
+    std::lock_guard<std::mutex> g(held_mu_);
+    for (auto& [htx, stripes] : held_) {
+      if (htx == tx) {
+        stripes.insert(stripes.end(), taken.begin(), taken.end());
+        return Status::OK();
+      }
+    }
+    held_.emplace_back(tx, std::move(taken));
+  }
+  return Status::OK();
+}
+
+void LockTable::Unlock(TxId tx) {
+  std::vector<uint32_t> stripes;
+  {
+    std::lock_guard<std::mutex> g(held_mu_);
+    for (auto it = held_.begin(); it != held_.end(); ++it) {
+      if (it->first == tx) {
+        stripes = std::move(it->second);
+        held_.erase(it);
+        break;
+      }
+    }
+  }
+  for (uint32_t s : stripes) {
+    Stripe& st = stripes_[s];
+    std::lock_guard<std::mutex> g(st.mu);
+    if (st.owner == tx) {
+      st.owner = 0;
+      st.cv.notify_all();
+    }
+  }
+}
+
+bool LockTable::IsLocked(const Range& r) {
+  for (uint32_t s : StripesFor({r})) {
+    Stripe& st = stripes_[s];
+    std::lock_guard<std::mutex> g(st.mu);
+    if (st.owner != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace minuet::sinfonia

@@ -1,0 +1,73 @@
+// Striped range-lock table used by each memnode to lock the memory regions
+// touched by a minitransaction (Sinfonia's phase-one locking). Locks are
+// exclusive, owned by a transaction id so they can be held across the
+// prepare/commit boundary of two-phase commit, and support both try-lock
+// (ordinary minitransactions abort on busy locks) and bounded blocking
+// acquisition (the blocking minitransactions of paper §4.1).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace minuet::sinfonia {
+
+using TxId = uint64_t;
+
+class LockTable {
+ public:
+  // `granularity` is the number of bytes covered by one stripe slot before
+  // hashing; regions closer than this may false-share a stripe, which is
+  // safe (coarser locking) but can cause spurious Busy results.
+  explicit LockTable(uint32_t n_stripes = 4096, uint32_t granularity = 64);
+
+  struct Range {
+    uint64_t offset;
+    uint64_t len;
+  };
+
+  // Acquire every stripe covering `ranges` for `tx`. Stripes are acquired
+  // in sorted order (deadlock avoidance within a memnode). If
+  // `max_wait` == 0, fails immediately with Busy when any stripe is held by
+  // another transaction; otherwise waits up to `max_wait` per acquisition
+  // and fails with TimedOut on expiry. On failure all stripes taken by this
+  // call are released.
+  Status Lock(TxId tx, const std::vector<Range>& ranges,
+              std::chrono::microseconds max_wait = std::chrono::microseconds(0));
+
+  // Release every stripe held by `tx`.
+  void Unlock(TxId tx);
+
+  // True if any stripe covering `r` is currently held (test hook).
+  bool IsLocked(const Range& r);
+
+ private:
+  uint32_t StripeFor(uint64_t slot) const {
+    // Mix to avoid adjacent slots mapping to adjacent stripes.
+    uint64_t h = slot * 0x9E3779B97F4A7C15ULL;
+    return static_cast<uint32_t>(h >> 32) % n_stripes_;
+  }
+
+  // Collect the sorted, deduplicated stripe set for `ranges`.
+  std::vector<uint32_t> StripesFor(const std::vector<Range>& ranges) const;
+
+  struct Stripe {
+    std::mutex mu;
+    std::condition_variable cv;
+    TxId owner = 0;  // 0 = free
+  };
+
+  uint32_t n_stripes_;
+  uint32_t granularity_;
+  std::vector<Stripe> stripes_;
+
+  // Which stripes each transaction holds; guarded by held_mu_.
+  std::mutex held_mu_;
+  std::vector<std::pair<TxId, std::vector<uint32_t>>> held_;
+};
+
+}  // namespace minuet::sinfonia

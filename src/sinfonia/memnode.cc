@@ -1,0 +1,215 @@
+#include "sinfonia/memnode.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace minuet::sinfonia {
+
+// ---------------------------------------------------------------------------
+// ByteSpace
+
+const char* ByteSpace::ChunkAt(uint64_t index) const {
+  std::lock_guard<std::mutex> g(grow_mu_);
+  if (index >= chunks_.size()) return nullptr;
+  return chunks_[index].get();
+}
+
+char* ByteSpace::MutableChunkAt(uint64_t index) {
+  std::lock_guard<std::mutex> g(grow_mu_);
+  while (index >= chunks_.size()) {
+    auto chunk = std::make_unique<char[]>(kChunkBytes);
+    std::memset(chunk.get(), 0, kChunkBytes);
+    chunks_.push_back(std::move(chunk));
+  }
+  return chunks_[index].get();
+}
+
+void ByteSpace::Read(uint64_t offset, uint32_t len, std::string* out) const {
+  out->assign(len, '\0');
+  uint32_t done = 0;
+  while (done < len) {
+    const uint64_t pos = offset + done;
+    const uint64_t chunk = pos / kChunkBytes;
+    const uint64_t in_chunk = pos % kChunkBytes;
+    const uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(len - done, kChunkBytes - in_chunk));
+    if (const char* base = ChunkAt(chunk)) {
+      std::memcpy(out->data() + done, base + in_chunk, n);
+    }  // else: unallocated region reads as zeros
+    done += n;
+  }
+}
+
+void ByteSpace::Write(uint64_t offset, const char* data, uint32_t len) {
+  uint32_t done = 0;
+  while (done < len) {
+    const uint64_t pos = offset + done;
+    const uint64_t chunk = pos / kChunkBytes;
+    const uint64_t in_chunk = pos % kChunkBytes;
+    const uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(len - done, kChunkBytes - in_chunk));
+    std::memcpy(MutableChunkAt(chunk) + in_chunk, data + done, n);
+    done += n;
+  }
+  std::lock_guard<std::mutex> g(grow_mu_);
+  extent_ = std::max(extent_, offset + len);
+}
+
+uint64_t ByteSpace::Extent() const {
+  std::lock_guard<std::mutex> g(grow_mu_);
+  return extent_;
+}
+
+// ---------------------------------------------------------------------------
+// Memnode
+
+Memnode::Memnode(MemnodeId id, Options options)
+    : id_(id),
+      options_(options),
+      locks_(options.lock_stripes, options.lock_granularity) {}
+
+std::vector<LockTable::Range> Memnode::TouchedRanges(
+    const std::vector<MiniTxn::CompareItem>& compares,
+    const std::vector<MiniTxn::ReadItem>& reads,
+    const std::vector<MiniTxn::WriteItem>& writes) {
+  std::vector<LockTable::Range> ranges;
+  ranges.reserve(compares.size() + reads.size() + writes.size());
+  for (const auto& c : compares) {
+    ranges.push_back({c.addr.offset, c.expected.size()});
+  }
+  for (const auto& r : reads) {
+    ranges.push_back({r.addr.offset, r.len});
+  }
+  for (const auto& w : writes) {
+    ranges.push_back({w.addr.offset, w.data.size()});
+  }
+  return ranges;
+}
+
+bool Memnode::EvaluateAndRead(
+    const std::vector<MiniTxn::CompareItem>& compares,
+    const std::vector<MiniTxn::ReadItem>& reads,
+    std::vector<std::string>* read_results,
+    std::vector<uint32_t>* failed_compares) const {
+  bool all_ok = true;
+  for (uint32_t i = 0; i < compares.size(); i++) {
+    const auto& c = compares[i];
+    std::string actual;
+    space_.Read(c.addr.offset, static_cast<uint32_t>(c.expected.size()),
+                &actual);
+    if (actual != c.expected) {
+      all_ok = false;
+      if (failed_compares != nullptr) failed_compares->push_back(i);
+    }
+  }
+  if (read_results != nullptr) {
+    for (const auto& r : reads) {
+      std::string data;
+      space_.Read(r.addr.offset, r.len, &data);
+      read_results->push_back(std::move(data));
+    }
+  }
+  return all_ok;
+}
+
+void Memnode::ApplyWrites(const std::vector<MiniTxn::WriteItem>& writes) {
+  for (const auto& w : writes) {
+    space_.Write(w.addr.offset, w.data.data(),
+                 static_cast<uint32_t>(w.data.size()));
+  }
+}
+
+Status Memnode::ExecuteLocal(TxId tx,
+                             const std::vector<MiniTxn::CompareItem>& compares,
+                             const std::vector<MiniTxn::ReadItem>& reads,
+                             const std::vector<MiniTxn::WriteItem>& writes,
+                             bool blocking, MiniResult* result) {
+  const auto wait = blocking ? options_.blocking_wait
+                             : std::chrono::microseconds(0);
+  MINUET_RETURN_NOT_OK(locks_.Lock(tx, TouchedRanges(compares, reads, writes),
+                                   wait));
+  result->read_results.clear();
+  result->failed_compares.clear();
+  const bool ok = EvaluateAndRead(compares, reads, &result->read_results,
+                                  &result->failed_compares);
+  if (ok) ApplyWrites(writes);
+  result->committed = ok;
+  if (!ok) result->read_results.clear();
+  locks_.Unlock(tx);
+  return Status::OK();
+}
+
+Status Memnode::Prepare(TxId tx,
+                        const std::vector<MiniTxn::CompareItem>& compares,
+                        const std::vector<MiniTxn::ReadItem>& reads,
+                        const std::vector<MiniTxn::WriteItem>& writes,
+                        bool blocking, bool* vote,
+                        std::vector<std::string>* read_results,
+                        std::vector<uint32_t>* failed_compares) {
+  const auto wait = blocking ? options_.blocking_wait
+                             : std::chrono::microseconds(0);
+  MINUET_RETURN_NOT_OK(locks_.Lock(tx, TouchedRanges(compares, reads, writes),
+                                   wait));
+  *vote = EvaluateAndRead(compares, reads, read_results, failed_compares);
+  if (!*vote) {
+    // Compare mismatch: the outcome is decided (abort), release now rather
+    // than waiting for the coordinator's abort round.
+    locks_.Unlock(tx);
+  }
+  return Status::OK();
+}
+
+void Memnode::Commit(TxId tx, const std::vector<MiniTxn::WriteItem>& writes) {
+  ApplyWrites(writes);
+  locks_.Unlock(tx);
+}
+
+void Memnode::Abort(TxId tx) { locks_.Unlock(tx); }
+
+void Memnode::ApplyBackupWrites(MemnodeId primary,
+                                const std::vector<MiniTxn::WriteItem>& writes) {
+  ByteSpace* image = nullptr;
+  {
+    std::lock_guard<std::mutex> g(backup_mu_);
+    auto& slot = backups_[primary];
+    if (slot == nullptr) slot = std::make_unique<ByteSpace>();
+    image = slot.get();
+  }
+  for (const auto& w : writes) {
+    image->Write(w.addr.offset, w.data.data(),
+                 static_cast<uint32_t>(w.data.size()));
+  }
+}
+
+void ByteSpace::Reset() {
+  std::lock_guard<std::mutex> g(grow_mu_);
+  chunks_.clear();
+  extent_ = 0;
+}
+
+void Memnode::LoseState() {
+  // Drop the space wholesale; outstanding locks are abandoned too, as a
+  // crashed memnode's lock table would be.
+  space_.Reset();
+}
+
+void Memnode::RestoreFrom(const Memnode& peer) {
+  const ByteSpace* image = nullptr;
+  {
+    std::lock_guard<std::mutex> g(peer.backup_mu_);
+    auto it = peer.backups_.find(id_);
+    if (it != peer.backups_.end()) image = it->second.get();
+  }
+  if (image == nullptr) return;
+  const uint64_t extent = image->Extent();
+  std::string data;
+  constexpr uint32_t kBlock = 1 << 16;
+  for (uint64_t off = 0; off < extent; off += kBlock) {
+    const uint32_t n =
+        static_cast<uint32_t>(std::min<uint64_t>(kBlock, extent - off));
+    image->Read(off, n, &data);
+    space_.Write(off, data.data(), n);
+  }
+}
+
+}  // namespace minuet::sinfonia

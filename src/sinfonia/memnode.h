@@ -1,0 +1,137 @@
+// A Sinfonia memnode: an unstructured byte-addressable storage space plus
+// the server half of the minitransaction commit protocol (lock, compare,
+// read, conditionally write). Also hosts the backup images of peer memnodes
+// when primary-backup replication is enabled, and supports crash/recovery
+// fault injection.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sinfonia/addr.h"
+#include "sinfonia/lock_table.h"
+#include "sinfonia/minitxn.h"
+
+namespace minuet::sinfonia {
+
+// Growable chunked byte space. Chunks never move once allocated, so reads
+// and writes under stripe locks do not race with growth. Unwritten bytes
+// read as zero.
+class ByteSpace {
+ public:
+  static constexpr size_t kChunkBytes = 1 << 20;  // 1 MiB
+
+  void Read(uint64_t offset, uint32_t len, std::string* out) const;
+  void Write(uint64_t offset, const char* data, uint32_t len);
+
+  // High-water mark: one past the last byte ever written.
+  uint64_t Extent() const;
+
+  // Drop all content (crash simulation).
+  void Reset();
+
+ private:
+  const char* ChunkAt(uint64_t index) const;
+  char* MutableChunkAt(uint64_t index);
+
+  mutable std::mutex grow_mu_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  uint64_t extent_ = 0;
+};
+
+class Memnode {
+ public:
+  struct Options {
+    uint32_t lock_stripes = 4096;
+    uint32_t lock_granularity = 64;
+    // Lock-wait threshold for blocking minitransactions (paper §4.1: "the
+    // waiting time is bounded by a threshold small enough so that blocking
+    // minitransactions do not trigger Sinfonia's recovery mechanism").
+    std::chrono::microseconds blocking_wait{2000};
+  };
+
+  explicit Memnode(MemnodeId id) : Memnode(id, Options()) {}
+  Memnode(MemnodeId id, Options options);
+
+  MemnodeId id() const { return id_; }
+
+  // ---- One-phase execution (single-memnode minitransactions) -----------
+  // Locks every touched range, evaluates compares, performs reads, applies
+  // writes if all compares match, and unlocks. Returns Busy/TimedOut if
+  // locks could not be acquired; `result->committed` reports compare
+  // outcome.
+  Status ExecuteLocal(TxId tx, const std::vector<MiniTxn::CompareItem>& compares,
+                      const std::vector<MiniTxn::ReadItem>& reads,
+                      const std::vector<MiniTxn::WriteItem>& writes,
+                      bool blocking, MiniResult* result);
+
+  // ---- Two-phase protocol ----------------------------------------------
+  // Phase one: acquire locks, evaluate compares, perform reads. On success
+  // the memnode votes yes and HOLDS its locks until Commit/Abort. A false
+  // `*vote` (compare mismatch) also releases locks immediately: the
+  // coordinator will abort everywhere.
+  Status Prepare(TxId tx, const std::vector<MiniTxn::CompareItem>& compares,
+                 const std::vector<MiniTxn::ReadItem>& reads,
+                 const std::vector<MiniTxn::WriteItem>& writes, bool blocking,
+                 bool* vote, std::vector<std::string>* read_results,
+                 std::vector<uint32_t>* failed_compares);
+  // Phase two.
+  void Commit(TxId tx, const std::vector<MiniTxn::WriteItem>& writes);
+  void Abort(TxId tx);
+
+  // ---- Replication & fault injection ------------------------------------
+  // Apply `writes` (addressed at `primary`) to this node's backup image of
+  // that primary. Called by the coordinator after a successful commit when
+  // replication is on.
+  void ApplyBackupWrites(MemnodeId primary,
+                         const std::vector<MiniTxn::WriteItem>& writes);
+
+  // Wipe this node's primary space (simulates a crash losing main memory).
+  void LoseState();
+  // Reload this node's primary space from the backup image held by `peer`.
+  void RestoreFrom(const Memnode& peer);
+
+  // ---- Direct access (garbage collector, recovery, tests) ---------------
+  // Raw read that bypasses the minitransaction protocol. The GC uses this
+  // under its own slab locking discipline.
+  void RawRead(uint64_t offset, uint32_t len, std::string* out) const {
+    space_.Read(offset, len, out);
+  }
+  void RawWrite(uint64_t offset, const std::string& data) {
+    space_.Write(offset, data.data(), static_cast<uint32_t>(data.size()));
+  }
+  uint64_t Extent() const { return space_.Extent(); }
+
+  LockTable& lock_table() { return locks_; }
+
+ private:
+  static std::vector<LockTable::Range> TouchedRanges(
+      const std::vector<MiniTxn::CompareItem>& compares,
+      const std::vector<MiniTxn::ReadItem>& reads,
+      const std::vector<MiniTxn::WriteItem>& writes);
+
+  // Evaluate compares and perform reads with locks already held.
+  bool EvaluateAndRead(const std::vector<MiniTxn::CompareItem>& compares,
+                       const std::vector<MiniTxn::ReadItem>& reads,
+                       std::vector<std::string>* read_results,
+                       std::vector<uint32_t>* failed_compares) const;
+
+  void ApplyWrites(const std::vector<MiniTxn::WriteItem>& writes);
+
+  MemnodeId id_;
+  Options options_;
+  ByteSpace space_;
+  LockTable locks_;
+
+  // Backup images of peer primaries (primary-backup replication).
+  mutable std::mutex backup_mu_;
+  std::unordered_map<MemnodeId, std::unique_ptr<ByteSpace>> backups_;
+};
+
+}  // namespace minuet::sinfonia

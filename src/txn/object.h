@@ -1,0 +1,72 @@
+// Objects managed by the dynamic transaction layer.
+//
+// An object is a region of Sinfonia address space whose first 8 bytes hold a
+// sequence number that increases monotonically on every update (paper §2.2:
+// "objects can be tagged with sequence numbers ... and comparisons are based
+// solely on these sequence numbers"). The payload follows the header.
+//
+// Two replication flavours support the paper's optimizations:
+//   - rep_seq_offset: the object's *sequence number* is mirrored at a fixed
+//     offset on every memnode (the replicated seqnum table of Aguilera et
+//     al., used by the no-dirty-traversals baseline). Reads validate the
+//     mirror closest to the rest of the minitransaction; writes update the
+//     object and every mirror.
+//   - replicated_data: the whole object (seqnum + payload) lives at the same
+//     offset on every memnode (the tip snapshot id / root location of §4.1
+//     and the catalog entries of §5.1). Reads go to any replica; writes
+//     update all replicas atomically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/byteio.h"
+#include "sinfonia/addr.h"
+
+namespace minuet::txn {
+
+using sinfonia::Addr;
+
+inline constexpr uint32_t kSeqnumBytes = 8;
+
+struct ObjectRef {
+  Addr addr;
+  uint32_t payload_len = 0;
+
+  // Non-zero: seqnum mirrored at this offset on every memnode.
+  uint64_t rep_seq_offset = 0;
+  // True: seqnum+payload mirrored at addr.offset on every memnode
+  // (addr.memnode is only a read-placement hint).
+  bool replicated_data = false;
+
+  uint32_t total_len() const { return kSeqnumBytes + payload_len; }
+
+  bool operator==(const ObjectRef& o) const {
+    return addr == o.addr && payload_len == o.payload_len &&
+           rep_seq_offset == o.rep_seq_offset &&
+           replicated_data == o.replicated_data;
+  }
+};
+
+struct ObjectRefHash {
+  size_t operator()(const ObjectRef& r) const {
+    return sinfonia::AddrHash()(r.addr) ^ (r.payload_len * 0x9E3779B9u);
+  }
+};
+
+// Split a raw on-memnode image into (seqnum, payload).
+inline uint64_t ObjectSeqnum(const std::string& raw) {
+  return raw.size() >= kSeqnumBytes ? DecodeFixed64(raw.data()) : 0;
+}
+inline std::string ObjectPayload(const std::string& raw) {
+  return raw.size() > kSeqnumBytes ? raw.substr(kSeqnumBytes) : std::string();
+}
+inline std::string MakeObjectImage(uint64_t seqnum, const std::string& payload) {
+  std::string out;
+  out.reserve(kSeqnumBytes + payload.size());
+  PutFixed64(&out, seqnum);
+  out += payload;
+  return out;
+}
+
+}  // namespace minuet::txn

@@ -1,0 +1,121 @@
+// Proxy-side object cache (paper §2.3): caches internal B-tree nodes at the
+// proxy "lazily", with NO coherence across proxies or across entries — the
+// traversal safety checks (fence keys, heights, copied-snapshot ids) detect
+// staleness instead. Bounded by entry count with CLOCK eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sinfonia/addr.h"
+
+namespace minuet::txn {
+
+class ObjectCache {
+ public:
+  struct Entry {
+    uint64_t seqnum = 0;
+    std::string payload;
+  };
+
+  explicit ObjectCache(size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  bool Lookup(const sinfonia::Addr& addr, Entry* out) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(addr);
+    if (it == map_.end()) {
+      misses_++;
+      return false;
+    }
+    it->second.referenced = true;
+    *out = Entry{it->second.seqnum, it->second.payload};
+    hits_++;
+    return true;
+  }
+
+  void Insert(const sinfonia::Addr& addr, uint64_t seqnum,
+              const std::string& payload) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(addr);
+    if (it != map_.end()) {
+      // Never replace a newer cached version with an older fetch racing in.
+      if (seqnum >= it->second.seqnum) {
+        it->second.seqnum = seqnum;
+        it->second.payload = payload;
+        it->second.referenced = true;
+      }
+      return;
+    }
+    if (map_.size() >= capacity_) EvictOne();
+    Slot s;
+    s.seqnum = seqnum;
+    s.payload = payload;
+    // Fresh entries start unreferenced (classic CLOCK): an entry earns its
+    // second chance by being looked up, not by being inserted.
+    s.referenced = false;
+    clock_.push_back(addr);
+    s.clock_pos = std::prev(clock_.end());
+    map_.emplace(addr, std::move(s));
+  }
+
+  // Drop a stale entry (called when a traversal detects an inconsistency
+  // that implicates this cached node).
+  void Invalidate(const sinfonia::Addr& addr) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(addr);
+    if (it != map_.end()) {
+      clock_.erase(it->second.clock_pos);
+      map_.erase(it);
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> g(mu_);
+    map_.clear();
+    clock_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.size();
+  }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Slot {
+    uint64_t seqnum = 0;
+    std::string payload;
+    bool referenced = false;
+    std::list<sinfonia::Addr>::iterator clock_pos;
+  };
+
+  void EvictOne() {
+    // CLOCK: sweep, clearing reference bits, until an unreferenced entry.
+    while (!clock_.empty()) {
+      sinfonia::Addr victim = clock_.front();
+      clock_.pop_front();
+      auto it = map_.find(victim);
+      if (it == map_.end()) continue;
+      if (it->second.referenced) {
+        it->second.referenced = false;
+        clock_.push_back(victim);
+        it->second.clock_pos = std::prev(clock_.end());
+      } else {
+        map_.erase(it);
+        return;
+      }
+    }
+  }
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::unordered_map<sinfonia::Addr, Slot, sinfonia::AddrHash> map_;
+  std::list<sinfonia::Addr> clock_;
+  uint64_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace minuet::txn

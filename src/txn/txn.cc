@@ -1,0 +1,266 @@
+#include "txn/txn.h"
+
+namespace minuet::txn {
+
+using sinfonia::MemnodeId;
+using sinfonia::MiniResult;
+using sinfonia::MiniTxn;
+
+DynamicTxn::DynamicTxn(sinfonia::Coordinator* coord, ObjectCache* cache,
+                       Options options)
+    : coord_(coord), cache_(cache), options_(options) {}
+
+MemnodeId DynamicTxn::ReadHome(const ObjectRef& ref) const {
+  if (!ref.replicated_data) return ref.addr.memnode;
+  // Replicated object: prefer a replica on a memnode the transaction already
+  // touches so the fetch stays single-node; else use the placement hint.
+  if (!writes_.empty() && !writes_[0].ref.replicated_data) {
+    return writes_[0].ref.addr.memnode;
+  }
+  for (const ReadRecord& r : reads_) {
+    if (!r.ref.replicated_data) return r.ref.addr.memnode;
+  }
+  return ref.addr.memnode % coord_->n_memnodes();
+}
+
+void DynamicTxn::AddSeqCompare(MiniTxn* mtx, const ReadRecord& rec,
+                               MemnodeId at) const {
+  std::string expected;
+  PutFixed64(&expected, rec.seqnum);
+  const ObjectRef& ref = rec.ref;
+  if (ref.replicated_data) {
+    mtx->AddCompare(Addr{at, ref.addr.offset}, std::move(expected));
+  } else if (ref.rep_seq_offset != 0) {
+    mtx->AddCompare(Addr{at, ref.rep_seq_offset}, std::move(expected));
+  } else {
+    mtx->AddCompare(ref.addr, std::move(expected));
+  }
+}
+
+Result<DynamicTxn::ReadRecord> DynamicTxn::Fetch(const ObjectRef& ref) {
+  const MemnodeId home = ReadHome(ref);
+  MiniTxn mtx;
+  mtx.AddRead(Addr{home, ref.addr.offset}, ref.total_len());
+  if (options_.piggyback_validation) {
+    for (const ReadRecord& r : reads_) AddSeqCompare(&mtx, r, home);
+  }
+  MiniResult result;
+  MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
+  if (!result.committed) {
+    // Piggy-backed validation failed: some object read earlier has been
+    // overwritten. The transaction cannot commit; abort now.
+    doomed_ = true;
+    if (net::OpTrace* tr = net::Fabric::ThreadTrace()) tr->validation_aborts++;
+    return Status::Aborted("piggyback validation failed");
+  }
+  ReadRecord rec;
+  rec.ref = ref;
+  rec.seqnum = ObjectSeqnum(result.read_results[0]);
+  rec.payload = ObjectPayload(result.read_results[0]);
+  return rec;
+}
+
+Result<std::string> DynamicTxn::Read(const ObjectRef& ref) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
+    return writes_[it->second].payload;
+  }
+  if (auto it = read_index_.find(ref.addr); it != read_index_.end()) {
+    return reads_[it->second].payload;
+  }
+  auto fetched = Fetch(ref);
+  if (!fetched.ok()) return fetched.status();
+  read_index_.emplace(ref.addr, reads_.size());
+  reads_.push_back(std::move(fetched).value());
+  return reads_.back().payload;
+}
+
+Result<std::string> DynamicTxn::DirtyRead(const ObjectRef& ref) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
+    return writes_[it->second].payload;
+  }
+  if (auto it = read_index_.find(ref.addr); it != read_index_.end()) {
+    return reads_[it->second].payload;
+  }
+  if (cache_ != nullptr) {
+    ObjectCache::Entry entry;
+    if (cache_->Lookup(ref.addr, &entry)) return std::move(entry.payload);
+  }
+  // Cache miss: fetch, but do NOT join the read set. The fetch still
+  // piggy-backs validation of the current read set (it is a minitransaction
+  // like any other, and early abort detection is free here).
+  auto fetched = Fetch(ref);
+  if (!fetched.ok()) return fetched.status();
+  if (cache_ != nullptr) {
+    cache_->Insert(ref.addr, fetched->seqnum, fetched->payload);
+  }
+  return std::move(fetched->payload);
+}
+
+Result<std::string> DynamicTxn::ReadCached(const ObjectRef& ref) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
+    return writes_[it->second].payload;
+  }
+  if (auto it = read_index_.find(ref.addr); it != read_index_.end()) {
+    return reads_[it->second].payload;
+  }
+  if (cache_ != nullptr) {
+    ObjectCache::Entry entry;
+    if (cache_->Lookup(ref.addr, &entry)) {
+      ReadRecord rec;
+      rec.ref = ref;
+      rec.seqnum = entry.seqnum;
+      rec.payload = std::move(entry.payload);
+      read_index_.emplace(ref.addr, reads_.size());
+      reads_.push_back(std::move(rec));
+      return reads_.back().payload;
+    }
+  }
+  auto fetched = Fetch(ref);
+  if (!fetched.ok()) return fetched.status();
+  if (cache_ != nullptr) {
+    cache_->Insert(ref.addr, fetched->seqnum, fetched->payload);
+  }
+  read_index_.emplace(ref.addr, reads_.size());
+  reads_.push_back(std::move(fetched).value());
+  return reads_.back().payload;
+}
+
+Result<std::string> DynamicTxn::FetchFresh(const ObjectRef& ref) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
+    return writes_[it->second].payload;
+  }
+  auto fetched = Fetch(ref);
+  if (!fetched.ok()) return fetched.status();
+  return std::move(fetched->payload);
+}
+
+Status DynamicTxn::Write(const ObjectRef& ref, std::string payload) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  if (payload.size() > ref.payload_len) {
+    return Status::InvalidArgument("payload exceeds object size");
+  }
+  if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
+    writes_[it->second].payload = std::move(payload);
+    return Status::OK();
+  }
+  // The object's current seqnum must be in the read set so commit can
+  // validate it ("if the object is written later on, it will first be added
+  // to the read set", §3).
+  uint64_t base_seq = 0;
+  if (auto it = read_index_.find(ref.addr); it != read_index_.end()) {
+    base_seq = reads_[it->second].seqnum;
+  } else {
+    auto fetched = Fetch(ref);
+    if (!fetched.ok()) return fetched.status();
+    base_seq = fetched->seqnum;
+    read_index_.emplace(ref.addr, reads_.size());
+    reads_.push_back(std::move(fetched).value());
+  }
+  write_index_.emplace(ref.addr, writes_.size());
+  writes_.push_back(WriteRecord{ref, std::move(payload), base_seq + 1});
+  return Status::OK();
+}
+
+Status DynamicTxn::WriteNew(const ObjectRef& ref, std::string payload) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  if (payload.size() > ref.payload_len) {
+    return Status::InvalidArgument("payload exceeds object size");
+  }
+  if (read_index_.count(ref.addr) != 0 || write_index_.count(ref.addr) != 0) {
+    return Status::InvalidArgument("WriteNew on already-touched object");
+  }
+  // Expect seqnum 0 (virgin slab). The commit-time compare makes concurrent
+  // double-allocation fail validation.
+  ReadRecord rec;
+  rec.ref = ref;
+  rec.seqnum = 0;
+  read_index_.emplace(ref.addr, reads_.size());
+  reads_.push_back(std::move(rec));
+  write_index_.emplace(ref.addr, writes_.size());
+  writes_.push_back(WriteRecord{ref, std::move(payload), 1});
+  return Status::OK();
+}
+
+Status DynamicTxn::Commit() {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  if (committed_) return Status::InvalidArgument("already committed");
+
+  if (writes_.empty() && options_.piggyback_validation) {
+    // Read-only transaction with piggy-backed validation: the last fetch
+    // already validated the whole read set atomically, so the transaction
+    // is serializable at that instant. No commit minitransaction needed.
+    committed_ = true;
+    return Status::OK();
+  }
+
+  // Choose the memnode where replicated objects validate: the one the
+  // plain-object part of the commit already engages, if any.
+  MemnodeId at = 0;
+  bool found = false;
+  for (const WriteRecord& w : writes_) {
+    if (!w.ref.replicated_data) {
+      at = w.ref.addr.memnode;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    for (const ReadRecord& r : reads_) {
+      if (!r.ref.replicated_data) {
+        at = r.ref.addr.memnode;
+        found = true;
+        break;
+      }
+    }
+  }
+
+  MiniTxn mtx;
+  mtx.blocking = options_.blocking_commit;
+  for (const ReadRecord& r : reads_) AddSeqCompare(&mtx, r, at);
+  const uint32_t n = coord_->n_memnodes();
+  for (const WriteRecord& w : writes_) {
+    const std::string image = MakeObjectImage(w.new_seqnum, w.payload);
+    if (w.ref.replicated_data) {
+      for (MemnodeId m = 0; m < n; m++) {
+        mtx.AddWrite(Addr{m, w.ref.addr.offset}, image);
+      }
+    } else {
+      mtx.AddWrite(w.ref.addr, image);
+      if (w.ref.rep_seq_offset != 0) {
+        // Replicated seqnum table (Aguilera baseline): mirror the new
+        // seqnum at every memnode.
+        std::string seq;
+        PutFixed64(&seq, w.new_seqnum);
+        for (MemnodeId m = 0; m < n; m++) {
+          mtx.AddWrite(Addr{m, w.ref.rep_seq_offset}, seq);
+        }
+      }
+    }
+  }
+
+  MiniResult result;
+  MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
+  if (!result.committed) {
+    doomed_ = true;
+    if (net::OpTrace* tr = net::Fabric::ThreadTrace()) tr->validation_aborts++;
+    return Status::Aborted("commit validation failed");
+  }
+  committed_ = true;
+  // Refresh the proxy cache with what we just wrote: the cache is
+  // incoherent anyway, but serving our own latest writes reduces stale hits.
+  if (cache_ != nullptr) {
+    for (const WriteRecord& w : writes_) {
+      ObjectCache::Entry entry;
+      if (cache_->Lookup(w.ref.addr, &entry)) {
+        cache_->Insert(w.ref.addr, w.new_seqnum, w.payload);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace minuet::txn

@@ -1,0 +1,183 @@
+// The dynamic transaction layer (paper §2.2 plus the §3 dirty-read
+// extension): optimistic transactions with backward validation, built from
+// minitransactions.
+//
+// A dynamic transaction keeps a read set and a write set of objects.
+//   Read       — serve from the write/read set, else fetch from the memnode
+//                (one minitransaction) and add to the read set. Fetches
+//                piggy-back validation of the existing read set, so a
+//                transaction discovers staleness early and a read-only
+//                transaction needs no commit-time validation at all.
+//   DirtyRead  — serve from the proxy cache or fetch, WITHOUT adding to the
+//                read set (§3). Used for B-tree traversal of internal nodes;
+//                the traversal's own safety checks (fence keys, heights,
+//                copied-snapshot ids) replace validation.
+//   Write      — buffer in the write set; memnodes are updated only at
+//                commit. Writing an object not yet read fetches it first so
+//                its sequence number is known.
+//   Commit     — one minitransaction that (1) compares the sequence number
+//                of every read-set object against the master copy and
+//                (2) if all match, installs the write set with seqnums
+//                bumped. Engages a single memnode (one-phase commit)
+//                whenever all touched objects validate there.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sinfonia/coordinator.h"
+#include "txn/object.h"
+#include "txn/object_cache.h"
+
+namespace minuet::txn {
+
+class DynamicTxn {
+ public:
+  struct Options {
+    // Validate the current read set inside every fetch minitransaction.
+    bool piggyback_validation = true;
+    // Commit with a blocking minitransaction (waits for busy locks up to
+    // the memnode threshold); used for replicated tip-snapshot-id updates.
+    bool blocking_commit = false;
+  };
+
+  DynamicTxn(sinfonia::Coordinator* coord, ObjectCache* cache)
+      : DynamicTxn(coord, cache, Options()) {}
+  DynamicTxn(sinfonia::Coordinator* coord, ObjectCache* cache,
+             Options options);
+
+  // --- Transactional operations ------------------------------------------
+  Result<std::string> Read(const ObjectRef& ref);
+  Result<std::string> DirtyRead(const ObjectRef& ref);
+  // Cache-first transactional read: like Read, but a proxy-cache hit joins
+  // the read set WITHOUT fetching (commit-time validation catches staleness,
+  // as when Aguilera et al. validate cached internal nodes against the
+  // replicated seqnum table, and when Minuet proxies validate their cached
+  // tip snapshot id). Falls back to a fetch on miss.
+  Result<std::string> ReadCached(const ObjectRef& ref);
+  // Fetch without consulting or populating the proxy cache, and without
+  // joining the read set: used for leaf reads on read-only snapshots, which
+  // the paper validates by fence keys alone (§4.2).
+  Result<std::string> FetchFresh(const ObjectRef& ref);
+  Status Write(const ObjectRef& ref, std::string payload);
+  // Write an object this transaction knows to be freshly allocated: expects
+  // the slab's seqnum to still be zero at commit (fails validation if any
+  // other transaction initialized it concurrently).
+  Status WriteNew(const ObjectRef& ref, std::string payload);
+
+  // Commit. Returns OK, Aborted (validation failed — retry the whole
+  // transaction), Busy (persistent lock contention) or Unavailable.
+  Status Commit();
+
+  // Mark the transaction as doomed (traversal safety check failed). All
+  // further operations and Commit return Aborted.
+  void MarkAborted() { doomed_ = true; }
+  bool doomed() const { return doomed_; }
+  bool committed() const { return committed_; }
+
+  // --- Introspection (B-tree cache refresh, tests) ------------------------
+  struct WriteRecord {
+    ObjectRef ref;
+    std::string payload;
+    uint64_t new_seqnum;
+  };
+  const std::vector<WriteRecord>& write_set() const { return writes_; }
+  size_t read_set_size() const { return reads_.size(); }
+  // Redirect commit-time validation of an already-read object to a
+  // replicated seqnum mirror (the Aguilera baseline's seqnum table). Used
+  // when the caller only learns the object's kind — and hence where its
+  // seqnum is mirrored — after decoding the fetched bytes.
+  void SetReadValidationMirror(const Addr& addr, uint64_t rep_seq_offset) {
+    auto it = read_index_.find(addr);
+    if (it != read_index_.end()) {
+      reads_[it->second].ref.rep_seq_offset = rep_seq_offset;
+    }
+  }
+
+  // Addresses in the read set — callers use this to invalidate proxy-cache
+  // entries after a validation failure, so retries refetch fresh state.
+  std::vector<Addr> ReadSetAddrs() const {
+    std::vector<Addr> out;
+    out.reserve(reads_.size());
+    for (const auto& r : reads_) out.push_back(r.ref.addr);
+    return out;
+  }
+  bool InReadSet(const ObjectRef& ref) const {
+    return read_index_.count(ref.addr) != 0;
+  }
+
+  ObjectCache* cache() { return cache_; }
+  sinfonia::Coordinator* coordinator() { return coord_; }
+
+ private:
+  struct ReadRecord {
+    ObjectRef ref;
+    uint64_t seqnum;
+    std::string payload;
+  };
+
+  // Fetch `ref` from a memnode, piggy-backing read-set validation.
+  // On validation failure dooms the transaction and returns Aborted.
+  Result<ReadRecord> Fetch(const ObjectRef& ref);
+
+  // Where a read of `ref` should be served.
+  sinfonia::MemnodeId ReadHome(const ObjectRef& ref) const;
+  // Add `ref`'s seqnum compare to `mtx`, validating replicated objects at
+  // `at` so single-memnode minitransactions stay single-memnode.
+  void AddSeqCompare(sinfonia::MiniTxn* mtx, const ReadRecord& rec,
+                     sinfonia::MemnodeId at) const;
+
+  sinfonia::Coordinator* coord_;
+  ObjectCache* cache_;
+  Options options_;
+
+  std::vector<ReadRecord> reads_;
+  std::unordered_map<Addr, size_t, sinfonia::AddrHash> read_index_;
+  std::vector<WriteRecord> writes_;
+  std::unordered_map<Addr, size_t, sinfonia::AddrHash> write_index_;
+
+  bool doomed_ = false;
+  bool committed_ = false;
+};
+
+// Retry loop: run `body` in fresh transactions until it commits or fails
+// with a non-retryable status. `body` receives the transaction and returns
+// OK to request commit, Aborted to retry immediately, or any other status
+// to stop. NotFound is returned through without retrying (the transaction
+// still commits: a Get that misses is a successful read-only transaction).
+template <typename Body>
+Status RunTransaction(sinfonia::Coordinator* coord, ObjectCache* cache,
+                      DynamicTxn::Options options, uint32_t max_attempts,
+                      Body&& body) {
+  Status last = Status::Aborted("no attempts");
+  for (uint32_t i = 0; i < max_attempts; i++) {
+    DynamicTxn txn(coord, cache, options);
+    Status st = body(txn);
+    bool retryable = false;
+    if (st.ok() || st.IsNotFound()) {
+      Status cst = txn.Commit();
+      if (cst.ok()) return st;
+      if (!cst.IsRetryable()) return cst;
+      last = cst;
+      retryable = true;
+    } else if (st.IsRetryable()) {
+      last = st;
+      retryable = true;
+    } else {
+      return st;
+    }
+    if (retryable && cache != nullptr) {
+      // The failed validation implicates something served from the proxy
+      // cache (e.g. a stale tip object); drop the transaction's cached
+      // reads so the retry refetches instead of failing identically.
+      for (const Addr& a : txn.ReadSetAddrs()) cache->Invalidate(a);
+    }
+  }
+  return last;
+}
+
+}  // namespace minuet::txn

@@ -1,0 +1,97 @@
+// Writable clones / branching versions (paper §5).
+//
+// Snapshots form a (logical) version tree: internal vertices are read-only
+// snapshots, leaves are writable tips. Snapshot ids stay totally ordered
+// (a monotonically increasing counter serialized through the catalog), and
+// the snapshot catalog — replicated at every memnode and cached at proxies —
+// records each snapshot's root location, parent, and "branch id" (the first
+// branch created from it; non-NULL means the snapshot is read-only).
+//
+// Creating a branch from snapshot p:
+//   - allocates the next snapshot id,
+//   - copies p's root (recording the copy in p's root's descendant set),
+//   - writes the new catalog entry {root, branch_id=0, parent=p},
+//   - updates p's entry (sets branch_id on the first branch, bumps the
+//     branch count),
+// all inside one dynamic transaction. Creating a snapshot of a writable tip
+// is exactly "create the first branch from it" (§5.1).
+//
+// The version-tree branching factor is capped at the tree's β so the
+// bounded descendant sets of §5.2 can always be maintained.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "btree/tree.h"
+#include "btree/version_oracle.h"
+
+namespace minuet::version {
+
+using btree::BTree;
+using btree::CatalogEntry;
+
+// Ancestry oracle backed by the catalog's (immutable) parent pointers.
+// Parents are memoized forever once read; snapshots created by the local
+// proxy are registered eagerly (including mid-transaction, so copy-on-write
+// bookkeeping can reason about a branch before its catalog entry commits).
+class BranchOracle : public btree::VersionOracle {
+ public:
+  explicit BranchOracle(BTree* tree) : tree_(tree) {}
+
+  bool IsAncestorOrEqual(uint64_t a, uint64_t b) const override;
+  uint64_t Lca(uint64_t a, uint64_t b) const override;
+  uint64_t Depth(uint64_t sid) const override;
+
+  // Teach the oracle a parent link before the catalog entry is durable.
+  void RegisterParent(uint64_t sid, uint64_t parent) const;
+
+ private:
+  // Parent of `sid`, from the memo table or the catalog
+  // (CatalogEntry::kNoParent for the root or unknown snapshots).
+  uint64_t ParentOf(uint64_t sid) const;
+
+  BTree* tree_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<uint64_t, uint64_t> parent_;
+};
+
+struct BranchInfo {
+  uint64_t sid = 0;
+  uint64_t parent = CatalogEntry::kNoParent;
+  uint64_t branch_id = 0;  // first child branch; 0 = none (writable)
+  uint32_t branch_count = 0;
+  bool writable = false;
+  sinfonia::Addr root;
+};
+
+class VersionManager {
+ public:
+  // Installs a BranchOracle into the tree: from then on traversal ancestry
+  // checks follow the version tree instead of numeric order.
+  explicit VersionManager(BTree* tree);
+
+  // Create a new writable branch from snapshot `from_sid` (which becomes —
+  // or stays — read-only). Returns the new branch's snapshot id.
+  Result<uint64_t> CreateBranch(uint64_t from_sid);
+
+  Result<BranchInfo> Info(uint64_t sid);
+
+  // Follow first-branch ids from the version-tree root: the "mainline"
+  // (§5.1) — the default lineage for up-to-date operations.
+  Result<uint64_t> MainlineTip();
+
+  const BranchOracle* oracle() const { return &oracle_; }
+  BTree* tree() { return tree_; }
+
+  uint64_t branches_created() const {
+    return branches_created_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  BTree* tree_;
+  BranchOracle oracle_;
+  std::atomic<uint64_t> branches_created_{0};
+};
+
+}  // namespace minuet::version

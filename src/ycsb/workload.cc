@@ -1,0 +1,180 @@
+#include "ycsb/workload.h"
+
+#include <cassert>
+#include <vector>
+
+namespace minuet::ycsb {
+
+namespace {
+WorkloadSpec Base(uint64_t records, Distribution d) {
+  WorkloadSpec s;
+  s.record_count = records;
+  s.dist = d;
+  return s;
+}
+}  // namespace
+
+WorkloadSpec WorkloadSpec::LoadPhase(uint64_t records) {
+  WorkloadSpec s = Base(records, Distribution::kUniform);
+  s.insert = 1.0;
+  s.record_count = 0;  // start empty; inserts build the data set
+  (void)records;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::A(uint64_t records) {
+  WorkloadSpec s = Base(records, Distribution::kZipfian);
+  s.read = 0.5;
+  s.update = 0.5;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::B(uint64_t records) {
+  WorkloadSpec s = Base(records, Distribution::kZipfian);
+  s.read = 0.95;
+  s.update = 0.05;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::C(uint64_t records) {
+  WorkloadSpec s = Base(records, Distribution::kZipfian);
+  s.read = 1.0;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::D(uint64_t records) {
+  WorkloadSpec s = Base(records, Distribution::kLatest);
+  s.read = 0.95;
+  s.insert = 0.05;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::E(uint64_t records) {
+  WorkloadSpec s = Base(records, Distribution::kZipfian);
+  s.scan = 0.95;
+  s.insert = 0.05;
+  s.min_scan_len = 1;
+  s.max_scan_len = 100;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::F(uint64_t records) {
+  WorkloadSpec s = Base(records, Distribution::kZipfian);
+  s.read = 0.5;
+  s.rmw = 0.5;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ReadOnly(uint64_t records, Distribution d) {
+  WorkloadSpec s = Base(records, d);
+  s.read = 1.0;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::UpdateOnly(uint64_t records, Distribution d) {
+  WorkloadSpec s = Base(records, d);
+  s.update = 1.0;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::InsertOnly(uint64_t records) {
+  WorkloadSpec s = Base(records, Distribution::kUniform);
+  s.insert = 1.0;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ScanOnly(uint64_t records, uint32_t scan_len) {
+  WorkloadSpec s = Base(records, Distribution::kUniform);
+  s.scan = 1.0;
+  s.min_scan_len = scan_len;
+  s.max_scan_len = scan_len;
+  return s;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec,
+                                     InsertSequence* inserts, uint64_t seed)
+    : spec_(spec), inserts_(inserts), rng_(seed) {
+  const uint64_t n = spec_.record_count > 0 ? spec_.record_count : 1;
+  switch (spec_.dist) {
+    case Distribution::kZipfian:
+      zipf_ = std::make_unique<ScrambledZipfianGenerator>(n);
+      break;
+    case Distribution::kLatest:
+      latest_ = std::make_unique<LatestGenerator>(n);
+      break;
+    case Distribution::kUniform:
+      break;
+  }
+}
+
+uint64_t WorkloadGenerator::ChooseRecord() {
+  // Request spread covers preloaded records plus completed inserts.
+  const uint64_t limit =
+      inserts_ != nullptr ? inserts_->current_max() : spec_.record_count;
+  const uint64_t n = limit > 0 ? limit : 1;
+  switch (spec_.dist) {
+    case Distribution::kUniform:
+      return rng_.Uniform(n);
+    case Distribution::kZipfian:
+      return zipf_->Next(rng_) % n;
+    case Distribution::kLatest:
+      return latest_->Next(rng_, n > 0 ? n - 1 : 0);
+  }
+  return 0;
+}
+
+Op WorkloadGenerator::Next() {
+  Op op;
+  const double p = rng_.NextDouble();
+  double acc = spec_.read;
+  if (p < acc) {
+    op.type = OpType::kRead;
+  } else if (p < (acc += spec_.update)) {
+    op.type = OpType::kUpdate;
+  } else if (p < (acc += spec_.insert)) {
+    op.type = OpType::kInsert;
+  } else if (p < (acc += spec_.scan)) {
+    op.type = OpType::kScan;
+  } else {
+    op.type = OpType::kReadModifyWrite;
+  }
+
+  if (op.type == OpType::kInsert) {
+    op.record = inserts_ != nullptr ? inserts_->Next() : 0;
+  } else {
+    op.record = ChooseRecord();
+  }
+  if (op.type == OpType::kScan) {
+    op.scan_len = static_cast<uint32_t>(
+        rng_.UniformRange(spec_.min_scan_len, spec_.max_scan_len));
+  }
+  return op;
+}
+
+Status ExecuteOp(KVInterface* target, const Op& op, Rng* rng) {
+  const std::string key = EncodeUserKey(op.record);
+  switch (op.type) {
+    case OpType::kRead: {
+      std::string value;
+      Status st = target->Read(key, &value);
+      return st.IsNotFound() ? Status::OK() : st;
+    }
+    case OpType::kUpdate:
+      return target->Update(key, EncodeValue(rng->Next()));
+    case OpType::kInsert:
+      return target->Insert(key, EncodeValue(op.record));
+    case OpType::kScan: {
+      std::vector<std::pair<std::string, std::string>> out;
+      return target->Scan(key, op.scan_len, &out);
+    }
+    case OpType::kReadModifyWrite: {
+      std::string value;
+      Status st = target->Read(key, &value);
+      if (!st.ok() && !st.IsNotFound()) return st;
+      return target->Update(key, EncodeValue(rng->Next()));
+    }
+  }
+  return Status::InvalidArgument("unknown op");
+}
+
+}  // namespace minuet::ycsb

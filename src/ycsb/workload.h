@@ -1,0 +1,123 @@
+// YCSB-style workload generation (Cooper et al., SoCC 2010), rebuilt from
+// the published workload definitions: operation mixes over a keyspace of
+// numbered records with uniform / zipfian / latest request distributions,
+// the standard core workloads A–F, plus the load phase and the scan-heavy
+// configurations the paper's evaluation uses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/key_codec.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace minuet::ycsb {
+
+enum class OpType : uint8_t {
+  kRead,
+  kUpdate,
+  kInsert,
+  kScan,
+  kReadModifyWrite,
+};
+
+inline const char* OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kRead: return "READ";
+    case OpType::kUpdate: return "UPDATE";
+    case OpType::kInsert: return "INSERT";
+    case OpType::kScan: return "SCAN";
+    case OpType::kReadModifyWrite: return "RMW";
+  }
+  return "?";
+}
+
+enum class Distribution : uint8_t { kUniform, kZipfian, kLatest };
+
+struct WorkloadSpec {
+  // Operation mix; must sum to 1.
+  double read = 0, update = 0, insert = 0, scan = 0, rmw = 0;
+  Distribution dist = Distribution::kUniform;
+  // Records preloaded before the run; inserts append beyond this.
+  uint64_t record_count = 100000;
+  uint32_t min_scan_len = 1, max_scan_len = 100;
+
+  // The YCSB core workloads.
+  static WorkloadSpec LoadPhase(uint64_t records);
+  static WorkloadSpec A(uint64_t records);  // 50/50 read/update, zipfian
+  static WorkloadSpec B(uint64_t records);  // 95/5 read/update, zipfian
+  static WorkloadSpec C(uint64_t records);  // 100% read, zipfian
+  static WorkloadSpec D(uint64_t records);  // 95/5 read/insert, latest
+  static WorkloadSpec E(uint64_t records);  // 95/5 scan/insert, zipfian
+  static WorkloadSpec F(uint64_t records);  // 50/50 read/RMW, zipfian
+  // The paper's microbenchmark mixes.
+  static WorkloadSpec ReadOnly(uint64_t records, Distribution d);
+  static WorkloadSpec UpdateOnly(uint64_t records, Distribution d);
+  static WorkloadSpec InsertOnly(uint64_t records);
+  static WorkloadSpec ScanOnly(uint64_t records, uint32_t scan_len);
+};
+
+struct Op {
+  OpType type = OpType::kRead;
+  uint64_t record = 0;    // record id (encode with EncodeUserKey)
+  uint32_t scan_len = 0;  // for kScan
+};
+
+// Shared across all generator instances of one run so concurrent inserters
+// never collide on a record id.
+class InsertSequence {
+ public:
+  explicit InsertSequence(uint64_t start) : next_(start) {}
+  uint64_t Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t current_max() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> next_;
+};
+
+// Per-client deterministic operation stream.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadSpec spec, InsertSequence* inserts,
+                    uint64_t seed);
+
+  Op Next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  uint64_t ChooseRecord();
+
+  WorkloadSpec spec_;
+  InsertSequence* inserts_;
+  Rng rng_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+  std::unique_ptr<LatestGenerator> latest_;
+};
+
+// The target interface both Minuet and the CDB baseline implement, so the
+// benchmark driver is system-agnostic.
+class KVInterface {
+ public:
+  virtual ~KVInterface() = default;
+  virtual Status Read(const std::string& key, std::string* value) = 0;
+  virtual Status Update(const std::string& key, const std::string& value) = 0;
+  virtual Status Insert(const std::string& key, const std::string& value) = 0;
+  virtual Status Scan(
+      const std::string& start_key, uint32_t count,
+      std::vector<std::pair<std::string, std::string>>* out) = 0;
+};
+
+// Execute one generated op against a target. Returns the op's status
+// (NotFound reads count as successful operations, as in YCSB).
+Status ExecuteOp(KVInterface* target, const Op& op, Rng* rng);
+
+}  // namespace minuet::ycsb

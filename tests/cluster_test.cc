@@ -1,0 +1,276 @@
+// End-to-end tests of the public facade: cluster assembly, linear and
+// branching trees, snapshot policy wiring, multi-tree transactions, GC,
+// fault injection, and the YCSB adapter.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/key_codec.h"
+#include "common/random.h"
+#include "minuet/cluster.h"
+
+namespace minuet {
+namespace {
+
+ClusterOptions SmallOptions() {
+  ClusterOptions opts;
+  opts.machines = 4;
+  opts.node_size = 1024;
+  return opts;
+}
+
+TEST(ClusterTest, QuickstartFlow) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  ASSERT_TRUE(p.Put(*tree, "hello", "world").ok());
+  std::string value;
+  ASSERT_TRUE(p.Get(*tree, "hello", &value).ok());
+  EXPECT_EQ(value, "world");
+  ASSERT_TRUE(p.Remove(*tree, "hello").ok());
+  EXPECT_TRUE(p.Get(*tree, "hello", &value).IsNotFound());
+}
+
+TEST(ClusterTest, AllProxiesShareTheTree) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  for (uint32_t i = 0; i < cluster.n_proxies(); i++) {
+    ASSERT_TRUE(cluster.proxy(i)
+                    .Put(*tree, EncodeUserKey(i), EncodeValue(i))
+                    .ok());
+  }
+  std::string value;
+  for (uint32_t i = 0; i < cluster.n_proxies(); i++) {
+    const uint32_t reader = (i + 1) % cluster.n_proxies();
+    ASSERT_TRUE(
+        cluster.proxy(reader).Get(*tree, EncodeUserKey(i), &value).ok());
+    EXPECT_EQ(DecodeValue(value), i);
+  }
+}
+
+TEST(ClusterTest, SnapshotServiceAndScans) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  auto snap = p.CreateSnapshot(*tree);
+  ASSERT_TRUE(snap.ok());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(1000 + i)).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(
+      p.ScanAtSnapshot(*tree, *snap, EncodeUserKey(0), 200, &rows).ok());
+  ASSERT_EQ(rows.size(), 100u);
+  EXPECT_EQ(DecodeValue(rows[42].second), 42u);
+
+  ASSERT_TRUE(p.Scan(*tree, EncodeUserKey(0), 200, &rows).ok());
+  ASSERT_EQ(rows.size(), 100u);
+  EXPECT_EQ(DecodeValue(rows[42].second), 1042u);
+}
+
+TEST(ClusterTest, StaleSnapshotPolicyHonoursInjectedClock) {
+  ClusterOptions opts = SmallOptions();
+  opts.snapshot_min_interval_seconds = 30;
+  Cluster cluster(opts);
+  double now = 0;
+  cluster.set_snapshot_clock([&now] { return now; });
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  ASSERT_TRUE(p.Put(*tree, "k", "old").ok());
+
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(p.Scan(*tree, "a", 10, &rows).ok());  // creates snapshot
+  ASSERT_TRUE(p.Put(*tree, "k", "new").ok());
+  now = 10;  // within k: the scan reuses the stale snapshot
+  ASSERT_TRUE(p.Scan(*tree, "a", 10, &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].second, "old");
+  now = 40;  // past k: fresh snapshot
+  ASSERT_TRUE(p.Scan(*tree, "a", 10, &rows).ok());
+  EXPECT_EQ(rows[0].second, "new");
+}
+
+TEST(ClusterTest, MultiTreeTransactionAcrossIndexes) {
+  Cluster cluster(SmallOptions());
+  auto t1 = cluster.CreateTree();
+  auto t2 = cluster.CreateTree();
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  Proxy& p = cluster.proxy(0);
+
+  Status st = p.Transaction([&](txn::DynamicTxn& txn) -> Status {
+    MINUET_RETURN_NOT_OK(p.tree(*t1)->PutInTxn(txn, "user", "alice"));
+    return p.tree(*t2)->PutInTxn(txn, "email", "alice@example.com");
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  std::string value;
+  ASSERT_TRUE(cluster.proxy(1).Get(*t1, "user", &value).ok());
+  EXPECT_EQ(value, "alice");
+  ASSERT_TRUE(cluster.proxy(1).Get(*t2, "email", &value).ok());
+  EXPECT_EQ(value, "alice@example.com");
+}
+
+TEST(ClusterTest, BranchingTreeEndToEnd) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree(/*branching=*/true);
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(p.PutAtBranch(*tree, 0, EncodeUserKey(i),
+                              EncodeValue(i)).ok());
+  }
+  auto branch = p.CreateBranch(*tree, 0);
+  ASSERT_TRUE(branch.ok());
+  ASSERT_TRUE(p.PutAtBranch(*tree, *branch, EncodeUserKey(0),
+                            EncodeValue(777)).ok());
+
+  std::string value;
+  ASSERT_TRUE(
+      cluster.proxy(2).GetAtBranch(*tree, *branch, EncodeUserKey(0), &value)
+          .ok());
+  EXPECT_EQ(DecodeValue(value), 777u);
+
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(
+      p.ScanAtBranch(*tree, 0, EncodeUserKey(0), 100, &rows).ok());
+  ASSERT_EQ(rows.size(), 50u);
+  EXPECT_EQ(DecodeValue(rows[0].second), 0u);  // frozen parent unchanged
+
+  auto info = p.BranchInfo(*tree, 0);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->writable);
+}
+
+TEST(ClusterTest, BranchOpsOnLinearTreeRejected) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree(/*branching=*/false);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(cluster.proxy(0).CreateBranch(*tree, 0).status()
+                  .IsInvalidArgument());
+}
+
+TEST(ClusterTest, GarbageCollectionThroughFacade) {
+  ClusterOptions opts = SmallOptions();
+  opts.retain_snapshots = 1;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  for (int i = 0; i < 80; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  for (int epoch = 0; epoch < 5; epoch++) {
+    ASSERT_TRUE(p.CreateSnapshot(*tree).ok());
+    for (int i = 0; i < 80; i++) {
+      ASSERT_TRUE(
+          p.Put(*tree, EncodeUserKey(i), EncodeValue(epoch * 100 + i)).ok());
+    }
+  }
+  auto report = cluster.CollectGarbage(*tree);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->freed, 0u);
+  std::string value;
+  ASSERT_TRUE(p.Get(*tree, EncodeUserKey(40), &value).ok());
+  EXPECT_EQ(DecodeValue(value), 440u);
+}
+
+TEST(ClusterTest, MemnodeCrashAndRecovery) {
+  ClusterOptions opts = SmallOptions();
+  opts.replication = true;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  cluster.CrashMemnode(2);
+  // Some operations fail while the memnode is down.
+  int unavailable = 0;
+  std::string value;
+  for (int i = 0; i < 200; i++) {
+    if (p.Get(*tree, EncodeUserKey(i), &value).IsUnavailable()) unavailable++;
+  }
+  EXPECT_GT(unavailable, 0);
+
+  cluster.RecoverMemnode(2);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(p.Get(*tree, EncodeUserKey(i), &value).ok()) << i;
+    EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
+  }
+}
+
+TEST(ClusterTest, YcsbAdapterRunsWorkloadA) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  ProxyKV kv(&cluster.proxy(0), *tree);
+
+  constexpr uint64_t kRecords = 300;
+  for (uint64_t i = 0; i < kRecords; i++) {
+    ASSERT_TRUE(kv.Insert(EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  ycsb::InsertSequence seq(kRecords);
+  ycsb::WorkloadGenerator gen(ycsb::WorkloadSpec::A(kRecords), &seq, 17);
+  Rng rng(17);
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(ycsb::ExecuteOp(&kv, gen.Next(), &rng).ok());
+  }
+}
+
+TEST(ClusterTest, YcsbAdapterRunsScanWorkloadWithSnapshots) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  ProxyKV kv(&cluster.proxy(0), *tree, ProxyKV::ScanMode::kSnapshot);
+  constexpr uint64_t kRecords = 200;
+  for (uint64_t i = 0; i < kRecords; i++) {
+    ASSERT_TRUE(kv.Insert(EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  ycsb::InsertSequence seq(kRecords);
+  ycsb::WorkloadGenerator gen(ycsb::WorkloadSpec::E(kRecords), &seq, 23);
+  Rng rng(23);
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(ycsb::ExecuteOp(&kv, gen.Next(), &rng).ok());
+  }
+  EXPECT_GT(cluster.snapshot_service(*tree)->snapshots_created(), 0u);
+}
+
+TEST(ClusterTest, ConcurrentMixedWorkloadAcrossProxies) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(cluster.proxy(0)
+                    .Put(*tree, EncodeUserKey(i), EncodeValue(i))
+                    .ok());
+  }
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < cluster.n_proxies(); t++) {
+    threads.emplace_back([&, t] {
+      Proxy& p = cluster.proxy(t);
+      Rng rng(t);
+      for (int i = 0; i < 150; i++) {
+        const std::string key = EncodeUserKey(rng.Uniform(200));
+        if (rng.Chance(0.5)) {
+          std::string value;
+          Status st = p.Get(*tree, key, &value);
+          ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+        } else {
+          ASSERT_TRUE(p.Put(*tree, key, EncodeValue(rng.Next())).ok());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace minuet

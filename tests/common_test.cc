@@ -1,0 +1,291 @@
+// Unit tests for src/common: Status/Result, Slice, byte encoding, RNG and
+// key distributions, histogram percentiles, key codec.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/byteio.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/key_codec.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace minuet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Aborted("validation failed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(s.message(), "validation failed");
+  EXPECT_EQ(s.ToString(), "Aborted: validation failed");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(Status::Aborted().IsRetryable());
+  EXPECT_TRUE(Status::Busy().IsRetryable());
+  EXPECT_TRUE(Status::TimedOut().IsRetryable());
+  EXPECT_FALSE(Status::NotFound().IsRetryable());
+  EXPECT_FALSE(Status::Unavailable().IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::Corruption().IsRetryable());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(Status::CodeName(Status::Code::kNoSpace), "NoSpace");
+  EXPECT_STREQ(Status::CodeName(Status::Code::kReadOnly), "ReadOnly");
+  EXPECT_STREQ(Status::CodeName(Status::Code::kCorruption), "Corruption");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Slice
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // prefix sorts first
+}
+
+TEST(SliceTest, OperatorsAgreeWithCompare) {
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+  EXPECT_TRUE(Slice("a") <= Slice("a"));
+  EXPECT_TRUE(Slice("b") > Slice("a"));
+  EXPECT_TRUE(Slice("b") >= Slice("b"));
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompareByContent) {
+  std::string a("a\0b", 3), b("a\0c", 3);
+  EXPECT_TRUE(Slice(a) < Slice(b));
+  EXPECT_EQ(Slice(a).size(), 3u);
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("user123").starts_with("user"));
+  EXPECT_FALSE(Slice("use").starts_with("user"));
+}
+
+// ---------------------------------------------------------------------------
+// byteio
+
+TEST(ByteIoTest, RoundTrips) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf.size(), 14u);
+  EXPECT_EQ(DecodeFixed16(buf.data()), 0xBEEF);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 6), 0x0123456789ABCDEFULL);
+}
+
+TEST(ByteIoTest, LengthPrefixed) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello", 5);
+  EXPECT_EQ(DecodeFixed16(buf.data()), 5);
+  EXPECT_EQ(buf.substr(2), "hello");
+}
+
+// ---------------------------------------------------------------------------
+// Rng & distributions
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformWithinRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; i++) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  Rng rng(3);
+  ZipfianGenerator zipf(1000);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfianTest, HeadIsHot) {
+  // With theta=0.99 over 1000 items, item 0 should receive far more draws
+  // than a uniform share (0.1%).
+  Rng rng(4);
+  ZipfianGenerator zipf(1000);
+  int zero = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) {
+    if (zipf.Next(rng) == 0) zero++;
+  }
+  EXPECT_GT(zero, n / 100);  // >1% — the zipfian head
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  Rng rng(5);
+  ScrambledZipfianGenerator zipf(1000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; i++) counts[zipf.Next(rng)]++;
+  // Find the two hottest keys; they should NOT be adjacent ids.
+  uint64_t hot1 = 0, hot2 = 0;
+  int c1 = 0, c2 = 0;
+  for (auto& [k, c] : counts) {
+    if (c > c1) {
+      hot2 = hot1; c2 = c1;
+      hot1 = k; c1 = c;
+    } else if (c > c2) {
+      hot2 = k; c2 = c;
+    }
+  }
+  EXPECT_GT(c1, 0);
+  EXPECT_NE(hot1 + 1, hot2);
+}
+
+TEST(LatestTest, FavoursRecentAndStaysInRange) {
+  Rng rng(6);
+  LatestGenerator latest(1000);
+  const uint64_t max = 500;
+  int recent = 0;
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = latest.Next(rng, max);
+    EXPECT_LE(v, max);
+    if (v + 10 >= max) recent++;
+  }
+  EXPECT_GT(recent, 1000);  // >10% in the 10 most recent items
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, MeanMinMax) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(HistogramTest, PercentileApproximation) {
+  Histogram h;
+  for (int i = 1; i <= 1000; i++) h.Add(i);
+  // Geometric buckets: allow 25% relative error.
+  EXPECT_NEAR(h.Percentile(50), 500, 130);
+  EXPECT_NEAR(h.Percentile(95), 950, 240);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(1);
+  b.Add(99);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 1);
+  EXPECT_DOUBLE_EQ(a.max(), 99);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// key codec
+
+TEST(KeyCodecTest, FourteenByteKeys) {
+  EXPECT_EQ(EncodeUserKey(0).size(), 14u);
+  EXPECT_EQ(EncodeUserKey(0), "user0000000000");
+  EXPECT_EQ(EncodeUserKey(123), "user0000000123");
+}
+
+TEST(KeyCodecTest, OrderPreserving) {
+  for (uint64_t i : {0ULL, 1ULL, 9ULL, 10ULL, 999ULL, 1000000ULL}) {
+    EXPECT_LT(EncodeUserKey(i), EncodeUserKey(i + 1));
+  }
+}
+
+TEST(KeyCodecTest, RoundTrip) {
+  for (uint64_t i : {0ULL, 42ULL, 9999999999ULL}) {
+    EXPECT_EQ(DecodeUserKey(EncodeUserKey(i)), i);
+  }
+}
+
+TEST(KeyCodecTest, ValueRoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 0xDEADBEEFCAFEULL}) {
+    EXPECT_EQ(DecodeValue(EncodeValue(v)), v);
+    EXPECT_EQ(EncodeValue(v).size(), 8u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hash
+
+TEST(HashTest, MixAvalanche) {
+  // Flipping one input bit should change many output bits.
+  std::set<uint64_t> outputs;
+  for (int bit = 0; bit < 64; bit++) {
+    outputs.insert(MixHash64(1ULL << bit));
+  }
+  EXPECT_EQ(outputs.size(), 64u);
+}
+
+TEST(HashTest, BytesHashDiffers) {
+  EXPECT_NE(HashBytes("abc", 3), HashBytes("abd", 3));
+  EXPECT_EQ(HashBytes("abc", 3), HashBytes("abc", 3));
+}
+
+}  // namespace
+}  // namespace minuet

@@ -1,0 +1,173 @@
+// Tests for a single memnode: byte space semantics, one-phase execution,
+// prepare/commit/abort, backup images, crash & restore.
+#include <gtest/gtest.h>
+
+#include "sinfonia/memnode.h"
+
+namespace minuet::sinfonia {
+namespace {
+
+TEST(ByteSpaceTest, UnwrittenReadsAsZero) {
+  ByteSpace s;
+  std::string out;
+  s.Read(12345, 16, &out);
+  EXPECT_EQ(out, std::string(16, '\0'));
+}
+
+TEST(ByteSpaceTest, WriteThenRead) {
+  ByteSpace s;
+  s.Write(100, "hello", 5);
+  std::string out;
+  s.Read(100, 5, &out);
+  EXPECT_EQ(out, "hello");
+  EXPECT_EQ(s.Extent(), 105u);
+}
+
+TEST(ByteSpaceTest, CrossChunkWrite) {
+  ByteSpace s;
+  const uint64_t off = ByteSpace::kChunkBytes - 3;
+  s.Write(off, "abcdef", 6);
+  std::string out;
+  s.Read(off, 6, &out);
+  EXPECT_EQ(out, "abcdef");
+}
+
+class MemnodeTest : public ::testing::Test {
+ protected:
+  Memnode node_{0};
+};
+
+TEST_F(MemnodeTest, ExecuteLocalCommitsWritesWhenComparesMatch) {
+  MiniResult r;
+  // Empty compare set commits unconditionally.
+  ASSERT_TRUE(node_.ExecuteLocal(1, {}, {}, {{Addr{0, 64}, "data"}},
+                                 false, &r).ok());
+  EXPECT_TRUE(r.committed);
+
+  // Compare against what we wrote: should match and apply the new write.
+  MiniResult r2;
+  ASSERT_TRUE(node_.ExecuteLocal(2, {{Addr{0, 64}, "data"}}, {},
+                                 {{Addr{0, 128}, "more"}}, false, &r2).ok());
+  EXPECT_TRUE(r2.committed);
+
+  std::string out;
+  node_.RawRead(128, 4, &out);
+  EXPECT_EQ(out, "more");
+}
+
+TEST_F(MemnodeTest, ExecuteLocalFailedCompareAppliesNothing) {
+  MiniResult r;
+  ASSERT_TRUE(node_.ExecuteLocal(1, {{Addr{0, 64}, "expected"}}, {},
+                                 {{Addr{0, 128}, "neverwritten"}},
+                                 false, &r).ok());
+  EXPECT_FALSE(r.committed);
+  ASSERT_EQ(r.failed_compares.size(), 1u);
+  EXPECT_EQ(r.failed_compares[0], 0u);
+
+  std::string out;
+  node_.RawRead(128, 12, &out);
+  EXPECT_EQ(out, std::string(12, '\0'));
+}
+
+TEST_F(MemnodeTest, ExecuteLocalReturnsReads) {
+  node_.RawWrite(64, "abcd");
+  MiniResult r;
+  ASSERT_TRUE(node_.ExecuteLocal(1, {}, {{Addr{0, 64}, 4}, {Addr{0, 66}, 2}},
+                                 {}, false, &r).ok());
+  ASSERT_TRUE(r.committed);
+  ASSERT_EQ(r.read_results.size(), 2u);
+  EXPECT_EQ(r.read_results[0], "abcd");
+  EXPECT_EQ(r.read_results[1], "cd");
+}
+
+TEST_F(MemnodeTest, ExecuteLocalReadsAndWritesAtomicTogether) {
+  node_.RawWrite(64, "v1");
+  MiniResult r;
+  ASSERT_TRUE(node_.ExecuteLocal(1, {{Addr{0, 64}, "v1"}}, {{Addr{0, 64}, 2}},
+                                 {{Addr{0, 64}, "v2"}}, false, &r).ok());
+  ASSERT_TRUE(r.committed);
+  EXPECT_EQ(r.read_results[0], "v1");  // reads see pre-write state
+  std::string out;
+  node_.RawRead(64, 2, &out);
+  EXPECT_EQ(out, "v2");
+}
+
+TEST_F(MemnodeTest, PrepareHoldsLocksUntilCommit) {
+  bool vote = false;
+  std::vector<std::string> reads;
+  std::vector<uint32_t> failed;
+  ASSERT_TRUE(node_.Prepare(1, {}, {}, {{Addr{0, 64}, "x"}}, false, &vote,
+                            &reads, &failed).ok());
+  EXPECT_TRUE(vote);
+
+  // Another transaction on the same range must see Busy.
+  MiniResult r;
+  EXPECT_TRUE(node_.ExecuteLocal(2, {}, {}, {{Addr{0, 64}, "y"}},
+                                 false, &r).IsBusy());
+
+  node_.Commit(1, {{Addr{0, 64}, "x"}});
+  std::string out;
+  node_.RawRead(64, 1, &out);
+  EXPECT_EQ(out, "x");
+
+  // Locks released after commit.
+  ASSERT_TRUE(node_.ExecuteLocal(3, {}, {}, {{Addr{0, 64}, "y"}},
+                                 false, &r).ok());
+  EXPECT_TRUE(r.committed);
+}
+
+TEST_F(MemnodeTest, PrepareNoVoteReleasesLocksImmediately) {
+  bool vote = true;
+  std::vector<std::string> reads;
+  std::vector<uint32_t> failed;
+  ASSERT_TRUE(node_.Prepare(1, {{Addr{0, 64}, "nope"}}, {},
+                            {{Addr{0, 64}, "x"}}, false, &vote, &reads,
+                            &failed).ok());
+  EXPECT_FALSE(vote);
+  ASSERT_EQ(failed.size(), 1u);
+
+  MiniResult r;
+  EXPECT_TRUE(node_.ExecuteLocal(2, {}, {}, {{Addr{0, 64}, "y"}},
+                                 false, &r).ok());
+}
+
+TEST_F(MemnodeTest, AbortReleasesLocks) {
+  bool vote = false;
+  std::vector<std::string> reads;
+  std::vector<uint32_t> failed;
+  ASSERT_TRUE(node_.Prepare(1, {}, {}, {{Addr{0, 64}, "x"}}, false, &vote,
+                            &reads, &failed).ok());
+  node_.Abort(1);
+  MiniResult r;
+  EXPECT_TRUE(node_.ExecuteLocal(2, {}, {}, {{Addr{0, 64}, "y"}},
+                                 false, &r).ok());
+  std::string out;
+  node_.RawRead(64, 1, &out);
+  EXPECT_EQ(out, "y");  // the aborted write never applied
+}
+
+TEST(MemnodeBackupTest, BackupImageAndRestore) {
+  Memnode primary(0), backup(1);
+  primary.RawWrite(64, "payload");
+  backup.ApplyBackupWrites(0, {{Addr{0, 64}, "payload"}});
+
+  primary.LoseState();
+  std::string out;
+  primary.RawRead(64, 7, &out);
+  EXPECT_EQ(out, std::string(7, '\0'));
+
+  primary.RestoreFrom(backup);
+  primary.RawRead(64, 7, &out);
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(MemnodeBackupTest, RestoreWithoutImageIsNoop) {
+  Memnode primary(0), backup(1);
+  primary.RestoreFrom(backup);  // no image registered: must not crash
+  std::string out;
+  primary.RawRead(0, 4, &out);
+  EXPECT_EQ(out, std::string(4, '\0'));
+}
+
+}  // namespace
+}  // namespace minuet::sinfonia

@@ -1,0 +1,219 @@
+// Tests for the B-tree node format: encode/decode round trips, search,
+// mutation, splits, fences, descendant sets, corruption detection.
+#include <gtest/gtest.h>
+
+#include "btree/node.h"
+
+namespace minuet::btree {
+namespace {
+
+Node MakeLeaf(std::initializer_list<std::pair<const char*, const char*>> kv,
+              std::string low = "", std::string high = "") {
+  Node n;
+  n.height = 0;
+  n.low_fence = std::move(low);
+  n.high_fence = std::move(high);
+  for (auto& [k, v] : kv) n.Upsert(k, v, sinfonia::kNullAddr);
+  return n;
+}
+
+TEST(NodeTest, LeafEncodeDecodeRoundTrip) {
+  Node n = MakeLeaf({{"apple", "1"}, {"banana", "2"}, {"cherry", "3"}},
+                    "a", "d");
+  n.created_sid = 42;
+  n.descendants.push_back({50, Addr{3, 12345}, false});
+
+  auto decoded = Node::Decode(n.Encode());
+  ASSERT_TRUE(decoded.ok());
+  const Node& d = *decoded;
+  EXPECT_EQ(d.height, 0);
+  EXPECT_EQ(d.created_sid, 42u);
+  EXPECT_EQ(d.low_fence, "a");
+  EXPECT_EQ(d.high_fence, "d");
+  ASSERT_EQ(d.entries.size(), 3u);
+  EXPECT_EQ(d.entries[1].key, "banana");
+  EXPECT_EQ(d.entries[1].value, "2");
+  ASSERT_EQ(d.descendants.size(), 1u);
+  EXPECT_EQ(d.descendants[0].sid, 50u);
+  EXPECT_EQ(d.descendants[0].copy_addr, (Addr{3, 12345}));
+  EXPECT_FALSE(d.descendants[0].discretionary);
+}
+
+TEST(NodeTest, InternalEncodeDecodeRoundTrip) {
+  Node n;
+  n.height = 2;
+  n.created_sid = 7;
+  n.entries.push_back({"", "", Addr{0, 4096}});
+  n.entries.push_back({"m", "", Addr{1, 8192}});
+  auto decoded = Node::Decode(n.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->height, 2);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0].child, (Addr{0, 4096}));
+  EXPECT_EQ(decoded->entries[1].key, "m");
+  EXPECT_EQ(decoded->entries[1].child, (Addr{1, 8192}));
+}
+
+TEST(NodeTest, DiscretionaryFlagSurvivesRoundTrip) {
+  Node n = MakeLeaf({});
+  n.descendants.push_back({9, Addr{1, 1}, true});
+  n.descendants.push_back({12, Addr{2, 2}, false});
+  auto d = Node::Decode(n.Encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->descendants[0].discretionary);
+  EXPECT_FALSE(d->descendants[1].discretionary);
+}
+
+TEST(NodeTest, DecodeRejectsGarbage) {
+  EXPECT_TRUE(Node::Decode("").status().IsCorruption());
+  EXPECT_TRUE(Node::Decode("short").status().IsCorruption());
+  std::string zeros(4096, '\0');
+  EXPECT_TRUE(Node::Decode(zeros).status().IsCorruption());
+}
+
+TEST(NodeTest, DecodeRejectsTruncatedEntries) {
+  Node n = MakeLeaf({{"key1", "value1"}, {"key2", "value2"}});
+  std::string enc = n.Encode();
+  // Chop the tail: must fail cleanly, not crash.
+  for (size_t cut = 1; cut < 12; cut++) {
+    auto d = Node::Decode(enc.substr(0, enc.size() - cut));
+    EXPECT_TRUE(d.status().IsCorruption()) << "cut=" << cut;
+  }
+}
+
+TEST(NodeTest, InFenceRange) {
+  Node n = MakeLeaf({}, "b", "m");
+  EXPECT_TRUE(n.InFenceRange("b"));       // low fence inclusive
+  EXPECT_TRUE(n.InFenceRange("czz"));
+  EXPECT_FALSE(n.InFenceRange("m"));      // high fence exclusive
+  EXPECT_FALSE(n.InFenceRange("a"));
+  EXPECT_FALSE(n.InFenceRange("z"));
+}
+
+TEST(NodeTest, InfiniteFences) {
+  Node n = MakeLeaf({});  // low = high = "" → (-inf, +inf)
+  EXPECT_TRUE(n.InFenceRange("a"));
+  EXPECT_TRUE(n.InFenceRange(std::string(200, 'z')));
+}
+
+TEST(NodeTest, LowerBoundAndFindKey) {
+  Node n = MakeLeaf({{"b", "1"}, {"d", "2"}, {"f", "3"}});
+  EXPECT_EQ(n.LowerBound("a"), 0u);
+  EXPECT_EQ(n.LowerBound("b"), 0u);
+  EXPECT_EQ(n.LowerBound("c"), 1u);
+  EXPECT_EQ(n.LowerBound("f"), 2u);
+  EXPECT_EQ(n.LowerBound("g"), 3u);
+  EXPECT_EQ(n.FindKey("d"), 1u);
+  EXPECT_EQ(n.FindKey("e"), 3u);  // absent → entries.size()
+}
+
+TEST(NodeTest, ChildIndexFor) {
+  Node n;
+  n.height = 1;
+  n.entries.push_back({"", "", Addr{0, 1}});
+  n.entries.push_back({"h", "", Addr{0, 2}});
+  n.entries.push_back({"p", "", Addr{0, 3}});
+  EXPECT_EQ(n.ChildIndexFor("a"), 0u);
+  EXPECT_EQ(n.ChildIndexFor("h"), 1u);  // separator belongs to right child
+  EXPECT_EQ(n.ChildIndexFor("hzz"), 1u);
+  EXPECT_EQ(n.ChildIndexFor("p"), 2u);
+  EXPECT_EQ(n.ChildIndexFor("zzz"), 2u);
+}
+
+TEST(NodeTest, UpsertKeepsOrderAndOverwrites) {
+  Node n = MakeLeaf({});
+  n.Upsert("m", "1", sinfonia::kNullAddr);
+  n.Upsert("a", "2", sinfonia::kNullAddr);
+  n.Upsert("z", "3", sinfonia::kNullAddr);
+  n.Upsert("m", "updated", sinfonia::kNullAddr);
+  ASSERT_EQ(n.entries.size(), 3u);
+  EXPECT_EQ(n.entries[0].key, "a");
+  EXPECT_EQ(n.entries[1].key, "m");
+  EXPECT_EQ(n.entries[1].value, "updated");
+  EXPECT_EQ(n.entries[2].key, "z");
+}
+
+TEST(NodeTest, Erase) {
+  Node n = MakeLeaf({{"a", "1"}, {"b", "2"}});
+  EXPECT_TRUE(n.Erase("a"));
+  EXPECT_FALSE(n.Erase("a"));
+  ASSERT_EQ(n.entries.size(), 1u);
+  EXPECT_EQ(n.entries[0].key, "b");
+}
+
+TEST(NodeTest, SplitMovesUpperHalfAndAdjustsFences) {
+  Node n = MakeLeaf({{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"},
+                     {"e", "5"}, {"f", "6"}},
+                    "", "zz");
+  n.created_sid = 5;
+  Node right;
+  const std::string sep = n.SplitInto(&right);
+  EXPECT_EQ(sep, "d");
+  EXPECT_EQ(n.high_fence, "d");
+  EXPECT_EQ(right.low_fence, "d");
+  EXPECT_EQ(right.high_fence, "zz");
+  EXPECT_EQ(right.created_sid, 5u);
+  ASSERT_EQ(n.entries.size(), 3u);
+  ASSERT_EQ(right.entries.size(), 3u);
+  EXPECT_EQ(n.entries.back().key, "c");
+  EXPECT_EQ(right.entries.front().key, "d");
+  EXPECT_TRUE(right.descendants.empty());
+}
+
+TEST(NodeTest, SplitInternalNode) {
+  Node n;
+  n.height = 1;
+  for (int i = 0; i < 6; i++) {
+    n.entries.push_back({std::string(1, static_cast<char>('a' + i)), "",
+                         Addr{0, static_cast<uint64_t>(i + 1)}});
+  }
+  n.low_fence = "a";
+  Node right;
+  const std::string sep = n.SplitInto(&right);
+  EXPECT_EQ(sep, "d");
+  EXPECT_EQ(right.height, 1);
+  EXPECT_EQ(right.entries.front().key, "d");
+  EXPECT_EQ(right.entries.front().child, (Addr{0, 4}));
+}
+
+TEST(NodeTest, EncodedSizeMatchesEncode) {
+  Node n = MakeLeaf({{"somekey", "somevalue"}, {"another", "value2"}},
+                    "aaa", "zzz");
+  n.descendants.push_back({3, Addr{1, 2}, true});
+  EXPECT_EQ(n.EncodedSize(), n.Encode().size());
+
+  Node internal;
+  internal.height = 3;
+  internal.entries.push_back({"sep", "", Addr{0, 99}});
+  EXPECT_EQ(internal.EncodedSize(), internal.Encode().size());
+}
+
+TEST(NodeTest, MaxEntryBytesLeavesRoomForSplits) {
+  const size_t cap = 4088;  // 4 KB slab minus the seqnum header
+  const size_t max_entry = MaxEntryBytes(cap);
+  EXPECT_GT(max_entry, 0u);
+  // Four max-size entries plus overhead must fit (so a full node can split
+  // into halves of two entries each).
+  Node n = MakeLeaf({}, std::string(255, 'x'), std::string(255, 'y'));
+  for (int i = 0; i < 4; i++) {
+    n.Upsert(std::string(max_entry / 2, static_cast<char>('a' + i)),
+             std::string(max_entry - max_entry / 2, 'v'),
+             sinfonia::kNullAddr);
+  }
+  EXPECT_LE(n.EncodedSize(), cap);
+}
+
+TEST(NodeTest, EmbeddedNulKeysRoundTrip) {
+  std::string k1("a\0b", 3), k2("a\0c", 3);
+  Node n = MakeLeaf({});
+  n.Upsert(k1, "v1", sinfonia::kNullAddr);
+  n.Upsert(k2, "v2", sinfonia::kNullAddr);
+  auto d = Node::Decode(n.Encode());
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->entries.size(), 2u);
+  EXPECT_EQ(d->entries[0].key, k1);
+  EXPECT_EQ(d->FindKey(k2), 1u);
+}
+
+}  // namespace
+}  // namespace minuet::btree

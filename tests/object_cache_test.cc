@@ -1,0 +1,106 @@
+// Tests for the incoherent proxy-side object cache.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "txn/object_cache.h"
+
+namespace minuet::txn {
+namespace {
+
+using sinfonia::Addr;
+
+TEST(ObjectCacheTest, MissThenHit) {
+  ObjectCache cache(4);
+  ObjectCache::Entry e;
+  EXPECT_FALSE(cache.Lookup(Addr{0, 100}, &e));
+  cache.Insert(Addr{0, 100}, 7, "data");
+  ASSERT_TRUE(cache.Lookup(Addr{0, 100}, &e));
+  EXPECT_EQ(e.seqnum, 7u);
+  EXPECT_EQ(e.payload, "data");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ObjectCacheTest, NewerVersionReplacesOlder) {
+  ObjectCache cache(4);
+  cache.Insert(Addr{0, 100}, 1, "old");
+  cache.Insert(Addr{0, 100}, 2, "new");
+  ObjectCache::Entry e;
+  ASSERT_TRUE(cache.Lookup(Addr{0, 100}, &e));
+  EXPECT_EQ(e.payload, "new");
+}
+
+TEST(ObjectCacheTest, OlderVersionNeverReplacesNewer) {
+  ObjectCache cache(4);
+  cache.Insert(Addr{0, 100}, 5, "newer");
+  cache.Insert(Addr{0, 100}, 3, "stale-race");
+  ObjectCache::Entry e;
+  ASSERT_TRUE(cache.Lookup(Addr{0, 100}, &e));
+  EXPECT_EQ(e.seqnum, 5u);
+  EXPECT_EQ(e.payload, "newer");
+}
+
+TEST(ObjectCacheTest, InvalidateRemoves) {
+  ObjectCache cache(4);
+  cache.Insert(Addr{0, 100}, 1, "x");
+  cache.Invalidate(Addr{0, 100});
+  ObjectCache::Entry e;
+  EXPECT_FALSE(cache.Lookup(Addr{0, 100}, &e));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ObjectCacheTest, InvalidateMissingIsNoop) {
+  ObjectCache cache(4);
+  cache.Invalidate(Addr{9, 900});
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ObjectCacheTest, CapacityIsEnforced) {
+  ObjectCache cache(8);
+  for (uint64_t i = 0; i < 64; i++) {
+    cache.Insert(Addr{0, i * 64}, 1, "v");
+  }
+  EXPECT_LE(cache.size(), 8u);
+}
+
+TEST(ObjectCacheTest, ClockKeepsHotEntries) {
+  ObjectCache cache(4);
+  for (uint64_t i = 0; i < 4; i++) cache.Insert(Addr{0, i}, 1, "v");
+  // Touch entry 0 repeatedly so its reference bit survives sweeps.
+  ObjectCache::Entry e;
+  for (int round = 0; round < 16; round++) {
+    ASSERT_TRUE(cache.Lookup(Addr{0, 0}, &e));
+    cache.Insert(Addr{1, 1000 + round}, 1, "cold");
+  }
+  EXPECT_TRUE(cache.Lookup(Addr{0, 0}, &e));
+}
+
+TEST(ObjectCacheTest, ClearEmpties) {
+  ObjectCache cache(4);
+  cache.Insert(Addr{0, 1}, 1, "v");
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ObjectCacheTest, ConcurrentAccessIsSafe) {
+  ObjectCache cache(128);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; t++) {
+    ts.emplace_back([&, t] {
+      ObjectCache::Entry e;
+      for (uint64_t i = 0; i < 2000; i++) {
+        const Addr a{static_cast<uint32_t>(t), i % 64};
+        cache.Insert(a, i, "payload");
+        cache.Lookup(a, &e);
+        if (i % 7 == 0) cache.Invalidate(a);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_LE(cache.size(), 128u);
+}
+
+}  // namespace
+}  // namespace minuet::txn
