@@ -24,9 +24,10 @@ int main() {
     auto tree = cluster.CreateTree(/*branching=*/true);
     if (!tree.ok()) std::abort();
     Proxy& proxy = cluster.proxy(0);
+    auto base = proxy.Branch(*tree, 0);
+    if (!base.ok()) std::abort();
     for (uint64_t i = 0; i < kPreload; i++) {
-      if (!proxy.PutAtBranch(*tree, 0, EncodeUserKey(i), EncodeValue(i))
-               .ok()) {
+      if (!base->Put(EncodeUserKey(i), EncodeValue(i)).ok()) {
         std::abort();
       }
     }
@@ -62,12 +63,20 @@ int main() {
       tips.push_back(*side);
       mainline = *next;
       for (uint64_t tip : tips) {
+        // Resolve the branch view once, outside the traced region, so the
+        // per-put message counts match the previous direct-call shape.
+        auto tip_view = proxy.Branch(*tree, tip);
+        if (!tip_view.ok()) {
+          std::fprintf(stderr, "branch view %llu: %s\n",
+                       (unsigned long long)tip,
+                       tip_view.status().ToString().c_str());
+          std::abort();
+        }
         for (int i = 0; i < 150; i++) {
           trace.Reset(opts.machines);
           net::Fabric::SetThreadTrace(&trace);
-          Status st = proxy.PutAtBranch(
-              *tree, tip, EncodeUserKey(rng.Uniform(kPreload)),
-              EncodeValue(rng.Next()));
+          Status st = tip_view->Put(EncodeUserKey(rng.Uniform(kPreload)),
+                                    EncodeValue(rng.Next()));
           net::Fabric::SetThreadTrace(nullptr);
           if (!st.ok()) {
             std::fprintf(stderr, "put at tip %llu gen %d: %s\n",

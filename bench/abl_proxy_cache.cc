@@ -25,7 +25,7 @@ int main() {
     btree::TreeOptions topts;
     auto uncached_tree = std::make_unique<btree::BTree>(
         cluster->coordinator(), cluster->allocator(), /*cache=*/nullptr,
-        &oracle, *tree, topts);
+        &oracle, tree->slot(), topts);
 
     RunOptions ropts;
     ropts.n_nodes = kMachines;

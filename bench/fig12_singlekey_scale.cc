@@ -45,8 +45,9 @@ Row RunMinuet(uint32_t machines) {
           return proxy.Put(*tree, EncodeUserKey(rng.Uniform(kPreload)),
                            EncodeValue(rng.Next()));
         default: {
+          // Strict insert, the same operation CdbCluster::Insert measures.
           const uint64_t id = inserts.Next();
-          return proxy.Put(*tree, EncodeUserKey(id), EncodeValue(id));
+          return proxy.Insert(*tree, EncodeUserKey(id), EncodeValue(id));
         }
       }
     });

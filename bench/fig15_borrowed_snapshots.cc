@@ -68,8 +68,9 @@ int main() {
         std::vector<std::pair<std::string, std::string>> rows;
         const uint64_t start =
             rng.Uniform(kPreload > scan_len ? kPreload - scan_len : 1);
-        return proxy.ScanAtSnapshot(*tree, snap, EncodeUserKey(start),
-                                    scan_len, &rows);
+        auto view = proxy.ViewAt(*tree, snap);
+        if (!view.ok()) return view.status();
+        return view->Scan(EncodeUserKey(start), scan_len, &rows);
       }
       return proxy.Put(*tree, EncodeUserKey(rng.Uniform(kPreload)),
                        EncodeValue(rng.Next()));

@@ -37,8 +37,16 @@ int main() {
       Rng& rng = rngs[ctx.thread];
       Status st;
       if (ctx.thread < kScanThreads) {
-        std::vector<std::pair<std::string, std::string>> rows;
-        st = proxy.Scan(*tree, EncodeUserKey(0), kPreload, &rows);
+        // A policy-acquired snapshot view scan (materialized, like the
+        // paper's range queries): the k=30s interval keeps snapshot
+        // creation off the critical path.
+        auto view = proxy.RecentSnapshot(*tree);
+        if (!view.ok()) {
+          st = view.status();
+        } else {
+          std::vector<std::pair<std::string, std::string>> rows;
+          st = view->Scan(EncodeUserKey(0), kPreload, &rows);
+        }
       } else {
         st = proxy.Put(*tree, EncodeUserKey(rng.Uniform(kPreload)),
                        EncodeValue(rng.Next()));

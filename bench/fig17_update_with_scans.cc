@@ -49,8 +49,8 @@ int main() {
         Rng& rng = rngs[ctx.thread];
         Status st;
         if (ctx.thread == 0 && paper_k >= 0) {
-          // The scan client: acquire a snapshot under the k policy and
-          // scan 10% of the data set (the paper's 1M-of-100M ratio).
+          // The scan client: a k-policy snapshot view scan over 10% of
+          // the data set (the paper's 1M-of-100M ratio).
           std::vector<std::pair<std::string, std::string>> rows;
           st = proxy.Scan(*tree, EncodeUserKey(rng.Uniform(kPreload)),
                           kPreload / 10, &rows);

@@ -43,6 +43,7 @@ int main() {
         Rng& rng = rngs[ctx.thread];
         Status st;
         if (ctx.thread == 0) {
+          // k-policy snapshot view scan (Proxy::Scan sugar).
           std::vector<std::pair<std::string, std::string>> rows;
           st = proxy.Scan(*tree, EncodeUserKey(0), kPreload / 10, &rows);
         } else {

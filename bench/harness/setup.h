@@ -28,14 +28,14 @@ inline std::unique_ptr<Cluster> MakeCluster(uint32_t machines,
 }
 
 // Insert records [0, n) from several threads, spreading across proxies.
-inline void Preload(Cluster& cluster, uint32_t tree, uint64_t n,
+inline void Preload(Cluster& cluster, const TreeHandle& tree, uint64_t n,
                     uint32_t threads = 1) {
   std::vector<std::thread> workers;
   for (uint32_t t = 0; t < threads; t++) {
     workers.emplace_back([&, t] {
-      Proxy& proxy = cluster.proxy(t % cluster.n_proxies());
+      TipView tip = cluster.proxy(t % cluster.n_proxies()).Tip(tree);
       for (uint64_t i = t; i < n; i += threads) {
-        Status st = proxy.Put(tree, EncodeUserKey(i), EncodeValue(i));
+        Status st = tip.Put(EncodeUserKey(i), EncodeValue(i));
         if (!st.ok()) {
           std::fprintf(stderr, "preload failed: %s\n", st.ToString().c_str());
           std::abort();

@@ -16,11 +16,11 @@ int main() {
   Cluster cluster(options);
   auto tree = cluster.CreateTree();
   if (!tree.ok()) return 1;
-  Proxy& proxy = cluster.proxy(0);
+  TipView tip = cluster.proxy(0).Tip(*tree);
 
   constexpr uint64_t kKeys = 2000;
   for (uint64_t i = 0; i < kKeys; i++) {
-    if (!proxy.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok()) return 1;
+    if (!tip.Put(EncodeUserKey(i), EncodeValue(i)).ok()) return 1;
   }
   std::printf("loaded %llu keys across 4 memnodes\n",
               static_cast<unsigned long long>(kKeys));
@@ -32,7 +32,7 @@ int main() {
   uint64_t unavailable = 0, served = 0;
   std::string value;
   for (uint64_t i = 0; i < kKeys; i += 10) {
-    Status st = proxy.Get(*tree, EncodeUserKey(i), &value);
+    Status st = tip.Get(EncodeUserKey(i), &value);
     if (st.IsUnavailable()) {
       unavailable++;
     } else if (st.ok()) {
@@ -50,7 +50,7 @@ int main() {
 
   uint64_t wrong = 0;
   for (uint64_t i = 0; i < kKeys; i++) {
-    if (!proxy.Get(*tree, EncodeUserKey(i), &value).ok() ||
+    if (!tip.Get(EncodeUserKey(i), &value).ok() ||
         DecodeValue(value) != i) {
       wrong++;
     }
@@ -60,7 +60,7 @@ int main() {
               static_cast<unsigned long long>(wrong));
 
   // The tree accepts new writes immediately.
-  Status st = proxy.Put(*tree, EncodeUserKey(kKeys + 1), EncodeValue(1));
+  Status st = tip.Put(EncodeUserKey(kKeys + 1), EncodeValue(1));
   std::printf("post-recovery write: %s\n", st.ToString().c_str());
   return wrong == 0 ? 0 : 1;
 }

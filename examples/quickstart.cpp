@@ -1,6 +1,6 @@
 // Quickstart: assemble a Minuet cluster, create a B-tree, and use the
-// basic transactional API — puts, gets, range scans, snapshots, and a
-// multi-key transaction.
+// View API — tip puts/gets, a batched multi-key write, a consistent
+// snapshot cursor, and a multi-key transaction.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
@@ -24,38 +24,45 @@ int main() {
   }
   Proxy& proxy = cluster.proxy(0);
 
-  // --- Single-key operations (strictly serializable) ----------------------
+  // --- Strictly serializable single-key operations (TipView) --------------
+  TipView tip = proxy.Tip(*tree);
   for (int i = 0; i < 100; i++) {
-    Status st = proxy.Put(*tree, EncodeUserKey(i), EncodeValue(i * i));
+    Status st = tip.Put(EncodeUserKey(i), EncodeValue(i * i));
     if (!st.ok()) {
       std::fprintf(stderr, "put: %s\n", st.ToString().c_str());
       return 1;
     }
   }
   std::string value;
-  if (proxy.Get(*tree, EncodeUserKey(7), &value).ok()) {
+  if (tip.Get(EncodeUserKey(7), &value).ok()) {
     std::printf("user7 -> %llu\n",
                 static_cast<unsigned long long>(DecodeValue(value)));
   }
 
+  // --- A batched write: every key commits atomically, or none do ----------
+  WriteBatch batch;
+  batch.Put(*tree, EncodeUserKey(200), EncodeValue(1));
+  batch.Put(*tree, EncodeUserKey(201), EncodeValue(2));
+  batch.Remove(*tree, EncodeUserKey(99));
+  Status st = proxy.Apply(batch);
+  std::printf("batch of %zu committed: %s\n", batch.size(),
+              st.ToString().c_str());
+
   // --- Range scan over a consistent snapshot ------------------------------
-  auto snapshot = proxy.CreateSnapshot(*tree);
+  auto snapshot = proxy.Snapshot(*tree);
   if (!snapshot.ok()) return 1;
   // Writes after the snapshot do not disturb its view.
-  (void)proxy.Put(*tree, EncodeUserKey(7), EncodeValue(0));
+  (void)tip.Put(EncodeUserKey(7), EncodeValue(0));
 
-  std::vector<std::pair<std::string, std::string>> rows;
-  if (proxy.ScanAtSnapshot(*tree, *snapshot, EncodeUserKey(5), 5, &rows)
-          .ok()) {
-    std::printf("snapshot scan from user5:\n");
-    for (const auto& [k, v] : rows) {
-      std::printf("  %s -> %llu\n", k.c_str(),
-                  static_cast<unsigned long long>(DecodeValue(v)));
-    }
+  std::printf("snapshot scan from user5:\n");
+  auto cursor = snapshot->NewCursor(EncodeUserKey(5));
+  for (int n = 0; cursor->Valid() && n < 5; cursor->Next(), n++) {
+    std::printf("  %s -> %llu\n", cursor->key().c_str(),
+                static_cast<unsigned long long>(DecodeValue(cursor->value())));
   }
 
   // --- A multi-key transaction (atomic across keys and proxies) -----------
-  Status st = proxy.Transaction([&](txn::DynamicTxn& txn) -> Status {
+  st = proxy.Transaction([&](txn::DynamicTxn& txn) -> Status {
     std::string balance_a, balance_b;
     MINUET_RETURN_NOT_OK(
         proxy.tree(*tree)->GetInTxn(txn, EncodeUserKey(1), &balance_a));
@@ -71,8 +78,8 @@ int main() {
   });
   std::printf("transfer committed: %s\n", st.ToString().c_str());
 
-  // Another proxy observes the committed state.
-  if (cluster.proxy(1).Get(*tree, EncodeUserKey(2), &value).ok()) {
+  // Another proxy observes the committed state through its own tip view.
+  if (cluster.proxy(1).Tip(*tree).Get(EncodeUserKey(2), &value).ok()) {
     std::printf("user2 (via proxy 1) -> %llu\n",
                 static_cast<unsigned long long>(DecodeValue(value)));
   }

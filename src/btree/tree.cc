@@ -570,7 +570,10 @@ Status BTree::RunOp(Body&& body) {
   for (uint32_t attempt = 0; attempt < options_.max_attempts; attempt++) {
     DynamicTxn txn(coord_, cache_);
     Status st = body(txn);
-    if (st.ok() || st.IsNotFound()) {
+    // A stale cache must not refuse an Insert or invent a miss: answers
+    // commit (validating the read set) before being reported, and retry
+    // if validation aborts.
+    if (st.IsCommittableAnswer()) {
       Status cst = txn.Commit();
       if (cst.ok()) return st;
       if (!cst.IsRetryable()) return cst;
@@ -618,17 +621,33 @@ Status BTree::GetInTxn(DynamicTxn& txn, const std::string& key,
   return LeafLookup(path->back().node, key, value);
 }
 
+Status BTree::UpsertLeafInTxn(DynamicTxn& txn, const TipContext& tip,
+                              const std::string& key,
+                              const std::string& value, bool strict) {
+  auto path = Traverse(txn, tip.sid, tip.root, key, TraverseMode::kUpToDate);
+  if (!path.ok()) return path.status();
+  Node leaf = path->back().node;
+  if (strict && leaf.FindKey(key) != leaf.entries.size()) {
+    return Status::AlreadyExists("insert of a present key");
+  }
+  leaf.Upsert(key, value, sinfonia::kNullAddr);
+  return ApplyLeafMutation(txn, tip, *path, std::move(leaf));
+}
+
 Status BTree::PutInTxn(DynamicTxn& txn, const std::string& key,
                        const std::string& value) {
   MINUET_RETURN_NOT_OK(CheckKeyValue(key, value));
   auto tip = ReadTipInTxn(txn);
   if (!tip.ok()) return tip.status();
-  auto path = Traverse(txn, tip->sid, tip->root, key,
-                       TraverseMode::kUpToDate);
-  if (!path.ok()) return path.status();
-  Node leaf = path->back().node;
-  leaf.Upsert(key, value, sinfonia::kNullAddr);
-  return ApplyLeafMutation(txn, *tip, *path, std::move(leaf));
+  return UpsertLeafInTxn(txn, *tip, key, value, /*strict=*/false);
+}
+
+Status BTree::InsertInTxn(DynamicTxn& txn, const std::string& key,
+                          const std::string& value) {
+  MINUET_RETURN_NOT_OK(CheckKeyValue(key, value));
+  auto tip = ReadTipInTxn(txn);
+  if (!tip.ok()) return tip.status();
+  return UpsertLeafInTxn(txn, *tip, key, value, /*strict=*/true);
 }
 
 Status BTree::RemoveInTxn(DynamicTxn& txn, const std::string& key) {
@@ -653,12 +672,16 @@ Status BTree::Put(const std::string& key, const std::string& value) {
   return RunOp([&](DynamicTxn& txn) { return PutInTxn(txn, key, value); });
 }
 
+Status BTree::Insert(const std::string& key, const std::string& value) {
+  return RunOp([&](DynamicTxn& txn) { return InsertInTxn(txn, key, value); });
+}
+
 Status BTree::Remove(const std::string& key) {
   return RunOp([&](DynamicTxn& txn) { return RemoveInTxn(txn, key); });
 }
 
-Status BTree::GetAtBranch(uint64_t branch_sid, const std::string& key,
-                          std::string* value) {
+Status BTree::BranchGet(uint64_t branch_sid, const std::string& key,
+                        std::string* value) {
   MINUET_RETURN_NOT_OK(CheckKeyValue(key, ""));
   return RunOp([&](DynamicTxn& txn) -> Status {
     auto tip = ReadBranchTipInTxn(txn, branch_sid, /*for_write=*/false);
@@ -670,22 +693,27 @@ Status BTree::GetAtBranch(uint64_t branch_sid, const std::string& key,
   });
 }
 
-Status BTree::PutAtBranch(uint64_t branch_sid, const std::string& key,
-                          const std::string& value) {
+Status BTree::BranchPut(uint64_t branch_sid, const std::string& key,
+                        const std::string& value) {
   MINUET_RETURN_NOT_OK(CheckKeyValue(key, value));
   return RunOp([&](DynamicTxn& txn) -> Status {
     auto tip = ReadBranchTipInTxn(txn, branch_sid, /*for_write=*/true);
     if (!tip.ok()) return tip.status();
-    auto path = Traverse(txn, tip->sid, tip->root, key,
-                         TraverseMode::kUpToDate);
-    if (!path.ok()) return path.status();
-    Node leaf = path->back().node;
-    leaf.Upsert(key, value, sinfonia::kNullAddr);
-    return ApplyLeafMutation(txn, *tip, *path, std::move(leaf));
+    return UpsertLeafInTxn(txn, *tip, key, value, /*strict=*/false);
   });
 }
 
-Status BTree::RemoveAtBranch(uint64_t branch_sid, const std::string& key) {
+Status BTree::BranchInsert(uint64_t branch_sid, const std::string& key,
+                           const std::string& value) {
+  MINUET_RETURN_NOT_OK(CheckKeyValue(key, value));
+  return RunOp([&](DynamicTxn& txn) -> Status {
+    auto tip = ReadBranchTipInTxn(txn, branch_sid, /*for_write=*/true);
+    if (!tip.ok()) return tip.status();
+    return UpsertLeafInTxn(txn, *tip, key, value, /*strict=*/true);
+  });
+}
+
+Status BTree::BranchRemove(uint64_t branch_sid, const std::string& key) {
   MINUET_RETURN_NOT_OK(CheckKeyValue(key, ""));
   return RunOp([&](DynamicTxn& txn) -> Status {
     auto tip = ReadBranchTipInTxn(txn, branch_sid, /*for_write=*/true);
@@ -715,8 +743,8 @@ Status BTree::CheckGcHorizon(uint64_t sid) {
   return Status::OK();
 }
 
-Status BTree::GetAtSnapshot(const SnapshotRef& snap, const std::string& key,
-                            std::string* value) {
+Status BTree::SnapshotGet(const SnapshotRef& snap, const std::string& key,
+                          std::string* value) {
   MINUET_RETURN_NOT_OK(CheckKeyValue(key, ""));
   Status last = Status::Aborted("no attempts");
   for (uint32_t attempt = 0; attempt < options_.max_attempts; attempt++) {
@@ -737,24 +765,23 @@ Status BTree::GetAtSnapshot(const SnapshotRef& snap, const std::string& key,
   return last;
 }
 
-Status BTree::ScanAtSnapshot(
+Status BTree::SnapshotScanChunk(
     const SnapshotRef& snap, const std::string& start_key, size_t limit,
-    std::vector<std::pair<std::string, std::string>>* out) {
-  MINUET_RETURN_NOT_OK(CheckKeyValue(start_key, ""));
-  out->clear();
-  std::string cursor = start_key;
-  Status last = Status::Aborted("no attempts");
+    std::vector<std::pair<std::string, std::string>>* out,
+    std::string* resume_key) {
+  // A scan start is a position, not a key: any byte string is valid ("" =
+  // the beginning; cursor resume keys may exceed the max entry size).
+  resume_key->clear();
   uint32_t attempts = 0;
-  while (out->size() < limit) {
+  while (true) {
     DynamicTxn txn(coord_, cache_);
-    auto path = Traverse(txn, snap.sid, snap.root, cursor,
+    auto path = Traverse(txn, snap.sid, snap.root, start_key,
                          TraverseMode::kSnapshotRead);
     if (!path.ok()) {
       if (!path.status().IsRetryable() ||
           ++attempts >= options_.max_attempts) {
         return path.status();
       }
-      last = path.status();
       if (attempts % 64 == 5) MINUET_RETURN_NOT_OK(CheckGcHorizon(snap.sid));
       if (attempts >= 3) {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
@@ -762,21 +789,39 @@ Status BTree::ScanAtSnapshot(
       continue;
     }
     const Node& leaf = path->back().node;
-    for (size_t i = leaf.LowerBound(cursor);
-         i < leaf.entries.size() && out->size() < limit; i++) {
+    size_t i = leaf.LowerBound(start_key);
+    for (; i < leaf.entries.size() && out->size() < limit; i++) {
       out->emplace_back(leaf.entries[i].key, leaf.entries[i].value);
     }
-    if (leaf.high_fence.empty()) break;  // rightmost leaf
-    cursor = leaf.high_fence;
+    if (i < leaf.entries.size()) {
+      *resume_key = leaf.entries[i].key;  // limit hit mid-leaf
+    } else if (!leaf.high_fence.empty()) {
+      *resume_key = leaf.high_fence;
+    }
+    return Status::OK();
   }
-  (void)last;
+}
+
+Status BTree::SnapshotScan(
+    const SnapshotRef& snap, const std::string& start_key, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::string cursor = start_key;
+  while (out->size() < limit) {
+    std::string resume;
+    MINUET_RETURN_NOT_OK(
+        SnapshotScanChunk(snap, cursor, limit, out, &resume));
+    if (resume.empty()) break;  // rightmost leaf or limit reached
+    cursor = std::move(resume);
+  }
   return Status::OK();
 }
 
-Status BTree::ScanAtTip(
+Status BTree::TipScan(
     const std::string& start_key, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {
-  MINUET_RETURN_NOT_OK(CheckKeyValue(start_key, ""));
+  // A scan start is a position, not a key: any byte string is valid ("" =
+  // the beginning; cursor resume keys may exceed the max entry size).
   return RunOp([&](DynamicTxn& txn) -> Status {
     out->clear();
     auto tip = ReadTipInTxn(txn);

@@ -87,14 +87,19 @@ class BTree {
   // --- Single-key operations on the (linear) tip snapshot ------------------
   Status Get(const std::string& key, std::string* value);
   Status Put(const std::string& key, const std::string& value);
+  // Strict insert: fails with AlreadyExists when the key is present (the
+  // distinction CDB draws between its kInsert and kUpsert procedures).
+  Status Insert(const std::string& key, const std::string& value);
   Status Remove(const std::string& key);
 
   // --- Operations on a writable branch tip (branching mode) ---------------
-  Status GetAtBranch(uint64_t branch_sid, const std::string& key,
-                     std::string* value);
-  Status PutAtBranch(uint64_t branch_sid, const std::string& key,
-                     const std::string& value);
-  Status RemoveAtBranch(uint64_t branch_sid, const std::string& key);
+  Status BranchGet(uint64_t branch_sid, const std::string& key,
+                   std::string* value);
+  Status BranchPut(uint64_t branch_sid, const std::string& key,
+                   const std::string& value);
+  Status BranchInsert(uint64_t branch_sid, const std::string& key,
+                      const std::string& value);
+  Status BranchRemove(uint64_t branch_sid, const std::string& key);
 
   // --- In-transaction variants (multi-key / multi-tree transactions) ------
   // The caller owns the transaction and its commit; these read the tip
@@ -103,22 +108,38 @@ class BTree {
                   std::string* value);
   Status PutInTxn(DynamicTxn& txn, const std::string& key,
                   const std::string& value);
+  // CAUTION: an AlreadyExists return must still COMMIT the enclosing
+  // transaction (the answer comes from cached reads and needs commit-time
+  // validation — RunTransaction handles this). In a multi-op transaction,
+  // settle strict-insert existence via GetInTxn BEFORE buffering writes,
+  // or the commit installs a partial result (see Proxy::Apply).
+  Status InsertInTxn(DynamicTxn& txn, const std::string& key,
+                     const std::string& value);
   Status RemoveInTxn(DynamicTxn& txn, const std::string& key);
 
   // --- Read-only snapshot operations (§4.2: no validation, fence-key and
   // copied-snapshot checks only; traversals follow copies when stale) ------
-  Status GetAtSnapshot(const SnapshotRef& snap, const std::string& key,
-                       std::string* value);
+  Status SnapshotGet(const SnapshotRef& snap, const std::string& key,
+                     std::string* value);
   // Scan up to `limit` pairs starting at `start_key` (inclusive).
-  Status ScanAtSnapshot(const SnapshotRef& snap, const std::string& start_key,
-                        size_t limit,
-                        std::vector<std::pair<std::string, std::string>>* out);
+  Status SnapshotScan(const SnapshotRef& snap, const std::string& start_key,
+                      size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out);
+  // One cursor step: read a single leaf's worth of pairs starting at
+  // `start_key` (at most `limit`). On return `*resume_key` is where the
+  // next chunk begins — empty once the scan is exhausted. Streaming scans
+  // (minuet::Cursor) chain chunks so a long scan never materializes.
+  Status SnapshotScanChunk(const SnapshotRef& snap,
+                           const std::string& start_key, size_t limit,
+                           std::vector<std::pair<std::string, std::string>>*
+                               out,
+                           std::string* resume_key);
 
   // Strictly serializable scan against the tip: every leaf joins the read
   // set, so concurrent updates within the range abort the scan. This is the
   // operation the paper shows "may never commit" without snapshots.
-  Status ScanAtTip(const std::string& start_key, size_t limit,
-                   std::vector<std::pair<std::string, std::string>>* out);
+  Status TipScan(const std::string& start_key, size_t limit,
+                 std::vector<std::pair<std::string, std::string>>* out);
 
   // --- Snapshot creation (Fig. 6; called via the mvcc snapshot service) ----
   // Freezes the current tip and installs tip id + 1. Returns the frozen
@@ -183,6 +204,13 @@ class BTree {
   Result<std::vector<PathEntry>> Traverse(DynamicTxn& txn, uint64_t sid,
                                           Addr root, const Slice& key,
                                           TraverseMode mode);
+
+  // Shared body of the four put/insert entry points: traverse to the leaf
+  // under `tip` and upsert `key`; with `strict`, fail AlreadyExists when
+  // the key is present.
+  Status UpsertLeafInTxn(DynamicTxn& txn, const TipContext& tip,
+                         const std::string& key, const std::string& value,
+                         bool strict);
 
   // Write back a modified leaf (path.back()), performing copy-on-write,
   // splits and parent updates as needed; re-publishes the root if it moves

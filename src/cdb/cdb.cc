@@ -20,9 +20,11 @@ Status CdbCluster::ApplyLocked(Partition& p, uint32_t table,
                                const std::string& value, WriteKind kind) {
   auto& t = p.tables[table];
   switch (kind) {
-    case WriteKind::kInsert:
-      t[key] = value;  // YCSB inserts are upserts at the storage layer
+    case WriteKind::kInsert: {
+      auto [it, inserted] = t.emplace(key, value);
+      if (!inserted) return Status::AlreadyExists("row exists");
       return Status::OK();
+    }
     case WriteKind::kUpdate: {
       auto it = t.find(key);
       if (it == t.end()) return Status::NotFound("no row");

@@ -24,6 +24,7 @@ class Status {
     kCorruption,       // on-memnode bytes failed an integrity check
     kNoSpace,          // allocator exhausted
     kReadOnly,         // write attempted against a read-only snapshot
+    kAlreadyExists,    // insert of a key that is already present
   };
 
   Status() : code_(Code::kOk) {}
@@ -56,6 +57,9 @@ class Status {
   static Status ReadOnly(std::string msg = "") {
     return Status(Code::kReadOnly, std::move(msg));
   }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -67,12 +71,22 @@ class Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsNoSpace() const { return code_ == Code::kNoSpace; }
   bool IsReadOnly() const { return code_ == Code::kReadOnly; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
 
   // Aborted/Busy/TimedOut statuses are produced by optimistic concurrency
   // control and lock contention; the operation is safe to re-execute.
   bool IsRetryable() const {
     return code_ == Code::kAborted || code_ == Code::kBusy ||
            code_ == Code::kTimedOut;
+  }
+
+  // Statuses a transaction body may conclude with that are ANSWERS derived
+  // from (possibly cached) reads rather than failures: the enclosing retry
+  // loop must COMMIT — validating the read set — before reporting them,
+  // and retry on a validation abort. Shared by txn::RunTransaction and
+  // btree's RunOp so the two loops cannot diverge.
+  bool IsCommittableAnswer() const {
+    return ok() || code_ == Code::kNotFound || code_ == Code::kAlreadyExists;
   }
 
   Code code() const { return code_; }
@@ -102,6 +116,7 @@ class Status {
       case Code::kCorruption: return "Corruption";
       case Code::kNoSpace: return "NoSpace";
       case Code::kReadOnly: return "ReadOnly";
+      case Code::kAlreadyExists: return "AlreadyExists";
     }
     return "Unknown";
   }

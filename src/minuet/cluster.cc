@@ -1,5 +1,7 @@
 #include "minuet/cluster.h"
 
+#include <set>
+
 namespace minuet {
 
 // ---------------------------------------------------------------------------
@@ -36,11 +38,11 @@ Cluster::Cluster(ClusterOptions options) : options_(options) {
 
 Cluster::~Cluster() = default;
 
-Result<uint32_t> Cluster::CreateTree(bool branching) {
+Result<TreeHandle> Cluster::CreateTree(bool branching) {
   if (next_tree_ >= layout_.max_trees()) {
     return Status::NoSpace("tree slots exhausted");
   }
-  const uint32_t slot = next_tree_++;
+  const uint32_t slot = next_tree_;
 
   btree::TreeOptions topts;
   topts.dirty_traversals = options_.dirty_traversals;
@@ -57,7 +59,17 @@ Result<uint32_t> Cluster::CreateTree(bool branching) {
                         proxy->trees_.back().get())
                   : nullptr);
   }
-  MINUET_RETURN_NOT_OK(proxies_[0]->trees_[slot]->CreateTree());
+  Status st = proxies_[0]->trees_[slot]->CreateTree();
+  if (!st.ok()) {
+    // Roll the per-proxy vectors back so slot indices stay aligned with
+    // next_tree_ and a later CreateTree can reuse this slot.
+    for (auto& proxy : proxies_) {
+      proxy->trees_.pop_back();
+      proxy->version_managers_.pop_back();
+    }
+    return st;
+  }
+  next_tree_++;
   tree_branching_.push_back(branching);
 
   mvcc::SnapshotService::Options sopts;
@@ -67,7 +79,14 @@ Result<uint32_t> Cluster::CreateTree(bool branching) {
       proxies_[0]->trees_[slot].get(), sopts, snapshot_clock_));
   gcs_.push_back(std::make_unique<mvcc::GarbageCollector>(
       proxies_[0]->trees_[slot].get()));
-  return slot;
+  return TreeHandle(slot, branching, this);
+}
+
+Result<TreeHandle> Cluster::OpenTree(uint32_t slot) const {
+  if (slot >= next_tree_) {
+    return Status::InvalidArgument("no such tree slot");
+  }
+  return TreeHandle(slot, tree_branching_[slot], this);
 }
 
 Result<mvcc::GarbageCollector::Report> Cluster::CollectGarbage(
@@ -93,6 +112,160 @@ Proxy::Proxy(Cluster* cluster, uint32_t id)
       cache_(std::make_unique<txn::ObjectCache>(
           cluster->options_.cache_capacity)) {}
 
+mvcc::SnapshotService* Proxy::snapshot_service(uint32_t tree) {
+  return cluster_->snapshot_service(tree);
+}
+
+TreeHandle Proxy::ShimHandle(uint32_t slot) const {
+  return TreeHandle(slot,
+                    slot < cluster_->tree_branching_.size() &&
+                        cluster_->tree_branching_[slot],
+                    cluster_);
+}
+
+// Shared factory body: acquisition pins atomically inside the service (no
+// window for the GC horizon to pass the snapshot before the view exists)
+// and the view adopts that pin for its lifetime.
+Result<SnapshotView> Proxy::AcquirePinnedView(const TreeHandle& tree,
+                                              bool strict) {
+  MINUET_RETURN_NOT_OK(CheckHandle(tree));
+  MINUET_RETURN_NOT_OK(CheckLinearAccess(tree));
+  mvcc::SnapshotService* scs = snapshot_service(tree.slot());
+  auto snap = strict ? scs->CreateSnapshot(/*pin=*/true)
+                     : scs->AcquireForScan(/*pin=*/true);
+  if (!snap.ok()) return snap.status();
+  // The view adopts the acquisition pin: no extra pin/unpin round trip.
+  return SnapshotView(this, tree, *snap, scs, SnapshotView::Lease::kAdopt);
+}
+
+Result<SnapshotView> Proxy::Snapshot(const TreeHandle& tree) {
+  return AcquirePinnedView(tree, /*strict=*/true);
+}
+
+Result<SnapshotView> Proxy::RecentSnapshot(const TreeHandle& tree) {
+  return AcquirePinnedView(tree, /*strict=*/false);
+}
+
+Result<SnapshotView> Proxy::ViewAt(const TreeHandle& tree,
+                                   const btree::SnapshotRef& snap) {
+  MINUET_RETURN_NOT_OK(CheckHandle(tree));
+  MINUET_RETURN_NOT_OK(CheckLinearAccess(tree));
+  return SnapshotView(this, tree, snap, snapshot_service(tree.slot()),
+                      SnapshotView::Lease::kNone);
+}
+
+Result<BranchView> Proxy::Branch(const TreeHandle& tree, uint64_t sid) {
+  MINUET_RETURN_NOT_OK(CheckHandle(tree));
+  auto info = BranchInfo(tree, sid);
+  if (!info.ok()) return info.status();
+  return BranchView(this, tree, sid, info->writable);
+}
+
+Result<uint64_t> Proxy::CreateBranch(const TreeHandle& tree,
+                                     uint64_t from_sid) {
+  MINUET_RETURN_NOT_OK(CheckHandle(tree));
+  if (vm(tree.slot()) == nullptr) {
+    return Status::InvalidArgument("tree was not created as branching");
+  }
+  return vm(tree.slot())->CreateBranch(from_sid);
+}
+
+Result<version::BranchInfo> Proxy::BranchInfo(const TreeHandle& tree,
+                                              uint64_t sid) {
+  MINUET_RETURN_NOT_OK(CheckHandle(tree));
+  if (vm(tree.slot()) == nullptr) {
+    return Status::InvalidArgument("tree was not created as branching");
+  }
+  return vm(tree.slot())->Info(sid);
+}
+
+Status Proxy::Scan(const TreeHandle& tree, const std::string& start,
+                   size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+  auto view = RecentSnapshot(tree);
+  if (!view.ok()) return view.status();
+  return view->Scan(start, limit, out);
+}
+
+Status Proxy::Apply(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  std::set<std::pair<uint32_t, std::string>> inserted;
+  for (const WriteBatch::Op& op : batch.ops_) {
+    MINUET_RETURN_NOT_OK(CheckHandle(op.tree));
+    MINUET_RETURN_NOT_OK(CheckLinearAccess(op.tree));
+    if (op.kind == WriteBatch::Kind::kInsert &&
+        !inserted.emplace(op.tree.slot(), op.key).second) {
+      return Status::AlreadyExists("duplicate insert within the batch");
+    }
+  }
+  return Transaction([&](txn::DynamicTxn& txn) -> Status {
+    // Phase 1 — strict-insert existence checks, BEFORE any write is
+    // buffered: an AlreadyExists return then commits a read-only
+    // transaction (validating the conclusion, see RunTransaction) without
+    // installing a partial batch. Existence is therefore judged against
+    // the pre-batch state.
+    for (const WriteBatch::Op& op : batch.ops_) {
+      if (op.kind != WriteBatch::Kind::kInsert) continue;
+      Status st =
+          trees_[op.tree.slot()]->GetInTxn(txn, op.key, /*value=*/nullptr);
+      if (st.ok()) return Status::AlreadyExists("insert of a present key");
+      if (!st.IsNotFound()) return st;
+    }
+    // Phase 2 — apply every write.
+    for (const WriteBatch::Op& op : batch.ops_) {
+      btree::BTree* t = trees_[op.tree.slot()].get();
+      switch (op.kind) {
+        case WriteBatch::Kind::kPut:
+        case WriteBatch::Kind::kInsert:  // existence settled in phase 1
+          MINUET_RETURN_NOT_OK(t->PutInTxn(txn, op.key, op.value));
+          break;
+        case WriteBatch::Kind::kRemove: {
+          // Blind delete: an absent key does not fail the batch.
+          Status st = t->RemoveInTxn(txn, op.key);
+          if (!st.ok() && !st.IsNotFound()) return st;
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ProxyKV
+
+Status ProxyKV::Scan(
+    const std::string& start, uint32_t count,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  if (scan_mode_ == ScanMode::kSnapshot) {
+    return proxy_->Scan(tree_, start, count, out);
+  }
+  return proxy_->Tip(tree_).Scan(start, count, out);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated shim layer (pre-View method matrix). Every shim delegates to
+// the tree/service DIRECTLY so legacy behavior is preserved exactly —
+// including raw linear-tip and linear-snapshot access to branching trees,
+// which the View API deliberately rejects (CheckLinearAccess).
+
+namespace {
+
+// The old scan entry points validated start keys like ordinary keys; the
+// new scan paths treat starts as unchecked positions (cursor resume keys
+// may be empty or oversized), so the shims re-impose the legacy check.
+Status CheckLegacyStartKey(const btree::BTree* tree,
+                           const std::string& start) {
+  if (start.empty()) return Status::InvalidArgument("empty key");
+  if (start.size() >
+      btree::MaxEntryBytes(tree->layout().slab_payload_len())) {
+    return Status::InvalidArgument("entry exceeds node capacity");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status Proxy::Get(uint32_t tree, const std::string& key, std::string* value) {
   return trees_[tree]->Get(key, value);
 }
@@ -109,7 +282,8 @@ Status Proxy::Remove(uint32_t tree, const std::string& key) {
 Status Proxy::ScanAtTip(
     uint32_t tree, const std::string& start, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {
-  return trees_[tree]->ScanAtTip(start, limit, out);
+  MINUET_RETURN_NOT_OK(CheckLegacyStartKey(trees_[tree].get(), start));
+  return trees_[tree]->TipScan(start, limit, out);
 }
 
 Result<btree::SnapshotRef> Proxy::CreateSnapshot(uint32_t tree) {
@@ -118,58 +292,55 @@ Result<btree::SnapshotRef> Proxy::CreateSnapshot(uint32_t tree) {
 
 Status Proxy::Scan(uint32_t tree, const std::string& start, size_t limit,
                    std::vector<std::pair<std::string, std::string>>* out) {
+  MINUET_RETURN_NOT_OK(CheckLegacyStartKey(trees_[tree].get(), start));
   auto snap = cluster_->snapshot_service(tree)->AcquireForScan();
   if (!snap.ok()) return snap.status();
-  return trees_[tree]->ScanAtSnapshot(*snap, start, limit, out);
+  return trees_[tree]->SnapshotScan(*snap, start, limit, out);
 }
 
 Status Proxy::GetAtSnapshot(uint32_t tree, const btree::SnapshotRef& snap,
                             const std::string& key, std::string* value) {
-  return trees_[tree]->GetAtSnapshot(snap, key, value);
+  return trees_[tree]->SnapshotGet(snap, key, value);
 }
 
 Status Proxy::ScanAtSnapshot(
     uint32_t tree, const btree::SnapshotRef& snap, const std::string& start,
     size_t limit, std::vector<std::pair<std::string, std::string>>* out) {
-  return trees_[tree]->ScanAtSnapshot(snap, start, limit, out);
+  MINUET_RETURN_NOT_OK(CheckLegacyStartKey(trees_[tree].get(), start));
+  return trees_[tree]->SnapshotScan(snap, start, limit, out);
 }
 
 Result<uint64_t> Proxy::CreateBranch(uint32_t tree, uint64_t from_sid) {
-  if (vm(tree) == nullptr) {
-    return Status::InvalidArgument("tree was not created as branching");
-  }
-  return vm(tree)->CreateBranch(from_sid);
+  return CreateBranch(ShimHandle(tree), from_sid);
 }
 
 Result<version::BranchInfo> Proxy::BranchInfo(uint32_t tree, uint64_t sid) {
-  if (vm(tree) == nullptr) {
-    return Status::InvalidArgument("tree was not created as branching");
-  }
-  return vm(tree)->Info(sid);
+  return BranchInfo(ShimHandle(tree), sid);
 }
 
 Status Proxy::GetAtBranch(uint32_t tree, uint64_t branch,
                           const std::string& key, std::string* value) {
-  return trees_[tree]->GetAtBranch(branch, key, value);
+  return trees_[tree]->BranchGet(branch, key, value);
 }
 
 Status Proxy::PutAtBranch(uint32_t tree, uint64_t branch,
                           const std::string& key, const std::string& value) {
-  return trees_[tree]->PutAtBranch(branch, key, value);
+  return trees_[tree]->BranchPut(branch, key, value);
 }
 
 Status Proxy::RemoveAtBranch(uint32_t tree, uint64_t branch,
                              const std::string& key) {
-  return trees_[tree]->RemoveAtBranch(branch, key);
+  return trees_[tree]->BranchRemove(branch, key);
 }
 
 Status Proxy::ScanAtBranch(
     uint32_t tree, uint64_t branch, const std::string& start, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {
-  auto info = BranchInfo(tree, branch);
+  MINUET_RETURN_NOT_OK(CheckLegacyStartKey(trees_[tree].get(), start));
+  auto info = BranchInfo(ShimHandle(tree), branch);
   if (!info.ok()) return info.status();
-  return trees_[tree]->ScanAtSnapshot(btree::SnapshotRef{branch, info->root},
-                                      start, limit, out);
+  return trees_[tree]->SnapshotScan(btree::SnapshotRef{branch, info->root},
+                                    start, limit, out);
 }
 
 }  // namespace minuet

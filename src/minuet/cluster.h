@@ -1,19 +1,29 @@
 // Public facade: assembles a Minuet cluster (fabric, memnodes, Sinfonia
 // coordinator, allocator, per-proxy caches) and hands out Proxy handles
-// through which applications issue transactional B-tree operations,
-// snapshots, scans and branches.
+// through which applications obtain Views — the uniform interface over the
+// tree's access modes (tip / snapshot / branch) — plus batched writes and
+// streaming cursors.
 //
 // Quickstart:
 //   minuet::ClusterOptions opts;
 //   opts.machines = 4;
 //   minuet::Cluster cluster(opts);
-//   auto tree = cluster.CreateTree();          // returns the tree slot
+//   auto tree = cluster.CreateTree();              // Result<TreeHandle>
 //   minuet::Proxy& p = cluster.proxy(0);
-//   p.Put(*tree, "key", "value");
+//
+//   auto tip = p.Tip(*tree);                       // strictly serializable
+//   tip.Put("key", "value");
 //   std::string v;
-//   p.Get(*tree, "key", &v);
-//   auto snap = cluster.snapshot_service(*tree)->CreateSnapshot();
-//   p.ScanAtSnapshot(*tree, *snap, "a", 100, &rows);
+//   tip.Get("key", &v);
+//
+//   minuet::WriteBatch batch;                      // multi-key atomic commit
+//   batch.Put(*tree, "a", "1");
+//   batch.Put(*tree, "b", "2");
+//   p.Apply(batch);
+//
+//   auto snap = p.Snapshot(*tree);                 // pinned consistent view
+//   for (auto cur = snap->NewCursor("a"); cur->Valid(); cur->Next())
+//     Use(cur->key(), cur->value());
 #pragma once
 
 #include <memory>
@@ -23,6 +33,9 @@
 #include "alloc/allocator.h"
 #include "btree/tree.h"
 #include "cdb/cdb.h"
+#include "minuet/tree_handle.h"
+#include "minuet/view.h"
+#include "minuet/write_batch.h"
 #include "mvcc/gc.h"
 #include "mvcc/snapshot_service.h"
 #include "net/fabric.h"
@@ -53,42 +66,59 @@ struct ClusterOptions {
 class Cluster;
 
 // A proxy: executes B-tree operations on behalf of clients, with its own
-// incoherent cache of internal nodes (paper §2.3).
+// incoherent cache of internal nodes (paper §2.3). All access goes through
+// Views obtained here; single-op conveniences below delegate to a TipView.
 class Proxy {
  public:
-  // --- Up-to-date (strictly serializable) single-key operations -----------
-  Status Get(uint32_t tree, const std::string& key, std::string* value);
-  Status Put(uint32_t tree, const std::string& key, const std::string& value);
-  Status Remove(uint32_t tree, const std::string& key);
+  // --- Views (the canonical client surface) --------------------------------
+  // Strictly serializable operations against the live tip. Construction is
+  // unchecked (zero-cost); the view's operations validate the handle and
+  // return InvalidArgument for handles this cluster did not mint.
+  TipView Tip(const TreeHandle& tree) { return TipView(this, tree); }
+  // A fresh (or safely borrowed, Fig. 7) strictly serializable snapshot.
+  // The returned view pins its snapshot against garbage collection.
+  Result<SnapshotView> Snapshot(const TreeHandle& tree);
+  // Snapshot under the cluster's staleness policy (§6.3, the paper's k):
+  // may reuse a recent snapshot instead of creating one.
+  Result<SnapshotView> RecentSnapshot(const TreeHandle& tree);
+  // Wrap an already-acquired SnapshotRef (no lease is taken; cursors with
+  // refresh_lease can still re-acquire through the tree's service).
+  Result<SnapshotView> ViewAt(const TreeHandle& tree,
+                              const btree::SnapshotRef& snap);
+  // One version-tree vertex of a branching tree; writable while it has no
+  // child branch.
+  Result<BranchView> Branch(const TreeHandle& tree, uint64_t sid);
 
-  // Strictly serializable scan at the tip (aborts under write contention —
-  // prefer snapshots for long scans).
-  Status ScanAtTip(uint32_t tree, const std::string& start, size_t limit,
-                   std::vector<std::pair<std::string, std::string>>* out);
+  // Fork a new writable branch off snapshot `from_sid` (freezes it).
+  Result<uint64_t> CreateBranch(const TreeHandle& tree, uint64_t from_sid);
+  Result<version::BranchInfo> BranchInfo(const TreeHandle& tree,
+                                         uint64_t sid);
 
-  // --- Snapshot operations --------------------------------------------------
-  Result<btree::SnapshotRef> CreateSnapshot(uint32_t tree);
-  // Acquire under the cluster's staleness policy (k) and scan.
-  Status Scan(uint32_t tree, const std::string& start, size_t limit,
+  // --- Single-op conveniences (sugar over Tip / RecentSnapshot) ------------
+  // Handle validation happens inside the TipView operations.
+  Status Get(const TreeHandle& tree, const std::string& key,
+             std::string* value) {
+    return Tip(tree).Get(key, value);
+  }
+  Status Put(const TreeHandle& tree, const std::string& key,
+             const std::string& value) {
+    return Tip(tree).Put(key, value);
+  }
+  Status Insert(const TreeHandle& tree, const std::string& key,
+                const std::string& value) {
+    return Tip(tree).Insert(key, value);
+  }
+  Status Remove(const TreeHandle& tree, const std::string& key) {
+    return Tip(tree).Remove(key);
+  }
+  // Scan under the staleness policy (acquires a RecentSnapshot view).
+  Status Scan(const TreeHandle& tree, const std::string& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out);
-  Status GetAtSnapshot(uint32_t tree, const btree::SnapshotRef& snap,
-                       const std::string& key, std::string* value);
-  Status ScanAtSnapshot(uint32_t tree, const btree::SnapshotRef& snap,
-                        const std::string& start, size_t limit,
-                        std::vector<std::pair<std::string, std::string>>* out);
 
-  // --- Branching versions (writable clones, §5) ----------------------------
-  Result<uint64_t> CreateBranch(uint32_t tree, uint64_t from_sid);
-  Result<version::BranchInfo> BranchInfo(uint32_t tree, uint64_t sid);
-  Status GetAtBranch(uint32_t tree, uint64_t branch, const std::string& key,
-                     std::string* value);
-  Status PutAtBranch(uint32_t tree, uint64_t branch, const std::string& key,
-                     const std::string& value);
-  Status RemoveAtBranch(uint32_t tree, uint64_t branch,
-                        const std::string& key);
-  Status ScanAtBranch(uint32_t tree, uint64_t branch, const std::string& start,
-                      size_t limit,
-                      std::vector<std::pair<std::string, std::string>>* out);
+  // --- Batched writes ------------------------------------------------------
+  // Commit every op in `batch` in ONE dynamic transaction: all-or-nothing,
+  // even across trees and across memnode crashes.
+  Status Apply(const WriteBatch& batch);
 
   // --- Multi-key / multi-tree transactions ---------------------------------
   // Runs `body` in a dynamic transaction with automatic retry; use the
@@ -99,16 +129,79 @@ class Proxy {
                                std::forward<Body>(body));
   }
 
-  // Direct tree handle (advanced use, *InTxn ops).
+  // Direct tree handle (advanced use, *InTxn ops); nullptr when the
+  // handle was not minted by this proxy's cluster.
+  btree::BTree* tree(const TreeHandle& t) {
+    return CheckHandle(t).ok() ? trees_[t.slot()].get() : nullptr;
+  }
   btree::BTree* tree(uint32_t slot) { return trees_[slot].get(); }
   txn::ObjectCache* cache() { return cache_.get(); }
 
+  // ==========================================================================
+  // Deprecated shim layer: the pre-View method matrix, kept compiling for
+  // one release. Every method below delegates to the View API; new code
+  // should obtain a View instead.
+  // ==========================================================================
+  [[deprecated("use Tip(tree).Get")]] Status Get(uint32_t tree,
+                                                 const std::string& key,
+                                                 std::string* value);
+  [[deprecated("use Tip(tree).Put")]] Status Put(uint32_t tree,
+                                                 const std::string& key,
+                                                 const std::string& value);
+  [[deprecated("use Tip(tree).Remove")]] Status Remove(uint32_t tree,
+                                                       const std::string& key);
+  [[deprecated("use Tip(tree).NewCursor")]] Status ScanAtTip(
+      uint32_t tree, const std::string& start, size_t limit,
+      std::vector<std::pair<std::string, std::string>>* out);
+  [[deprecated("use Snapshot(tree)")]] Result<btree::SnapshotRef>
+  CreateSnapshot(uint32_t tree);
+  [[deprecated("use RecentSnapshot(tree)")]] Status Scan(
+      uint32_t tree, const std::string& start, size_t limit,
+      std::vector<std::pair<std::string, std::string>>* out);
+  [[deprecated("use ViewAt(tree, snap).Get")]] Status GetAtSnapshot(
+      uint32_t tree, const btree::SnapshotRef& snap, const std::string& key,
+      std::string* value);
+  [[deprecated("use ViewAt(tree, snap).NewCursor")]] Status ScanAtSnapshot(
+      uint32_t tree, const btree::SnapshotRef& snap, const std::string& start,
+      size_t limit, std::vector<std::pair<std::string, std::string>>* out);
+  [[deprecated("use CreateBranch(TreeHandle, sid)")]] Result<uint64_t>
+  CreateBranch(uint32_t tree, uint64_t from_sid);
+  [[deprecated("use BranchInfo(TreeHandle, sid)")]] Result<version::BranchInfo>
+  BranchInfo(uint32_t tree, uint64_t sid);
+  [[deprecated("use Branch(tree, sid)->Get")]] Status GetAtBranch(
+      uint32_t tree, uint64_t branch, const std::string& key,
+      std::string* value);
+  [[deprecated("use Branch(tree, sid)->Put")]] Status PutAtBranch(
+      uint32_t tree, uint64_t branch, const std::string& key,
+      const std::string& value);
+  [[deprecated("use Branch(tree, sid)->Remove")]] Status RemoveAtBranch(
+      uint32_t tree, uint64_t branch, const std::string& key);
+  [[deprecated("use Branch(tree, sid)->NewCursor")]] Status ScanAtBranch(
+      uint32_t tree, uint64_t branch, const std::string& start, size_t limit,
+      std::vector<std::pair<std::string, std::string>>* out);
+
  private:
   friend class Cluster;
+  friend class View;
+  friend class TipView;
+  friend class SnapshotView;
+  friend class BranchView;
   Proxy(Cluster* cluster, uint32_t id);
   version::VersionManager* vm(uint32_t tree) {
     return version_managers_[tree].get();
   }
+  Result<SnapshotView> AcquirePinnedView(const TreeHandle& tree, bool strict);
+  Status CheckHandle(const TreeHandle& tree) const {
+    if (!tree.valid() || tree.owner_ != cluster_ ||
+        tree.slot() >= trees_.size()) {
+      return Status::InvalidArgument(
+          "tree handle was not minted by this cluster");
+    }
+    return Status::OK();
+  }
+  mvcc::SnapshotService* snapshot_service(uint32_t tree);
+  // Internal, non-deprecated handle resolver for the shim layer.
+  TreeHandle ShimHandle(uint32_t slot) const;
 
   Cluster* cluster_;
   uint32_t id_;
@@ -126,28 +219,27 @@ class ProxyKV : public ycsb::KVInterface {
   // production configuration); kTip runs strictly serializable tip scans.
   enum class ScanMode { kSnapshot, kTip };
 
-  ProxyKV(Proxy* proxy, uint32_t tree, ScanMode scan_mode = ScanMode::kSnapshot)
+  ProxyKV(Proxy* proxy, TreeHandle tree,
+          ScanMode scan_mode = ScanMode::kSnapshot)
       : proxy_(proxy), tree_(tree), scan_mode_(scan_mode) {}
 
   Status Read(const std::string& key, std::string* value) override {
-    return proxy_->Get(tree_, key, value);
+    return proxy_->Tip(tree_).Get(key, value);
   }
   Status Update(const std::string& key, const std::string& value) override {
-    return proxy_->Put(tree_, key, value);
+    return proxy_->Tip(tree_).Put(key, value);
   }
+  // True insert (not a Put alias): AlreadyExists on a present key, so YCSB
+  // load phases measure the same upsert-vs-insert distinction CDB draws.
   Status Insert(const std::string& key, const std::string& value) override {
-    return proxy_->Put(tree_, key, value);
+    return proxy_->Tip(tree_).Insert(key, value);
   }
   Status Scan(const std::string& start, uint32_t count,
-              std::vector<std::pair<std::string, std::string>>* out) override {
-    return scan_mode_ == ScanMode::kSnapshot
-               ? proxy_->Scan(tree_, start, count, out)
-               : proxy_->ScanAtTip(tree_, start, count, out);
-  }
+              std::vector<std::pair<std::string, std::string>>* out) override;
 
  private:
   Proxy* proxy_;
-  uint32_t tree_;
+  TreeHandle tree_;
   ScanMode scan_mode_;
 };
 
@@ -156,20 +248,36 @@ class Cluster {
   explicit Cluster(ClusterOptions options);
   ~Cluster();
 
-  // Create a new B-tree; returns its slot id. `branching` trees use the
-  // version catalog (PutAtBranch etc.); linear trees use the replicated
-  // tip and the snapshot service.
-  Result<uint32_t> CreateTree(bool branching = false);
+  // Create a new B-tree. `branching` trees use the version catalog
+  // (BranchView writes); linear trees use the replicated tip and the
+  // snapshot service.
+  Result<TreeHandle> CreateTree(bool branching = false);
+  // Re-derive the handle of an existing tree from its slot.
+  Result<TreeHandle> OpenTree(uint32_t slot) const;
 
   Proxy& proxy(uint32_t i) { return *proxies_[i]; }
   uint32_t n_proxies() const {
     return static_cast<uint32_t>(proxies_.size());
   }
 
+  // nullptr when the handle was not minted by this cluster.
+  mvcc::SnapshotService* snapshot_service(const TreeHandle& tree) {
+    return OwnsHandle(tree) ? snapshot_services_[tree.slot()].get()
+                            : nullptr;
+  }
   mvcc::SnapshotService* snapshot_service(uint32_t tree) {
     return snapshot_services_[tree].get();
   }
-  // Run one GC pass over `tree` using the snapshot service's horizon.
+  // Run one GC pass over `tree` using the snapshot service's horizon
+  // (which never passes a pinned SnapshotView).
+  Result<mvcc::GarbageCollector::Report> CollectGarbage(
+      const TreeHandle& tree) {
+    if (!OwnsHandle(tree)) {
+      return Status::InvalidArgument(
+          "tree handle was not minted by this cluster");
+    }
+    return CollectGarbage(tree.slot());
+  }
   Result<mvcc::GarbageCollector::Report> CollectGarbage(uint32_t tree);
 
   // --- Fault injection -------------------------------------------------------
@@ -189,6 +297,10 @@ class Cluster {
 
  private:
   friend class Proxy;
+
+  bool OwnsHandle(const TreeHandle& tree) const {
+    return tree.owner_ == this && tree.slot() < next_tree_;
+  }
 
   ClusterOptions options_;
   alloc::Layout layout_;

@@ -1,0 +1,62 @@
+// TreeHandle: the typed identity of one B-tree in a cluster.
+//
+// Replaces the raw uint32_t slot ids the first-generation API passed
+// around: a handle knows its slot AND whether the tree was created in
+// branching mode (§5), so misuse — branch operations on a linear tree,
+// stale integer ids — fails at the API boundary instead of deep inside a
+// transaction. Handles are small value types; copy them freely. They are
+// minted only by Cluster::CreateTree / Cluster::OpenTree.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace minuet {
+
+class Cluster;
+
+class TreeHandle {
+ public:
+  // Default-constructed handles are invalid; obtain real ones from
+  // Cluster::CreateTree or Cluster::OpenTree.
+  TreeHandle() = default;
+
+  uint32_t slot() const { return slot_; }
+  bool branching() const { return branching_; }
+  bool valid() const { return slot_ != kInvalidSlot; }
+
+  bool operator==(const TreeHandle& other) const {
+    return slot_ == other.slot_ && owner_ == other.owner_;
+  }
+  bool operator!=(const TreeHandle& other) const { return !(*this == other); }
+
+ private:
+  friend class Cluster;
+  friend class Proxy;  // shim layer: re-derive handles from raw slots
+  TreeHandle(uint32_t slot, bool branching, const Cluster* owner)
+      : slot_(slot), branching_(branching), owner_(owner) {}
+
+  static constexpr uint32_t kInvalidSlot = ~0u;
+
+  uint32_t slot_ = kInvalidSlot;
+  bool branching_ = false;
+  // The minting cluster: a handle from one cluster used on another fails
+  // validation instead of silently aliasing the same slot number.
+  const Cluster* owner_ = nullptr;
+};
+
+// The single guard for the "branching trees have no linear tip" rule: a
+// branching tree's linear tip/snapshot chain shares nodes and sids with
+// version 0 of its catalog, so tip views, write batches and snapshot
+// factories all reject branching handles with this one check.
+inline Status CheckLinearAccess(const TreeHandle& tree) {
+  if (tree.branching()) {
+    return Status::InvalidArgument(
+        "branching trees are accessed through Branch views, not the "
+        "linear tip/snapshot path");
+  }
+  return Status::OK();
+}
+
+}  // namespace minuet

@@ -1,0 +1,367 @@
+#include "minuet/view.h"
+
+#include <algorithm>
+
+#include "minuet/cluster.h"
+#include "mvcc/snapshot_service.h"
+
+namespace minuet {
+
+// ---------------------------------------------------------------------------
+// Cursor
+
+Cursor::Cursor(ChunkFetcher fetch, const std::string& start, Options options)
+    : fetch_(std::move(fetch)), options_(options), resume_(start) {
+  if (options_.chunk_size == 0) options_.chunk_size = 1;
+  // No fetch yet: the first Valid() pulls the first chunk, so a cursor
+  // that is never consulted costs nothing.
+}
+
+Cursor::Cursor(Status error) : exhausted_(true), status_(std::move(error)) {}
+
+bool Cursor::Valid() {
+  if (pos_ >= buf_.size() && !exhausted_) FetchChunk(std::move(resume_));
+  return pos_ < buf_.size();
+}
+
+void Cursor::Next() {
+  if (pos_ < buf_.size()) pos_++;
+}
+
+void Cursor::FetchChunk(std::string start) {
+  buf_.clear();
+  pos_ = 0;
+  while (true) {
+    std::string resume;
+    status_ = fetch_(start, options_.chunk_size, &buf_, &resume);
+    if (!status_.ok()) {
+      buf_.clear();
+      exhausted_ = true;
+      return;
+    }
+    if (!buf_.empty() || resume.empty()) {
+      resume_ = std::move(resume);
+      exhausted_ = resume_.empty();
+      return;
+    }
+    // The fetch landed on an empty leaf (removes retain empty leaves);
+    // keep walking right.
+    start = std::move(resume);
+  }
+}
+
+Status Cursor::Drain(size_t limit,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  // Appends up to `limit` pairs regardless of what `out` already holds.
+  // Pairs are MOVED out of the chunk buffer (it is discarded on the next
+  // fetch and never re-read once the position advances).
+  for (size_t appended = 0; appended < limit && Valid(); appended++) {
+    out->push_back(std::move(buf_[pos_]));
+    Next();
+  }
+  return status_;
+}
+
+// ---------------------------------------------------------------------------
+// View
+
+btree::BTree* View::btree() const { return proxy_->tree(tree_); }
+
+Status View::CheckUsable() const { return proxy_->CheckHandle(tree_); }
+
+Status View::Put(const std::string&, const std::string&) {
+  return Status::ReadOnly("view is read-only");
+}
+
+Status View::Insert(const std::string&, const std::string&) {
+  return Status::ReadOnly("view is read-only");
+}
+
+Status View::Remove(const std::string&) {
+  return Status::ReadOnly("view is read-only");
+}
+
+namespace {
+
+// Shared MultiGet contract: nullopt on a miss, propagate other errors.
+template <typename PointGet>
+Status MultiGetImpl(const std::vector<std::string>& keys,
+                    std::vector<std::optional<std::string>>* values,
+                    PointGet&& get) {
+  values->assign(keys.size(), std::nullopt);
+  for (size_t i = 0; i < keys.size(); i++) {
+    std::string value;
+    Status st = get(keys[i], &value);
+    if (st.ok()) {
+      (*values)[i] = std::move(value);
+    } else if (!st.IsNotFound()) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status View::MultiGet(const std::vector<std::string>& keys,
+                      std::vector<std::optional<std::string>>* values) {
+  return MultiGetImpl(keys, values, [this](const std::string& key,
+                                           std::string* value) {
+    return Get(key, value);
+  });
+}
+
+Status View::Scan(const std::string& start, size_t limit,
+                  std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  Cursor::Options copts;
+  if (limit > 0) copts.chunk_size = std::min<size_t>(limit, copts.chunk_size);
+  auto cursor = NewCursor(start, copts);
+  return cursor->Drain(limit, out);
+}
+
+// ---------------------------------------------------------------------------
+// TipView
+
+Status TipView::Get(const std::string& key, std::string* value) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
+  MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
+  return btree()->Get(key, value);
+}
+
+Status TipView::Put(const std::string& key, const std::string& value) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
+  MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
+  return btree()->Put(key, value);
+}
+
+Status TipView::Insert(const std::string& key, const std::string& value) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
+  MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
+  return btree()->Insert(key, value);
+}
+
+Status TipView::Remove(const std::string& key) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
+  MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
+  return btree()->Remove(key);
+}
+
+Status TipView::MultiGet(const std::vector<std::string>& keys,
+                         std::vector<std::optional<std::string>>* values) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
+  MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
+  // One transaction: every leaf read validates together at commit, so the
+  // result set is an atomic, strictly serializable multi-point read. The
+  // reset runs INSIDE the body — a retried attempt must not inherit
+  // values its aborted predecessor read.
+  return proxy_->Transaction([&](txn::DynamicTxn& txn) -> Status {
+    return MultiGetImpl(keys, values, [&](const std::string& key,
+                                          std::string* value) {
+      return btree()->GetInTxn(txn, key, value);
+    });
+  });
+}
+
+Status TipView::Scan(const std::string& start, size_t limit,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
+  MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
+  // One transaction end-to-end: the whole range validates together at
+  // commit (the semantics ProxyKV's kTip mode and the Fig. 16 comparison
+  // rely on). For unbounded streaming use NewCursor, which trades that
+  // atomicity for piecewise chunks.
+  return btree()->TipScan(start, limit, out);
+}
+
+std::unique_ptr<Cursor> TipView::NewCursor(const std::string& start,
+                                           Cursor::Options options) {
+  if (Status st = CheckUsable(); !st.ok()) {
+    return std::unique_ptr<Cursor>(new Cursor(std::move(st)));
+  }
+  if (Status st = CheckLinearAccess(tree_); !st.ok()) {
+    return std::unique_ptr<Cursor>(new Cursor(std::move(st)));
+  }
+  btree::BTree* tree = btree();
+  auto fetch = [tree](const std::string& from, size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out,
+                      std::string* resume) -> Status {
+    // The cursor hands over a cleared buffer, so TipScan fills it directly.
+    MINUET_RETURN_NOT_OK(tree->TipScan(from, limit, out));
+    resume->clear();
+    if (out->size() == limit) {
+      // Possibly more beyond the last pair: resume at its successor.
+      *resume = out->back().first + '\0';
+    }
+    return Status::OK();
+  };
+  return std::unique_ptr<Cursor>(new Cursor(fetch, start, options));
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotView
+
+SnapshotView::SnapshotView(Proxy* proxy, TreeHandle tree,
+                           btree::SnapshotRef snap,
+                           mvcc::SnapshotService* service, Lease lease)
+    : View(proxy, tree),
+      snap_(snap),
+      service_(service),
+      pinned_(lease == Lease::kAdopt && service != nullptr) {}
+
+SnapshotView::SnapshotView(SnapshotView&& other) noexcept
+    : View(other.proxy_, other.tree_),
+      snap_(other.snap_),
+      service_(other.service_),
+      pinned_(other.pinned_) {
+  other.pinned_ = false;
+}
+
+SnapshotView& SnapshotView::operator=(SnapshotView&& other) noexcept {
+  if (this != &other) {
+    if (pinned_) service_->Unpin(snap_.sid);
+    proxy_ = other.proxy_;
+    tree_ = other.tree_;
+    snap_ = other.snap_;
+    service_ = other.service_;
+    pinned_ = other.pinned_;
+    other.pinned_ = false;
+  }
+  return *this;
+}
+
+SnapshotView::~SnapshotView() {
+  if (pinned_) service_->Unpin(snap_.sid);
+}
+
+Status SnapshotView::Get(const std::string& key, std::string* value) {
+  return btree()->SnapshotGet(snap_, key, value);
+}
+
+namespace {
+
+// Shared cursor lease: keeps its snapshot pinned independently of the view
+// (the cursor may be re-leased onto a newer snapshot mid-scan).
+struct CursorLease {
+  btree::BTree* tree = nullptr;
+  mvcc::SnapshotService* service = nullptr;
+  btree::SnapshotRef snap;
+  bool pinned = false;
+
+  CursorLease(btree::BTree* t, mvcc::SnapshotService* s,
+              btree::SnapshotRef ref, bool pin)
+      : tree(t), service(s), snap(ref), pinned(pin && s != nullptr) {
+    if (pinned) service->Pin(snap.sid);
+  }
+  ~CursorLease() {
+    if (pinned) service->Unpin(snap.sid);
+  }
+  CursorLease(const CursorLease&) = delete;
+  CursorLease& operator=(const CursorLease&) = delete;
+
+  // Swap the lease onto the newest policy snapshot (§4.4 re-acquisition).
+  Status Refresh() {
+    if (service == nullptr) {
+      return Status::InvalidArgument("no snapshot service to re-lease from");
+    }
+    // Acquire-and-pin atomically (same no-window discipline as the view
+    // factories), then release the old lease.
+    auto fresh = service->AcquireForScan(/*pin=*/pinned);
+    if (!fresh.ok()) return fresh.status();
+    if (pinned) service->Unpin(snap.sid);
+    snap = *fresh;
+    return Status::OK();
+  }
+
+  bool BelowHorizon() const {
+    return service != nullptr && service->LowestRetained() > snap.sid;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Cursor> SnapshotView::NewCursor(const std::string& start,
+                                                Cursor::Options options) {
+  // The cursor needs its own pin only when it may re-lease onto a sid the
+  // view does not hold; otherwise the view's pin covers it (a cursor must
+  // not outlive its view).
+  auto lease = std::make_shared<CursorLease>(
+      btree(), service_, snap_, pinned_ && options.refresh_lease);
+  const bool refresh = options.refresh_lease;
+  auto fetch = [lease, refresh](
+                   const std::string& from, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out,
+                   std::string* resume) -> Status {
+    if (refresh && lease->BelowHorizon()) {
+      // The GC horizon overtook this snapshot (possible only for unpinned
+      // leases — pinned ones hold the horizon back): re-lease the newest
+      // snapshot and continue the scan from the same key.
+      MINUET_RETURN_NOT_OK(lease->Refresh());
+    }
+    Status st =
+        lease->tree->SnapshotScanChunk(lease->snap, from, limit, out, resume);
+    if (refresh && st.IsInvalidArgument() && lease->BelowHorizon()) {
+      // Reactive backstop: the snapshot aged out between the check and the
+      // chunk read. (The BelowHorizon re-check keeps InvalidArgument from
+      // other causes — e.g. a garbage SnapshotRef — surfacing unmasked.)
+      MINUET_RETURN_NOT_OK(lease->Refresh());
+      st = lease->tree->SnapshotScanChunk(lease->snap, from, limit, out,
+                                          resume);
+    }
+    return st;
+  };
+  return std::unique_ptr<Cursor>(new Cursor(fetch, start, options));
+}
+
+// ---------------------------------------------------------------------------
+// BranchView
+
+Status BranchView::Get(const std::string& key, std::string* value) {
+  return btree()->BranchGet(sid_, key, value);
+}
+
+Status BranchView::Put(const std::string& key, const std::string& value) {
+  return btree()->BranchPut(sid_, key, value);
+}
+
+Status BranchView::Insert(const std::string& key, const std::string& value) {
+  return btree()->BranchInsert(sid_, key, value);
+}
+
+Status BranchView::Remove(const std::string& key) {
+  return btree()->BranchRemove(sid_, key);
+}
+
+Status BranchView::MultiGet(const std::vector<std::string>& keys,
+                            std::vector<std::optional<std::string>>* values) {
+  auto info = proxy_->BranchInfo(tree_, sid_);
+  if (!info.ok()) return info.status();
+  const btree::SnapshotRef snap{sid_, info->root};
+  return MultiGetImpl(keys, values, [&](const std::string& key,
+                                        std::string* value) {
+    return btree()->SnapshotGet(snap, key, value);
+  });
+}
+
+std::unique_ptr<Cursor> BranchView::NewCursor(const std::string& start,
+                                              Cursor::Options options) {
+  // Resolve the branch's current root once and read it with snapshot-mode
+  // traversal (§4.2). Later COW activity from other versions cannot
+  // disturb the scan; in-place writes at this still-writable branch tip
+  // may (see the header note) — fork the branch for frozen semantics.
+  auto info = proxy_->BranchInfo(tree_, sid_);
+  if (!info.ok()) {
+    return std::unique_ptr<Cursor>(new Cursor(info.status()));
+  }
+  btree::BTree* tree = btree();
+  const btree::SnapshotRef snap{sid_, info->root};
+  auto fetch = [tree, snap](
+                   const std::string& from, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out,
+                   std::string* resume) -> Status {
+    return tree->SnapshotScanChunk(snap, from, limit, out, resume);
+  };
+  return std::unique_ptr<Cursor>(new Cursor(fetch, start, options));
+}
+
+}  // namespace minuet

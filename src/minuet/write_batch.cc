@@ -1,0 +1,19 @@
+#include "minuet/write_batch.h"
+
+namespace minuet {
+
+void WriteBatch::Put(const TreeHandle& tree, std::string key,
+                     std::string value) {
+  ops_.push_back(Op{tree, Kind::kPut, std::move(key), std::move(value)});
+}
+
+void WriteBatch::Insert(const TreeHandle& tree, std::string key,
+                        std::string value) {
+  ops_.push_back(Op{tree, Kind::kInsert, std::move(key), std::move(value)});
+}
+
+void WriteBatch::Remove(const TreeHandle& tree, std::string key) {
+  ops_.push_back(Op{tree, Kind::kRemove, std::move(key), {}});
+}
+
+}  // namespace minuet

@@ -1,0 +1,55 @@
+// WriteBatch: a multi-key, multi-tree atomic write (§3 made ergonomic).
+//
+// Buffer any number of Put/Insert/Remove operations — across different
+// trees of the same cluster — and commit them with Proxy::Apply, which
+// runs ONE dynamic transaction: every touched leaf validates together and
+// the whole batch installs in a single commit minitransaction, or nothing
+// does. A memnode crash mid-commit therefore never exposes a partial
+// batch.
+//
+// Semantics per op:
+//   Put     — upsert
+//   Insert  — strict; a key present BEFORE the batch — or Inserted twice
+//             WITHIN it — fails the WHOLE batch (AlreadyExists). Existence
+//             is otherwise judged against pre-batch state, so a Put and an
+//             Insert of the same key in one batch both apply.
+//   Remove  — blind delete (absent keys are tolerated)
+// Batches target linear tips only; Apply rejects branching trees (their
+// writable tips take writes through BranchView).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minuet/tree_handle.h"
+
+namespace minuet {
+
+class Proxy;
+
+class WriteBatch {
+ public:
+  void Put(const TreeHandle& tree, std::string key, std::string value);
+  void Insert(const TreeHandle& tree, std::string key, std::string value);
+  void Remove(const TreeHandle& tree, std::string key);
+
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  void Clear() { ops_.clear(); }
+
+ private:
+  friend class Proxy;
+
+  enum class Kind : uint8_t { kPut, kInsert, kRemove };
+  struct Op {
+    TreeHandle tree;  // full handle, so Apply can reject foreign clusters
+    Kind kind;
+    std::string key;
+    std::string value;
+  };
+
+  std::vector<Op> ops_;
+};
+
+}  // namespace minuet

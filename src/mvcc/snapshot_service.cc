@@ -1,5 +1,7 @@
 #include "mvcc/snapshot_service.h"
 
+#include <algorithm>
+
 namespace minuet::mvcc {
 
 SnapshotService::SnapshotService(BTree* tree, Options options,
@@ -14,7 +16,7 @@ SnapshotService::SnapshotService(BTree* tree, Options options,
   }
 }
 
-Result<SnapshotRef> SnapshotService::CreateLocked() {
+Result<SnapshotRef> SnapshotService::CreateLocked(bool pin) {
   // Runs with mutex_ held. Fig. 6: the snapshot materializes when the
   // dynamic transaction commits; the tip update uses a blocking
   // minitransaction so snapshot storms degrade to queueing, not livelock.
@@ -31,6 +33,9 @@ Result<SnapshotRef> SnapshotService::CreateLocked() {
           std::lock_guard<std::mutex> g(last_mu_);
           last_ = *snap;
           last_created_at_ = clock_();
+          // Pin before last_mu_ drops: LowestRetained (which also takes
+          // last_mu_ first) can never see the new horizon without the pin.
+          if (pin) Pin(snap->sid);
         }
         num_snapshots_.fetch_add(1, std::memory_order_release);
         created_.fetch_add(1, std::memory_order_relaxed);
@@ -48,7 +53,7 @@ Result<SnapshotRef> SnapshotService::CreateLocked() {
   return last;
 }
 
-Result<SnapshotRef> SnapshotService::CreateSnapshot() {
+Result<SnapshotRef> SnapshotService::CreateSnapshot(bool pin) {
   // Fig. 7: read the counter before and after entering the critical
   // section; an advance of >= 2 proves a complete creation within this
   // call's window, making the latest snapshot borrowable.
@@ -56,29 +61,57 @@ Result<SnapshotRef> SnapshotService::CreateSnapshot() {
   std::lock_guard<std::mutex> g(mutex_);
   const uint64_t tmp2 = num_snapshots_.load(std::memory_order_acquire);
   if (!options_.enable_borrowing || tmp2 < tmp1 + 2) {
-    return CreateLocked();
+    return CreateLocked(pin);
   }
   borrowed_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lg(last_mu_);
+  if (pin) Pin(last_.sid);
   return last_;
 }
 
-Result<SnapshotRef> SnapshotService::AcquireForScan() {
+Result<SnapshotRef> SnapshotService::AcquireForScan(bool pin) {
   if (options_.min_interval_seconds > 0) {
     std::lock_guard<std::mutex> lg(last_mu_);
     if (last_created_at_ + options_.min_interval_seconds > clock_() &&
         num_snapshots_.load(std::memory_order_acquire) > 0) {
       stale_reuses_.fetch_add(1, std::memory_order_relaxed);
+      if (pin) Pin(last_.sid);
       return last_;
     }
   }
-  return CreateSnapshot();
+  return CreateSnapshot(pin);
+}
+
+void SnapshotService::Pin(uint64_t sid) {
+  std::lock_guard<std::mutex> g(pins_mu_);
+  pins_[sid]++;
+}
+
+void SnapshotService::Unpin(uint64_t sid) {
+  std::lock_guard<std::mutex> g(pins_mu_);
+  auto it = pins_.find(sid);
+  if (it == pins_.end()) return;
+  if (--it->second == 0) pins_.erase(it);
+}
+
+uint64_t SnapshotService::pinned_count() const {
+  std::lock_guard<std::mutex> g(pins_mu_);
+  uint64_t n = 0;
+  for (const auto& [sid, count] : pins_) n += count;
+  return n;
 }
 
 uint64_t SnapshotService::LowestRetained() const {
-  std::lock_guard<std::mutex> lg(last_mu_);
-  const uint64_t newest = last_.sid;
-  return newest > options_.retain_last ? newest - options_.retain_last : 0;
+  uint64_t horizon;
+  {
+    std::lock_guard<std::mutex> lg(last_mu_);
+    const uint64_t newest = last_.sid;
+    horizon = newest > options_.retain_last ? newest - options_.retain_last
+                                            : 0;
+  }
+  std::lock_guard<std::mutex> g(pins_mu_);
+  if (!pins_.empty()) horizon = std::min(horizon, pins_.begin()->first);
+  return horizon;
 }
 
 SnapshotRef SnapshotService::latest() const {

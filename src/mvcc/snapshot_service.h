@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <mutex>
 
 #include "btree/tree.h"
@@ -53,16 +54,28 @@ class SnapshotService {
 
   // Strictly serializable snapshot acquisition (Fig. 7): create a snapshot
   // or borrow one proven to have been created within this call's lifetime.
-  Result<SnapshotRef> CreateSnapshot();
+  // With `pin`, the returned snapshot is pinned BEFORE the acquisition path
+  // releases its locks, so the GC horizon can never slip past it between
+  // acquisition and the caller's own Pin (the caller must Unpin it).
+  Result<SnapshotRef> CreateSnapshot(bool pin = false);
 
   // Snapshot acquisition for scans under the stale policy: reuse the latest
   // snapshot if younger than min_interval_seconds, else create (borrowing
   // still applies). With k=0 this is exactly CreateSnapshot().
-  Result<SnapshotRef> AcquireForScan();
+  Result<SnapshotRef> AcquireForScan(bool pin = false);
+
+  // --- Snapshot leases (client-API pinning) --------------------------------
+  // A pinned snapshot is exempt from the retention window: the GC horizon
+  // never advances past the lowest pinned sid, so a SnapshotView (or a
+  // long-running cursor) can outlive `retain_last` newer snapshots without
+  // its reads failing at the horizon. Pins nest (multiset semantics).
+  void Pin(uint64_t sid);
+  void Unpin(uint64_t sid);
+  uint64_t pinned_count() const;
 
   // --- Garbage-collection horizon -----------------------------------------
   // Lowest snapshot id still queryable; everything copied at or before it
-  // is reclaimable.
+  // is reclaimable. Never exceeds the lowest pinned lease.
   uint64_t LowestRetained() const;
 
   // --- Introspection --------------------------------------------------------
@@ -79,7 +92,8 @@ class SnapshotService {
   SnapshotRef latest() const;
 
  private:
-  Result<SnapshotRef> CreateLocked();
+  // Lock order everywhere: last_mu_ before pins_mu_.
+  Result<SnapshotRef> CreateLocked(bool pin);
 
   BTree* tree_;
   Options options_;
@@ -94,6 +108,9 @@ class SnapshotService {
   std::atomic<uint64_t> created_{0};
   std::atomic<uint64_t> borrowed_{0};
   std::atomic<uint64_t> stale_reuses_{0};
+
+  mutable std::mutex pins_mu_;
+  std::map<uint64_t, uint32_t> pins_;  // sid -> lease count
 };
 
 }  // namespace minuet::mvcc

@@ -147,8 +147,10 @@ class DynamicTxn {
 // Retry loop: run `body` in fresh transactions until it commits or fails
 // with a non-retryable status. `body` receives the transaction and returns
 // OK to request commit, Aborted to retry immediately, or any other status
-// to stop. NotFound is returned through without retrying (the transaction
-// still commits: a Get that misses is a successful read-only transaction).
+// to stop. NotFound and AlreadyExists are returned through WITH a commit:
+// a Get that misses (or a strict Insert that hits) is an ANSWER derived
+// from possibly-cached reads, so it must pass commit-time validation —
+// and retry on a validation abort — before being reported.
 template <typename Body>
 Status RunTransaction(sinfonia::Coordinator* coord, ObjectCache* cache,
                       DynamicTxn::Options options, uint32_t max_attempts,
@@ -158,7 +160,7 @@ Status RunTransaction(sinfonia::Coordinator* coord, ObjectCache* cache,
     DynamicTxn txn(coord, cache, options);
     Status st = body(txn);
     bool retryable = false;
-    if (st.ok() || st.IsNotFound()) {
+    if (st.IsCommittableAnswer()) {
       Status cst = txn.Commit();
       if (cst.ok()) return st;
       if (!cst.IsRetryable()) return cst;

@@ -115,12 +115,12 @@ TEST_F(BTreeTest, RandomOrderInsertionMatchesReferenceModel) {
   }
 }
 
-TEST_F(BTreeTest, ScanAtTipReturnsSortedRange) {
+TEST_F(BTreeTest, TipScanReturnsSortedRange) {
   for (int i = 0; i < 300; i++) {
     ASSERT_TRUE(tree().Put(EncodeUserKey(i * 2), EncodeValue(i)).ok());
   }
   std::vector<std::pair<std::string, std::string>> out;
-  ASSERT_TRUE(tree().ScanAtTip(EncodeUserKey(100), 50, &out).ok());
+  ASSERT_TRUE(tree().TipScan(EncodeUserKey(100), 50, &out).ok());
   ASSERT_EQ(out.size(), 50u);
   EXPECT_EQ(out[0].first, EncodeUserKey(100));
   for (size_t i = 1; i < out.size(); i++) {
@@ -129,12 +129,12 @@ TEST_F(BTreeTest, ScanAtTipReturnsSortedRange) {
   EXPECT_EQ(out.back().first, EncodeUserKey(198));
 }
 
-TEST_F(BTreeTest, ScanAtTipStopsAtTreeEnd) {
+TEST_F(BTreeTest, TipScanStopsAtTreeEnd) {
   for (int i = 0; i < 20; i++) {
     ASSERT_TRUE(tree().Put(EncodeUserKey(i), EncodeValue(i)).ok());
   }
   std::vector<std::pair<std::string, std::string>> out;
-  ASSERT_TRUE(tree().ScanAtTip(EncodeUserKey(15), 100, &out).ok());
+  ASSERT_TRUE(tree().TipScan(EncodeUserKey(15), 100, &out).ok());
   EXPECT_EQ(out.size(), 5u);
 }
 
@@ -446,7 +446,7 @@ TEST_P(BTreeSweepTest, InsertLookupScanHoldUnderConfig) {
     EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
   }
   std::vector<std::pair<std::string, std::string>> out;
-  ASSERT_TRUE(trees[0]->ScanAtTip(EncodeUserKey(0), 100, &out).ok());
+  ASSERT_TRUE(trees[0]->TipScan(EncodeUserKey(0), 100, &out).ok());
   ASSERT_EQ(out.size(), 100u);
   for (size_t i = 1; i < out.size(); i++) {
     EXPECT_LT(out[i - 1].first, out[i].first);

@@ -23,13 +23,50 @@ TEST(ClusterTest, QuickstartFlow) {
   Cluster cluster(SmallOptions());
   auto tree = cluster.CreateTree();
   ASSERT_TRUE(tree.ok());
-  Proxy& p = cluster.proxy(0);
-  ASSERT_TRUE(p.Put(*tree, "hello", "world").ok());
+  EXPECT_FALSE(tree->branching());
+  TipView tip = cluster.proxy(0).Tip(*tree);
+  ASSERT_TRUE(tip.Put("hello", "world").ok());
   std::string value;
-  ASSERT_TRUE(p.Get(*tree, "hello", &value).ok());
+  ASSERT_TRUE(tip.Get("hello", &value).ok());
   EXPECT_EQ(value, "world");
-  ASSERT_TRUE(p.Remove(*tree, "hello").ok());
-  EXPECT_TRUE(p.Get(*tree, "hello", &value).IsNotFound());
+  ASSERT_TRUE(tip.Remove("hello").ok());
+  EXPECT_TRUE(tip.Get("hello", &value).IsNotFound());
+
+  // OpenTree re-derives an equal handle from the raw slot.
+  auto reopened = cluster.OpenTree(tree->slot());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*reopened, *tree);
+  EXPECT_TRUE(cluster.OpenTree(99).status().IsInvalidArgument());
+}
+
+TEST(ClusterTest, InsertIsStrictPutIsUpsert) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  TipView tip = cluster.proxy(0).Tip(*tree);
+  ASSERT_TRUE(tip.Insert("k", "v1").ok());
+  EXPECT_TRUE(tip.Insert("k", "v2").IsAlreadyExists());
+  std::string value;
+  ASSERT_TRUE(tip.Get("k", &value).ok());
+  EXPECT_EQ(value, "v1");  // the failed insert changed nothing
+  ASSERT_TRUE(tip.Put("k", "v3").ok());
+  ASSERT_TRUE(tip.Get("k", &value).ok());
+  EXPECT_EQ(value, "v3");
+}
+
+TEST(ClusterTest, TipMultiGetIsAtomic) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  TipView tip = cluster.proxy(0).Tip(*tree);
+  ASSERT_TRUE(tip.Put("a", "1").ok());
+  ASSERT_TRUE(tip.Put("c", "3").ok());
+  std::vector<std::optional<std::string>> values;
+  ASSERT_TRUE(tip.MultiGet({"a", "b", "c"}, &values).ok());
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], "1");
+  EXPECT_FALSE(values[1].has_value());
+  EXPECT_EQ(values[2], "3");
 }
 
 TEST(ClusterTest, AllProxiesShareTheTree) {
@@ -58,16 +95,25 @@ TEST(ClusterTest, SnapshotServiceAndScans) {
   for (int i = 0; i < 100; i++) {
     ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
   }
-  auto snap = p.CreateSnapshot(*tree);
+  auto snap = p.Snapshot(*tree);
   ASSERT_TRUE(snap.ok());
   for (int i = 0; i < 100; i++) {
     ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(1000 + i)).ok());
   }
   std::vector<std::pair<std::string, std::string>> rows;
-  ASSERT_TRUE(
-      p.ScanAtSnapshot(*tree, *snap, EncodeUserKey(0), 200, &rows).ok());
+  ASSERT_TRUE(snap->Scan(EncodeUserKey(0), 200, &rows).ok());
   ASSERT_EQ(rows.size(), 100u);
   EXPECT_EQ(DecodeValue(rows[42].second), 42u);
+
+  // The same rows through a streaming cursor.
+  size_t n = 0;
+  for (auto cur = snap->NewCursor(EncodeUserKey(0)); cur->Valid();
+       cur->Next()) {
+    EXPECT_EQ(cur->key(), rows[n].first);
+    EXPECT_EQ(cur->value(), rows[n].second);
+    n++;
+  }
+  EXPECT_EQ(n, rows.size());
 
   ASSERT_TRUE(p.Scan(*tree, EncodeUserKey(0), 200, &rows).ok());
   ASSERT_EQ(rows.size(), 100u);
@@ -121,31 +167,34 @@ TEST(ClusterTest, BranchingTreeEndToEnd) {
   Cluster cluster(SmallOptions());
   auto tree = cluster.CreateTree(/*branching=*/true);
   ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->branching());
   Proxy& p = cluster.proxy(0);
+  auto base = p.Branch(*tree, 0);
+  ASSERT_TRUE(base.ok());
   for (int i = 0; i < 50; i++) {
-    ASSERT_TRUE(p.PutAtBranch(*tree, 0, EncodeUserKey(i),
-                              EncodeValue(i)).ok());
+    ASSERT_TRUE(base->Put(EncodeUserKey(i), EncodeValue(i)).ok());
   }
-  auto branch = p.CreateBranch(*tree, 0);
+  auto branch_sid = p.CreateBranch(*tree, 0);
+  ASSERT_TRUE(branch_sid.ok());
+  auto branch = p.Branch(*tree, *branch_sid);
   ASSERT_TRUE(branch.ok());
-  ASSERT_TRUE(p.PutAtBranch(*tree, *branch, EncodeUserKey(0),
-                            EncodeValue(777)).ok());
+  EXPECT_TRUE(branch->writable());
+  ASSERT_TRUE(branch->Put(EncodeUserKey(0), EncodeValue(777)).ok());
 
   std::string value;
-  ASSERT_TRUE(
-      cluster.proxy(2).GetAtBranch(*tree, *branch, EncodeUserKey(0), &value)
-          .ok());
+  auto remote = cluster.proxy(2).Branch(*tree, *branch_sid);
+  ASSERT_TRUE(remote.ok());
+  ASSERT_TRUE(remote->Get(EncodeUserKey(0), &value).ok());
   EXPECT_EQ(DecodeValue(value), 777u);
 
+  auto frozen = p.Branch(*tree, 0);
+  ASSERT_TRUE(frozen.ok());
+  EXPECT_FALSE(frozen->writable());
   std::vector<std::pair<std::string, std::string>> rows;
-  ASSERT_TRUE(
-      p.ScanAtBranch(*tree, 0, EncodeUserKey(0), 100, &rows).ok());
+  ASSERT_TRUE(frozen->Scan(EncodeUserKey(0), 100, &rows).ok());
   ASSERT_EQ(rows.size(), 50u);
   EXPECT_EQ(DecodeValue(rows[0].second), 0u);  // frozen parent unchanged
-
-  auto info = p.BranchInfo(*tree, 0);
-  ASSERT_TRUE(info.ok());
-  EXPECT_FALSE(info->writable);
+  EXPECT_TRUE(frozen->Put("x", "y").IsReadOnly());
 }
 
 TEST(ClusterTest, BranchOpsOnLinearTreeRejected) {
@@ -167,7 +216,7 @@ TEST(ClusterTest, GarbageCollectionThroughFacade) {
     ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
   }
   for (int epoch = 0; epoch < 5; epoch++) {
-    ASSERT_TRUE(p.CreateSnapshot(*tree).ok());
+    ASSERT_TRUE(p.Snapshot(*tree).ok());
     for (int i = 0; i < 80; i++) {
       ASSERT_TRUE(
           p.Put(*tree, EncodeUserKey(i), EncodeValue(epoch * 100 + i)).ok());

@@ -104,7 +104,7 @@ TEST(FailureTest, SnapshotsSurviveCrashRecovery) {
   for (int i = 0; i < 300; i++) {
     ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
   }
-  auto snap = p.CreateSnapshot(*tree);
+  auto snap = p.Snapshot(*tree);
   ASSERT_TRUE(snap.ok());
   for (int i = 0; i < 300; i++) {
     ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i + 5000)).ok());
@@ -114,8 +114,7 @@ TEST(FailureTest, SnapshotsSurviveCrashRecovery) {
 
   std::string value;
   for (int i = 0; i < 300; i += 13) {
-    ASSERT_TRUE(p.GetAtSnapshot(*tree, *snap, EncodeUserKey(i), &value).ok())
-        << i;
+    ASSERT_TRUE(snap->Get(EncodeUserKey(i), &value).ok()) << i;
     EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
     ASSERT_TRUE(p.Get(*tree, EncodeUserKey(i), &value).ok());
     EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i + 5000));
@@ -173,19 +172,22 @@ TEST(FailureTest, BranchCatalogSurvivesCrash) {
   auto tree = cluster.CreateTree(/*branching=*/true);
   ASSERT_TRUE(tree.ok());
   Proxy& p = cluster.proxy(0);
+  auto base = p.Branch(*tree, 0);
+  ASSERT_TRUE(base.ok());
   for (int i = 0; i < 100; i++) {
-    ASSERT_TRUE(p.PutAtBranch(*tree, 0, EncodeUserKey(i), EncodeValue(i))
-                    .ok());
+    ASSERT_TRUE(base->Put(EncodeUserKey(i), EncodeValue(i)).ok());
   }
   auto b1 = p.CreateBranch(*tree, 0);
   ASSERT_TRUE(b1.ok());
-  ASSERT_TRUE(p.PutAtBranch(*tree, *b1, "branch-key", "branch-value").ok());
+  auto fork = p.Branch(*tree, *b1);
+  ASSERT_TRUE(fork.ok());
+  ASSERT_TRUE(fork->Put("branch-key", "branch-value").ok());
 
   cluster.CrashMemnode(1);
   cluster.RecoverMemnode(1);
 
   std::string value;
-  ASSERT_TRUE(p.GetAtBranch(*tree, *b1, "branch-key", &value).ok());
+  ASSERT_TRUE(fork->Get("branch-key", &value).ok());
   EXPECT_EQ(value, "branch-value");
   auto info = p.BranchInfo(*tree, 0);
   ASSERT_TRUE(info.ok());

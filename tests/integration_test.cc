@@ -61,7 +61,7 @@ TEST(IntegrationTest, MixedWorkloadWithSnapshotsAndGc) {
   });
   std::thread snapshotter([&] {
     for (int i = 0; i < 12 && !stop; i++) {
-      auto snap = cluster.proxy(2).CreateSnapshot(*tree);
+      auto snap = cluster.proxy(2).Snapshot(*tree);
       if (!snap.ok()) record("snapshotter", snap.status());
       // Pace the storm so the GC horizon trails every active scan.
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -149,13 +149,10 @@ TEST(IntegrationTest, SnapshotScanSumInvariantUnderTransfers) {
 
   Proxy& auditor = cluster.proxy(2);
   for (int round = 0; round < 15; round++) {
-    auto snap = auditor.CreateSnapshot(*tree);
+    auto snap = auditor.Snapshot(*tree);
     ASSERT_TRUE(snap.ok());
     std::vector<std::pair<std::string, std::string>> rows;
-    ASSERT_TRUE(auditor
-                    .ScanAtSnapshot(*tree, *snap, EncodeUserKey(0),
-                                    kAccounts, &rows)
-                    .ok());
+    ASSERT_TRUE(snap->Scan(EncodeUserKey(0), kAccounts, &rows).ok());
     ASSERT_EQ(rows.size(), kAccounts);
     uint64_t sum = 0;
     for (const auto& [k, v] : rows) sum += DecodeValue(v);
@@ -195,13 +192,13 @@ TEST(IntegrationTest, BorrowedSnapshotsAreStrictlySerializable) {
       Proxy& p = cluster.proxy(1 + t % 3);
       for (int i = 0; i < 40; i++) {
         const uint64_t floor = committed_stamp.load(std::memory_order_acquire);
-        auto snap = p.CreateSnapshot(*tree);
+        auto snap = p.Snapshot(*tree);
         if (!snap.ok()) {
           violations++;
           continue;
         }
         std::string value;
-        if (!p.GetAtSnapshot(*tree, *snap, "stamp", &value).ok()) {
+        if (!snap->Get("stamp", &value).ok()) {
           violations++;
           continue;
         }
@@ -231,13 +228,13 @@ TEST(IntegrationTest, TwoTreesWithIndependentSnapshots) {
   ASSERT_TRUE(p.Put(*orders, "o1", "pending").ok());
   ASSERT_TRUE(p.Put(*users, "u1", "alice").ok());
 
-  auto orders_snap = p.CreateSnapshot(*orders);
+  auto orders_snap = p.Snapshot(*orders);
   ASSERT_TRUE(orders_snap.ok());
   ASSERT_TRUE(p.Put(*orders, "o1", "shipped").ok());
   ASSERT_TRUE(p.Put(*users, "u1", "alice2").ok());
 
   std::string value;
-  ASSERT_TRUE(p.GetAtSnapshot(*orders, *orders_snap, "o1", &value).ok());
+  ASSERT_TRUE(orders_snap->Get("o1", &value).ok());
   EXPECT_EQ(value, "pending");
   // The users tree was never snapshotted; its tip moved freely.
   ASSERT_TRUE(p.Get(*users, "u1", &value).ok());
@@ -250,10 +247,10 @@ TEST(IntegrationTest, BranchingTreeUnderConcurrentProxies) {
   Cluster cluster(Opts());
   auto tree = cluster.CreateTree(/*branching=*/true);
   ASSERT_TRUE(tree.ok());
+  auto base = cluster.proxy(0).Branch(*tree, 0);
+  ASSERT_TRUE(base.ok());
   for (int i = 0; i < 100; i++) {
-    ASSERT_TRUE(cluster.proxy(0)
-                    .PutAtBranch(*tree, 0, EncodeUserKey(i), EncodeValue(i))
-                    .ok());
+    ASSERT_TRUE(base->Put(EncodeUserKey(i), EncodeValue(i)).ok());
   }
   auto b1 = cluster.proxy(0).CreateBranch(*tree, 0);
   ASSERT_TRUE(b1.ok());
@@ -262,22 +259,28 @@ TEST(IntegrationTest, BranchingTreeUnderConcurrentProxies) {
 
   std::atomic<int> errors{0};
   std::thread w1([&] {
+    auto view = cluster.proxy(0).Branch(*tree, *b1);
+    if (!view.ok()) {
+      errors += 120;
+      return;
+    }
     Rng rng(1);
     for (int i = 0; i < 120; i++) {
-      if (!cluster.proxy(0)
-               .PutAtBranch(*tree, *b1, EncodeUserKey(rng.Uniform(100)),
-                            EncodeValue(1000 + i))
+      if (!view->Put(EncodeUserKey(rng.Uniform(100)), EncodeValue(1000 + i))
                .ok()) {
         errors++;
       }
     }
   });
   std::thread w2([&] {
+    auto view = cluster.proxy(1).Branch(*tree, *b2);
+    if (!view.ok()) {
+      errors += 120;
+      return;
+    }
     Rng rng(2);
     for (int i = 0; i < 120; i++) {
-      if (!cluster.proxy(1)
-               .PutAtBranch(*tree, *b2, EncodeUserKey(rng.Uniform(100)),
-                            EncodeValue(2000 + i))
+      if (!view->Put(EncodeUserKey(rng.Uniform(100)), EncodeValue(2000 + i))
                .ok()) {
         errors++;
       }
@@ -289,29 +292,28 @@ TEST(IntegrationTest, BranchingTreeUnderConcurrentProxies) {
 
   // Branch values never leak across branches, and the frozen base is
   // untouched.
+  auto r1 = cluster.proxy(2).Branch(*tree, *b1);
+  auto r2 = cluster.proxy(2).Branch(*tree, *b2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
   std::string value;
   for (int i = 0; i < 100; i++) {
-    ASSERT_TRUE(cluster.proxy(2)
-                    .GetAtBranch(*tree, *b1, EncodeUserKey(i), &value)
-                    .ok());
+    ASSERT_TRUE(r1->Get(EncodeUserKey(i), &value).ok());
     EXPECT_TRUE(DecodeValue(value) < 100 ||
                 (DecodeValue(value) >= 1000 && DecodeValue(value) < 2000));
-    ASSERT_TRUE(cluster.proxy(2)
-                    .GetAtBranch(*tree, *b2, EncodeUserKey(i), &value)
-                    .ok());
+    ASSERT_TRUE(r2->Get(EncodeUserKey(i), &value).ok());
     EXPECT_TRUE(DecodeValue(value) < 100 || DecodeValue(value) >= 2000);
   }
+  auto frozen = cluster.proxy(3).Branch(*tree, 0);
+  ASSERT_TRUE(frozen.ok());
   std::vector<std::pair<std::string, std::string>> rows;
-  ASSERT_TRUE(cluster.proxy(3)
-                  .ScanAtBranch(*tree, 0, EncodeUserKey(0), 200, &rows)
-                  .ok());
+  ASSERT_TRUE(frozen->Scan(EncodeUserKey(0), 200, &rows).ok());
   ASSERT_EQ(rows.size(), 100u);
   for (int i = 0; i < 100; i++) {
     EXPECT_EQ(DecodeValue(rows[i].second), static_cast<uint64_t>(i));
   }
 }
 
-TEST(IntegrationTest, ScanAtTipEqualsSnapshotScanWhenQuiescent) {
+TEST(IntegrationTest, TipCursorEqualsSnapshotScanWhenQuiescent) {
   Cluster cluster(Opts());
   auto tree = cluster.CreateTree();
   ASSERT_TRUE(tree.ok());
@@ -323,12 +325,11 @@ TEST(IntegrationTest, ScanAtTipEqualsSnapshotScanWhenQuiescent) {
                     .ok());
   }
   std::vector<std::pair<std::string, std::string>> tip_rows, snap_rows;
-  ASSERT_TRUE(p.ScanAtTip(*tree, EncodeUserKey(0), 10000, &tip_rows).ok());
-  auto snap = p.CreateSnapshot(*tree);
+  ASSERT_TRUE(
+      p.Tip(*tree).Scan(EncodeUserKey(0), 10000, &tip_rows).ok());
+  auto snap = p.Snapshot(*tree);
   ASSERT_TRUE(snap.ok());
-  ASSERT_TRUE(p.ScanAtSnapshot(*tree, *snap, EncodeUserKey(0), 10000,
-                               &snap_rows)
-                  .ok());
+  ASSERT_TRUE(snap->Scan(EncodeUserKey(0), 10000, &snap_rows).ok());
   EXPECT_EQ(tip_rows, snap_rows);
 }
 

@@ -59,7 +59,7 @@ TEST_F(MvccTest, SnapshotFreezesState) {
   ASSERT_TRUE(tree().Put("k", "after").ok());
 
   std::string value;
-  ASSERT_TRUE(tree().GetAtSnapshot(*snap, "k", &value).ok());
+  ASSERT_TRUE(tree().SnapshotGet(*snap, "k", &value).ok());
   EXPECT_EQ(value, "before");
   ASSERT_TRUE(tree().Get("k", &value).ok());
   EXPECT_EQ(value, "after");
@@ -73,8 +73,8 @@ TEST_F(MvccTest, SnapshotDoesNotSeeLaterInserts) {
   ASSERT_TRUE(tree().Put("later", "v").ok());
 
   std::string value;
-  EXPECT_TRUE(tree().GetAtSnapshot(*snap, "later", &value).IsNotFound());
-  EXPECT_TRUE(tree().GetAtSnapshot(*snap, "existing", &value).ok());
+  EXPECT_TRUE(tree().SnapshotGet(*snap, "later", &value).IsNotFound());
+  EXPECT_TRUE(tree().SnapshotGet(*snap, "existing", &value).ok());
 }
 
 TEST_F(MvccTest, SnapshotSurvivesLaterRemoves) {
@@ -85,7 +85,7 @@ TEST_F(MvccTest, SnapshotSurvivesLaterRemoves) {
   ASSERT_TRUE(tree().Remove("doomed").ok());
 
   std::string value;
-  ASSERT_TRUE(tree().GetAtSnapshot(*snap, "doomed", &value).ok());
+  ASSERT_TRUE(tree().SnapshotGet(*snap, "doomed", &value).ok());
   EXPECT_EQ(value, "v");
   EXPECT_TRUE(tree().Get("doomed", &value).IsNotFound());
 }
@@ -102,11 +102,11 @@ TEST_F(MvccTest, ManySnapshotsEachSeeTheirOwnEpoch) {
   }
   for (int epoch = 0; epoch < 8; epoch++) {
     std::string value;
-    ASSERT_TRUE(tree().GetAtSnapshot(snaps[epoch], "epoch", &value).ok());
+    ASSERT_TRUE(tree().SnapshotGet(snaps[epoch], "epoch", &value).ok());
     EXPECT_EQ(value, std::to_string(epoch));
     // Keys inserted after this snapshot are invisible to it.
     Status st =
-        tree().GetAtSnapshot(snaps[epoch], EncodeUserKey(epoch + 1), &value);
+        tree().SnapshotGet(snaps[epoch], EncodeUserKey(epoch + 1), &value);
     EXPECT_TRUE(st.IsNotFound()) << "epoch " << epoch;
   }
 }
@@ -131,7 +131,7 @@ TEST_F(MvccTest, SnapshotConsistentAcrossSplits) {
   // Snapshot: exactly the original 200 keys with original values.
   std::vector<std::pair<std::string, std::string>> out;
   ASSERT_TRUE(
-      tree().ScanAtSnapshot(*snap, EncodeUserKey(0), 10000, &out).ok());
+      tree().SnapshotScan(*snap, EncodeUserKey(0), 10000, &out).ok());
   ASSERT_EQ(out.size(), 200u);
   for (int i = 0; i < 200; i++) {
     EXPECT_EQ(out[i].first, EncodeUserKey(i));
@@ -139,7 +139,7 @@ TEST_F(MvccTest, SnapshotConsistentAcrossSplits) {
   }
 }
 
-TEST_F(MvccTest, ScanAtSnapshotUnaffectedByConcurrentUpdates) {
+TEST_F(MvccTest, SnapshotScanUnaffectedByConcurrentUpdates) {
   constexpr int kKeys = 400;
   for (int i = 0; i < kKeys; i++) {
     ASSERT_TRUE(tree().Put(EncodeUserKey(i), EncodeValue(i)).ok());
@@ -159,7 +159,7 @@ TEST_F(MvccTest, ScanAtSnapshotUnaffectedByConcurrentUpdates) {
   for (int round = 0; round < 10; round++) {
     std::vector<std::pair<std::string, std::string>> out;
     ASSERT_TRUE(
-        tree().ScanAtSnapshot(*snap, EncodeUserKey(0), kKeys, &out).ok());
+        tree().SnapshotScan(*snap, EncodeUserKey(0), kKeys, &out).ok());
     ASSERT_EQ(out.size(), static_cast<size_t>(kKeys));
     for (int i = 0; i < kKeys; i++) {
       ASSERT_EQ(DecodeValue(out[i].second), static_cast<uint64_t>(i))
@@ -253,7 +253,7 @@ TEST_F(MvccTest, BorrowedSnapshotIsUsable) {
           continue;
         }
         std::string value;
-        if (!tree().GetAtSnapshot(*snap, "k", &value).ok() || value != "v") {
+        if (!tree().SnapshotGet(*snap, "k", &value).ok() || value != "v") {
           bad++;
         }
       }
@@ -294,7 +294,7 @@ TEST_F(MvccTest, StaleReuseSeesOlderData) {
   auto s2 = scs.AcquireForScan();
   ASSERT_TRUE(s2.ok());
   std::string value;
-  ASSERT_TRUE(tree().GetAtSnapshot(*s2, "k", &value).ok());
+  ASSERT_TRUE(tree().SnapshotGet(*s2, "k", &value).ok());
   EXPECT_EQ(value, "old");  // staleness is the price of k > 0
 }
 
@@ -335,7 +335,7 @@ TEST_F(MvccTest, GarbageCollectionFreesRetiredNodesOnly) {
     ASSERT_TRUE(tree().Get(EncodeUserKey(i), &value).ok());
     EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(5000 + i));
     ASSERT_TRUE(
-        tree().GetAtSnapshot(latest_snap, EncodeUserKey(i), &value).ok());
+        tree().SnapshotGet(latest_snap, EncodeUserKey(i), &value).ok());
   }
 
   // A second pass over the same horizon finds nothing new.

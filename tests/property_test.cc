@@ -32,7 +32,7 @@ std::string ShapeName(const ::testing::TestParamInfo<Shape>& info) {
 class PropertyTest : public ::testing::TestWithParam<Shape> {
  protected:
   std::unique_ptr<Cluster> MakeCluster(bool branching = false,
-                                       uint32_t* tree_out = nullptr) {
+                                       TreeHandle* tree_out = nullptr) {
     const Shape& s = GetParam();
     ClusterOptions opts;
     opts.machines = s.machines;
@@ -49,7 +49,7 @@ class PropertyTest : public ::testing::TestWithParam<Shape> {
 };
 
 TEST_P(PropertyTest, RandomOpsMatchReferenceMap) {
-  uint32_t tree = 0;
+  TreeHandle tree;
   auto cluster = MakeCluster(false, &tree);
   std::map<std::string, std::string> model;
   Rng rng(GetParam().machines * 131 + GetParam().node_size);
@@ -78,10 +78,11 @@ TEST_P(PropertyTest, RandomOpsMatchReferenceMap) {
     }
   }
 
-  // Final full-scan equivalence.
+  // Final full-scan equivalence, streamed through a tip cursor.
   std::vector<std::pair<std::string, std::string>> rows;
   ASSERT_TRUE(cluster->proxy(0)
-                  .ScanAtTip(tree, EncodeUserKey(0), 100000, &rows)
+                  .Tip(tree)
+                  .Scan(EncodeUserKey(0), 100000, &rows)
                   .ok());
   ASSERT_EQ(rows.size(), model.size());
   auto it = model.begin();
@@ -92,13 +93,13 @@ TEST_P(PropertyTest, RandomOpsMatchReferenceMap) {
 }
 
 TEST_P(PropertyTest, SnapshotsPinEveryEpochExactly) {
-  uint32_t tree = 0;
+  TreeHandle tree;
   auto cluster = MakeCluster(false, &tree);
   Proxy& p = cluster->proxy(0);
   Rng rng(7);
 
   std::map<std::string, std::string> model;
-  std::vector<std::pair<btree::SnapshotRef,
+  std::vector<std::pair<SnapshotView,
                         std::map<std::string, std::string>>> epochs;
   for (int epoch = 0; epoch < 5; epoch++) {
     for (int i = 0; i < 120; i++) {
@@ -107,16 +108,15 @@ TEST_P(PropertyTest, SnapshotsPinEveryEpochExactly) {
       ASSERT_TRUE(p.Put(tree, key, value).ok());
       model[key] = value;
     }
-    auto snap = p.CreateSnapshot(tree);
+    auto snap = p.Snapshot(tree);
     ASSERT_TRUE(snap.ok());
-    epochs.emplace_back(*snap, model);
+    epochs.emplace_back(std::move(*snap), model);
   }
   // Every snapshot equals its frozen model, scanned and point-read.
-  for (const auto& [snap, frozen] : epochs) {
+  for (auto& [snap, frozen] : epochs) {
     std::vector<std::pair<std::string, std::string>> rows;
-    ASSERT_TRUE(
-        p.ScanAtSnapshot(tree, snap, EncodeUserKey(0), 100000, &rows).ok());
-    ASSERT_EQ(rows.size(), frozen.size()) << "sid " << snap.sid;
+    ASSERT_TRUE(snap.Scan(EncodeUserKey(0), 100000, &rows).ok());
+    ASSERT_EQ(rows.size(), frozen.size()) << "sid " << snap.sid();
     auto it = frozen.begin();
     for (size_t i = 0; i < rows.size(); i++, ++it) {
       EXPECT_EQ(rows[i].first, it->first);
@@ -126,22 +126,20 @@ TEST_P(PropertyTest, SnapshotsPinEveryEpochExactly) {
 }
 
 TEST_P(PropertyTest, ScanWindowsAreConsistentSlices) {
-  uint32_t tree = 0;
+  TreeHandle tree;
   auto cluster = MakeCluster(false, &tree);
   Proxy& p = cluster->proxy(0);
   for (int i = 0; i < 400; i++) {
     ASSERT_TRUE(p.Put(tree, EncodeUserKey(i * 3), EncodeValue(i)).ok());
   }
-  auto snap = p.CreateSnapshot(tree);
+  auto snap = p.Snapshot(tree);
   ASSERT_TRUE(snap.ok());
   Rng rng(13);
   for (int trial = 0; trial < 20; trial++) {
     const uint64_t start = rng.Uniform(1200);
     const size_t limit = 1 + rng.Uniform(60);
     std::vector<std::pair<std::string, std::string>> rows;
-    ASSERT_TRUE(p.ScanAtSnapshot(tree, *snap, EncodeUserKey(start), limit,
-                                 &rows)
-                    .ok());
+    ASSERT_TRUE(snap->Scan(EncodeUserKey(start), limit, &rows).ok());
     // Sorted, within range, contiguous w.r.t. the key population.
     for (size_t i = 0; i < rows.size(); i++) {
       EXPECT_GE(rows[i].first, EncodeUserKey(start));
@@ -160,7 +158,7 @@ TEST_P(PropertyTest, ScanWindowsAreConsistentSlices) {
 
 TEST_P(PropertyTest, BranchForestMatchesPerBranchModels) {
   if (GetParam().beta < 2) GTEST_SKIP();
-  uint32_t tree = 0;
+  TreeHandle tree;
   auto cluster = MakeCluster(/*branching=*/true, &tree);
   Proxy& p = cluster->proxy(0);
   Rng rng(GetParam().beta * 17 + 1);
@@ -179,20 +177,23 @@ TEST_P(PropertyTest, BranchForestMatchesPerBranchModels) {
       }
       continue;
     }
+    auto view = p.Branch(tree, branch);
+    ASSERT_TRUE(view.ok());
     const std::string key = EncodeUserKey(rng.Uniform(80));
     if (rng.Chance(0.2)) {
-      Status st = p.RemoveAtBranch(tree, branch, key);
+      Status st = view->Remove(key);
       EXPECT_EQ(st.ok(), models[branch].erase(key) > 0);
     } else {
       const std::string value = EncodeValue(rng.Next());
-      ASSERT_TRUE(p.PutAtBranch(tree, branch, key, value).ok());
+      ASSERT_TRUE(view->Put(key, value).ok());
       models[branch][key] = value;
     }
   }
   for (uint64_t b : writable) {
+    auto view = p.Branch(tree, b);
+    ASSERT_TRUE(view.ok());
     std::vector<std::pair<std::string, std::string>> rows;
-    ASSERT_TRUE(
-        p.ScanAtBranch(tree, b, EncodeUserKey(0), 100000, &rows).ok());
+    ASSERT_TRUE(view->Scan(EncodeUserKey(0), 100000, &rows).ok());
     ASSERT_EQ(rows.size(), models[b].size()) << "branch " << b;
     auto it = models[b].begin();
     for (size_t i = 0; i < rows.size(); i++, ++it) {
@@ -203,7 +204,7 @@ TEST_P(PropertyTest, BranchForestMatchesPerBranchModels) {
 }
 
 TEST_P(PropertyTest, VariableLengthKeysAndValues) {
-  uint32_t tree = 0;
+  TreeHandle tree;
   auto cluster = MakeCluster(false, &tree);
   Proxy& p = cluster->proxy(0);
   Rng rng(21);

@@ -1,0 +1,372 @@
+// Tests for the View/Handle client API: agreement of TipView,
+// SnapshotView and freshly-forked BranchView over identical histories,
+// WriteBatch atomicity (including under injected memnode crash), cursor
+// streaming, and snapshot lease pinning against the GC horizon.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/key_codec.h"
+#include "common/random.h"
+#include "minuet/cluster.h"
+
+namespace minuet {
+namespace {
+
+ClusterOptions SmallOptions() {
+  ClusterOptions opts;
+  opts.machines = 4;
+  opts.node_size = 1024;
+  return opts;
+}
+
+using Rows = std::vector<std::pair<std::string, std::string>>;
+
+void ExpectRowsMatchModel(const Rows& rows,
+                          const std::map<std::string, std::string>& model,
+                          const char* label) {
+  ASSERT_EQ(rows.size(), model.size()) << label;
+  auto it = model.begin();
+  for (size_t i = 0; i < rows.size(); i++, ++it) {
+    EXPECT_EQ(rows[i].first, it->first) << label << " row " << i;
+    EXPECT_EQ(rows[i].second, it->second) << label << " row " << i;
+  }
+}
+
+// The satellite property: the same randomized history applied through a
+// TipView (linear tree) and through BranchView v0 (branching tree) yields
+// views — tip, snapshot of the tip, frozen fork parent, fresh fork child —
+// that all agree with the reference model and with each other.
+TEST(ViewTest, TipSnapshotAndFreshBranchAgreeOnIdenticalHistories) {
+  Cluster cluster(SmallOptions());
+  auto linear = cluster.CreateTree(/*branching=*/false);
+  auto branchy = cluster.CreateTree(/*branching=*/true);
+  ASSERT_TRUE(linear.ok() && branchy.ok());
+  Proxy& p = cluster.proxy(0);
+
+  TipView tip = p.Tip(*linear);
+  auto v0 = p.Branch(*branchy, 0);
+  ASSERT_TRUE(v0.ok());
+
+  std::map<std::string, std::string> model;
+  Rng rng(2024);
+  for (int step = 0; step < 600; step++) {
+    const std::string key = EncodeUserKey(rng.Uniform(150));
+    const double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      const std::string value = EncodeValue(rng.Next());
+      ASSERT_TRUE(tip.Put(key, value).ok());
+      ASSERT_TRUE(v0->Put(key, value).ok());
+      model[key] = value;
+    } else if (dice < 0.75) {
+      const bool existed = model.erase(key) > 0;
+      Status ts = tip.Remove(key);
+      Status bs = v0->Remove(key);
+      EXPECT_EQ(ts.ok(), existed);
+      EXPECT_EQ(bs.ok(), existed);
+    } else {
+      const std::string value = EncodeValue(rng.Next());
+      const bool existed = model.count(key) > 0;
+      Status ts = tip.Insert(key, value);
+      Status bs = v0->Insert(key, value);
+      EXPECT_EQ(ts.IsAlreadyExists(), existed);
+      EXPECT_EQ(bs.IsAlreadyExists(), existed);
+      if (!existed) model[key] = value;
+    }
+  }
+
+  // Tip view agrees with the model.
+  Rows rows;
+  ASSERT_TRUE(tip.Scan("", 100000, &rows).ok());
+  ExpectRowsMatchModel(rows, model, "tip");
+
+  // A snapshot of that tip agrees.
+  auto snap = p.Snapshot(*linear);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(snap->Scan("", 100000, &rows).ok());
+  ExpectRowsMatchModel(rows, model, "snapshot");
+
+  // Forking freezes v0; both the frozen parent and the fresh child agree.
+  auto child_sid = p.CreateBranch(*branchy, 0);
+  ASSERT_TRUE(child_sid.ok());
+  auto frozen = p.Branch(*branchy, 0);
+  auto child = p.Branch(*branchy, *child_sid);
+  ASSERT_TRUE(frozen.ok() && child.ok());
+  EXPECT_FALSE(frozen->writable());
+  EXPECT_TRUE(child->writable());
+  ASSERT_TRUE(frozen->Scan("", 100000, &rows).ok());
+  ExpectRowsMatchModel(rows, model, "frozen-parent");
+  ASSERT_TRUE(child->Scan("", 100000, &rows).ok());
+  ExpectRowsMatchModel(rows, model, "fresh-fork");
+
+  // Point reads agree across all three view kinds, including misses.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 150; i += 7) keys.push_back(EncodeUserKey(i));
+  std::vector<std::optional<std::string>> tip_vals, snap_vals, child_vals;
+  ASSERT_TRUE(tip.MultiGet(keys, &tip_vals).ok());
+  ASSERT_TRUE(snap->MultiGet(keys, &snap_vals).ok());
+  ASSERT_TRUE(child->MultiGet(keys, &child_vals).ok());
+  EXPECT_EQ(tip_vals, snap_vals);
+  EXPECT_EQ(tip_vals, child_vals);
+
+  // Diverging the child no longer disturbs snapshot or frozen parent.
+  ASSERT_TRUE(child->Put(keys[0], "diverged").ok());
+  std::string value;
+  Status st = frozen->Get(keys[0], &value);
+  if (st.ok()) {
+    EXPECT_NE(value, "diverged");
+  }
+}
+
+TEST(ViewTest, InvalidHandlesAreRejectedAtTheBoundary) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  TreeHandle bogus;  // default-constructed = invalid
+  EXPECT_FALSE(bogus.valid());
+  std::string value;
+  EXPECT_TRUE(p.Tip(bogus).Get("k", &value).IsInvalidArgument());
+  EXPECT_TRUE(p.Tip(bogus).Put("k", "v").IsInvalidArgument());
+  EXPECT_TRUE(p.Snapshot(bogus).status().IsInvalidArgument());
+  EXPECT_TRUE(p.RecentSnapshot(bogus).status().IsInvalidArgument());
+  EXPECT_TRUE(p.Branch(bogus, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(p.CreateBranch(bogus, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      p.ViewAt(bogus, btree::SnapshotRef{}).status().IsInvalidArgument());
+  WriteBatch batch;
+  batch.Put(bogus, "k", "v");
+  EXPECT_TRUE(p.Apply(batch).IsInvalidArgument());
+
+  // A handle minted by ANOTHER cluster is rejected, even for a slot this
+  // cluster also populates.
+  Cluster other(SmallOptions());
+  auto foreign = other.CreateTree();
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_TRUE(p.Tip(*foreign).Put("k", "v").IsInvalidArgument());
+  EXPECT_TRUE(p.Snapshot(*foreign).status().IsInvalidArgument());
+  WriteBatch cross;
+  cross.Put(*foreign, "k", "v");
+  EXPECT_TRUE(p.Apply(cross).IsInvalidArgument());
+  std::string probe;
+  EXPECT_TRUE(p.Get(*tree, "k", &probe).IsNotFound());  // nothing aliased
+
+  // Cluster-level plumbing rejects foreign/invalid handles too.
+  EXPECT_TRUE(cluster.CollectGarbage(bogus).status().IsInvalidArgument());
+  EXPECT_TRUE(cluster.CollectGarbage(*foreign).status().IsInvalidArgument());
+  EXPECT_EQ(cluster.snapshot_service(bogus), nullptr);
+  EXPECT_EQ(p.tree(bogus), nullptr);
+  EXPECT_EQ(p.tree(*foreign), nullptr);
+}
+
+TEST(ViewTest, TipAccessToBranchingTreeIsRejected) {
+  // A branching tree's linear tip shares nodes with version 0; writing it
+  // through TipView (or WriteBatch) would corrupt frozen branches.
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree(/*branching=*/true);
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  std::string value;
+  EXPECT_TRUE(p.Put(*tree, "k", "v").IsInvalidArgument());
+  EXPECT_TRUE(p.Tip(*tree).Get("k", &value).IsInvalidArgument());
+  WriteBatch batch;
+  batch.Put(*tree, "k", "v");
+  EXPECT_TRUE(p.Apply(batch).IsInvalidArgument());
+  auto cur = p.Tip(*tree).NewCursor();
+  EXPECT_FALSE(cur->Valid());
+  EXPECT_TRUE(cur->status().IsInvalidArgument());
+
+  // The branch path remains the way in.
+  auto v0 = p.Branch(*tree, 0);
+  ASSERT_TRUE(v0.ok());
+  EXPECT_TRUE(v0->Put("k", "v").ok());
+}
+
+TEST(ViewTest, WriteBatchCommitsAtomicallyAcrossTrees) {
+  Cluster cluster(SmallOptions());
+  auto t1 = cluster.CreateTree();
+  auto t2 = cluster.CreateTree();
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  Proxy& p = cluster.proxy(0);
+
+  WriteBatch batch;
+  batch.Put(*t1, "user", "alice");
+  batch.Insert(*t2, "email", "alice@example.com");
+  batch.Remove(*t1, "never-existed");  // blind delete tolerates absence
+  ASSERT_TRUE(p.Apply(batch).ok());
+
+  std::string value;
+  ASSERT_TRUE(cluster.proxy(1).Get(*t1, "user", &value).ok());
+  EXPECT_EQ(value, "alice");
+  ASSERT_TRUE(cluster.proxy(1).Get(*t2, "email", &value).ok());
+  EXPECT_EQ(value, "alice@example.com");
+
+  // A failing strict insert poisons the WHOLE batch: the puts that share
+  // its transaction must not become visible.
+  WriteBatch poisoned;
+  poisoned.Put(*t1, "k1", "v1");
+  poisoned.Insert(*t2, "email", "other@example.com");  // already exists
+  poisoned.Put(*t2, "k2", "v2");
+  EXPECT_TRUE(p.Apply(poisoned).IsAlreadyExists());
+  EXPECT_TRUE(p.Get(*t1, "k1", &value).IsNotFound());
+  EXPECT_TRUE(p.Get(*t2, "k2", &value).IsNotFound());
+  ASSERT_TRUE(p.Get(*t2, "email", &value).ok());
+  EXPECT_EQ(value, "alice@example.com");
+}
+
+TEST(ViewTest, WriteBatchIsAtomicUnderMemnodeCrash) {
+  ClusterOptions opts = SmallOptions();
+  opts.replication = true;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  // Enough preload that later batch keys land on leaves across memnodes.
+  for (int i = 0; i < 400; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+
+  constexpr uint64_t kBatchKeys = 40;
+  WriteBatch batch;
+  for (uint64_t i = 0; i < kBatchKeys; i++) {
+    batch.Put(*tree, EncodeUserKey(10000 + i), EncodeValue(i));
+  }
+
+  cluster.CrashMemnode(1);
+  Status st = p.Apply(batch);
+  cluster.RecoverMemnode(1);
+
+  // All-or-nothing: whatever Apply reported, the batch is never partial.
+  uint64_t present = 0;
+  std::string value;
+  for (uint64_t i = 0; i < kBatchKeys; i++) {
+    if (p.Get(*tree, EncodeUserKey(10000 + i), &value).ok()) present++;
+  }
+  EXPECT_EQ(st.ok(), present == kBatchKeys) << st.ToString();
+  EXPECT_TRUE(present == 0 || present == kBatchKeys) << present;
+  EXPECT_FALSE(st.ok());  // a 40-key batch cannot dodge a down memnode
+
+  // After recovery the identical batch commits and every key appears.
+  ASSERT_TRUE(p.Apply(batch).ok());
+  for (uint64_t i = 0; i < kBatchKeys; i++) {
+    ASSERT_TRUE(p.Get(*tree, EncodeUserKey(10000 + i), &value).ok()) << i;
+    EXPECT_EQ(DecodeValue(value), i);
+  }
+}
+
+TEST(ViewTest, CursorStreamsWholeTreeInOrder) {
+  ClusterOptions opts = SmallOptions();
+  opts.node_size = 512;  // many leaves → many cursor chunks
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  constexpr int kKeys = 700;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i * 2), EncodeValue(i)).ok());
+  }
+  auto snap = p.Snapshot(*tree);
+  ASSERT_TRUE(snap.ok());
+
+  Cursor::Options copts;
+  copts.chunk_size = 7;  // force mid-leaf chunk boundaries
+  int n = 0;
+  auto cur = snap->NewCursor(EncodeUserKey(0), copts);
+  for (; cur->Valid(); cur->Next(), n++) {
+    EXPECT_EQ(cur->key(), EncodeUserKey(n * 2));
+    EXPECT_EQ(DecodeValue(cur->value()), static_cast<uint64_t>(n));
+  }
+  EXPECT_TRUE(cur->status().ok());
+  EXPECT_EQ(n, kKeys);
+
+  // Seek semantics: a cursor started mid-range begins at the lower bound.
+  auto mid = snap->NewCursor(EncodeUserKey(101), copts);
+  ASSERT_TRUE(mid->Valid());
+  EXPECT_EQ(mid->key(), EncodeUserKey(102));
+}
+
+TEST(ViewTest, PinnedSnapshotHoldsGcHorizon) {
+  ClusterOptions opts = SmallOptions();
+  opts.retain_snapshots = 1;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  constexpr int kKeys = 100;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  auto* scs = cluster.snapshot_service(*tree);
+
+  {
+    auto pinned = p.Snapshot(*tree);
+    ASSERT_TRUE(pinned.ok());
+    EXPECT_EQ(scs->pinned_count(), 1u);
+    // Snapshot storm + churn: without the pin the horizon would pass us.
+    for (int epoch = 0; epoch < 6; epoch++) {
+      ASSERT_TRUE(scs->CreateSnapshot().ok());
+      for (int i = 0; i < kKeys; i++) {
+        ASSERT_TRUE(
+            p.Put(*tree, EncodeUserKey(i), EncodeValue(1000 + i)).ok());
+      }
+    }
+    EXPECT_LE(scs->LowestRetained(), pinned->sid());
+    ASSERT_TRUE(cluster.CollectGarbage(*tree).ok());
+
+    // The pinned view still reads its frozen epoch, post-GC.
+    Rows rows;
+    ASSERT_TRUE(pinned->Scan("", 10000, &rows).ok());
+    ASSERT_EQ(rows.size(), static_cast<size_t>(kKeys));
+    EXPECT_EQ(DecodeValue(rows[42].second), 42u);
+  }
+
+  // Lease released: the horizon advances and GC reclaims the old epochs.
+  EXPECT_EQ(scs->pinned_count(), 0u);
+  EXPECT_GT(scs->LowestRetained(), 0u);
+  auto report = cluster.CollectGarbage(*tree);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->freed, 0u);
+}
+
+TEST(ViewTest, RefreshLeaseCursorSurvivesHorizonAdvance) {
+  ClusterOptions opts = SmallOptions();
+  opts.retain_snapshots = 1;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  constexpr int kKeys = 80;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  auto* scs = cluster.snapshot_service(*tree);
+  ASSERT_TRUE(scs->CreateSnapshot().ok());
+  // An UNPINNED wrap of the then-latest snapshot.
+  auto stale_view = p.ViewAt(*tree, scs->latest());
+  ASSERT_TRUE(stale_view.ok());
+  SnapshotView stale = std::move(*stale_view);
+
+  // Age it out: more snapshots and churn push the horizon past it.
+  for (int epoch = 0; epoch < 5; epoch++) {
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(999)).ok());
+    }
+    ASSERT_TRUE(scs->CreateSnapshot().ok());
+  }
+  ASSERT_GT(scs->LowestRetained(), stale.sid());
+
+  // A refresh_lease cursor re-acquires the newest snapshot and completes;
+  // the values it sees are the re-leased (current) epoch's.
+  Cursor::Options copts;
+  copts.refresh_lease = true;
+  int n = 0;
+  auto cur = stale.NewCursor("", copts);
+  for (; cur->Valid(); cur->Next(), n++) {
+    EXPECT_EQ(DecodeValue(cur->value()), 999u);
+  }
+  EXPECT_TRUE(cur->status().ok()) << cur->status().ToString();
+  EXPECT_EQ(n, kKeys);
+}
+
+}  // namespace
+}  // namespace minuet
