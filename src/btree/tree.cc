@@ -621,6 +621,180 @@ Status BTree::GetInTxn(DynamicTxn& txn, const std::string& key,
   return LeafLookup(path->back().node, key, value);
 }
 
+Status BTree::MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
+                         TraverseMode mode,
+                         const std::vector<std::string>& keys,
+                         std::vector<std::optional<std::string>>* values) {
+  values->assign(keys.size(), std::nullopt);
+
+  // All dirty-read addresses this operation leaned on; a safety-check
+  // failure invalidates them all (the same discipline as Traverse, which
+  // invalidates the implicated path) so the retry refetches fresh state.
+  std::vector<Addr> visited;
+  auto abort = [&](Addr at, const char* reason) -> Status {
+    if (cache_ != nullptr) {
+      cache_->Invalidate(at);
+      for (const Addr& a : visited) cache_->Invalidate(a);
+    }
+    stats_.traversal_aborts.fetch_add(1, std::memory_order_relaxed);
+    txn.MarkAborted();
+    return Status::Aborted(reason);
+  };
+
+  // -- Phase 1: resolve each key's leaf address via inner descents ----------
+  // Internal levels come from the proxy cache (dirty reads), so K keys
+  // sharing a path prefix pay for it once, and a warm cache pays nothing.
+  struct LeafGroup {
+    Addr addr;
+    std::vector<size_t> key_idx;
+  };
+  std::vector<LeafGroup> groups;
+  std::unordered_map<Addr, size_t, sinfonia::AddrHash> group_of;
+  auto join_group = [&](Addr addr, size_t key) {
+    auto [it, fresh] = group_of.emplace(addr, groups.size());
+    if (fresh) groups.push_back(LeafGroup{addr, {}});
+    groups[it->second].key_idx.push_back(key);
+  };
+
+  for (size_t i = 0; i < keys.size(); i++) {
+    const Slice key(keys[i]);
+    Addr addr = root;
+    int expected_height = -1;
+    bool resolved = false;
+    for (int steps = 0; steps < 256; steps++) {
+      if (expected_height == 0) {
+        // The parent told us this child is a leaf: defer its (validated)
+        // read to the batch.
+        join_group(addr, i);
+        resolved = true;
+        break;
+      }
+      auto fetched = FetchNode(txn, addr, /*as_leaf=*/false, mode);
+      if (!fetched.ok()) {
+        if (fetched.status().IsCorruption()) {
+          return abort(addr, "undecodable node (stale pointer)");
+        }
+        return fetched.status();
+      }
+      const Node node = std::move(fetched).value();
+      visited.push_back(addr);
+
+      if (!oracle_->IsAncestorOrEqual(node.created_sid, sid)) {
+        return abort(addr, "node from a different version lineage");
+      }
+      const DescendantEntry* applicable = nullptr;
+      for (const DescendantEntry& d : node.descendants) {
+        if (oracle_->IsAncestorOrEqual(d.sid, sid)) {
+          applicable = &d;
+          break;
+        }
+      }
+      if (applicable != nullptr) {
+        if (applicable->discretionary) {
+          stats_.redirects.fetch_add(1, std::memory_order_relaxed);
+          addr = applicable->copy_addr;
+          continue;
+        }
+        return abort(addr, "node copied for this or an earlier snapshot");
+      }
+      if (expected_height >= 0 &&
+          node.height != static_cast<uint8_t>(expected_height)) {
+        return abort(addr, "height mismatch");
+      }
+      if (!node.InFenceRange(key)) {
+        return abort(addr, "key outside fence range");
+      }
+      if (node.is_leaf()) {
+        // Reached through the internal-read path (root == leaf, or a
+        // redirect): it may now sit in the proxy cache, and leaves must
+        // never be served from there. The batch refetches it properly.
+        if (cache_ != nullptr) cache_->Invalidate(addr);
+        join_group(addr, i);
+        resolved = true;
+        break;
+      }
+      if (node.entries.empty()) {
+        return abort(addr, "internal node without children");
+      }
+      const size_t idx = node.ChildIndexFor(key);
+      expected_height = node.height - 1;
+      addr = node.entries[idx].child;
+    }
+    if (!resolved) return abort(addr, "traversal did not terminate");
+  }
+
+  // -- Phase 2: fetch ALL distinct leaves in one minitransaction round ------
+  std::vector<ObjectRef> refs;
+  refs.reserve(groups.size());
+  for (const LeafGroup& g : groups) {
+    refs.push_back(NodeRef(g.addr, /*internal=*/false));
+  }
+  auto payloads = mode == TraverseMode::kUpToDate ? txn.ReadBatch(refs)
+                                                  : txn.FetchFreshBatch(refs);
+  if (!payloads.ok()) return payloads.status();
+
+  // -- Phase 3: the leaf-level safety checks Traverse would have run --------
+  for (size_t gi = 0; gi < groups.size(); gi++) {
+    Addr at = groups[gi].addr;
+    auto decoded = Node::Decode((*payloads)[gi]);
+    if (!decoded.ok()) return abort(at, "undecodable leaf (stale pointer)");
+    Node leaf = std::move(decoded).value();
+    bool settled = false;  // the leaf passed its checks with no copy left
+    for (int hops = 0; hops < 256; hops++) {
+      if (!oracle_->IsAncestorOrEqual(leaf.created_sid, sid)) {
+        return abort(at, "leaf from a different version lineage");
+      }
+      const DescendantEntry* applicable = nullptr;
+      for (const DescendantEntry& d : leaf.descendants) {
+        if (oracle_->IsAncestorOrEqual(d.sid, sid)) {
+          applicable = &d;
+          break;
+        }
+      }
+      if (applicable == nullptr) {
+        settled = true;
+        break;
+      }
+      if (!applicable->discretionary) {
+        return abort(at, "leaf copied for this or an earlier snapshot");
+      }
+      // Rare: follow the discretionary chain with point reads (the batch
+      // could not have known about the hop).
+      stats_.redirects.fetch_add(1, std::memory_order_relaxed);
+      at = applicable->copy_addr;
+      auto raw = mode == TraverseMode::kUpToDate
+                     ? txn.Read(NodeRef(at, /*internal=*/false))
+                     : txn.FetchFresh(NodeRef(at, /*internal=*/false));
+      if (!raw.ok()) return raw.status();
+      auto redecoded = Node::Decode(*raw);
+      if (!redecoded.ok()) return abort(at, "undecodable leaf copy");
+      leaf = std::move(redecoded).value();
+    }
+    if (!settled) return abort(at, "leaf redirect chain did not terminate");
+    if (!leaf.is_leaf()) return abort(at, "height mismatch");
+    for (size_t i : groups[gi].key_idx) {
+      if (!leaf.InFenceRange(keys[i])) {
+        return abort(at, "key outside fence range");
+      }
+      const size_t e = leaf.FindKey(keys[i]);
+      if (e != leaf.entries.size()) (*values)[i] = leaf.entries[e].value;
+    }
+  }
+  return Status::OK();
+}
+
+Status BTree::MultiGetInTxn(DynamicTxn& txn,
+                            const std::vector<std::string>& keys,
+                            std::vector<std::optional<std::string>>* values) {
+  for (const std::string& key : keys) {
+    MINUET_RETURN_NOT_OK(CheckKeyValue(key, ""));
+  }
+  auto tip = ReadTipInTxn(txn);
+  if (!tip.ok()) return tip.status();
+  return MultiGetAt(txn, tip->sid, tip->root, TraverseMode::kUpToDate, keys,
+                    values);
+}
+
 Status BTree::UpsertLeafInTxn(DynamicTxn& txn, const TipContext& tip,
                               const std::string& key,
                               const std::string& value, bool strict) {
@@ -743,26 +917,114 @@ Status BTree::CheckGcHorizon(uint64_t sid) {
   return Status::OK();
 }
 
-Status BTree::SnapshotGet(const SnapshotRef& snap, const std::string& key,
-                          std::string* value) {
-  MINUET_RETURN_NOT_OK(CheckKeyValue(key, ""));
+// The shared retry skeleton of every validation-free snapshot read: a
+// fresh fetch-only transaction per attempt (no commit, §4.2), backoff on
+// persistent aborts, and a periodic horizon check so reads below the GC
+// horizon fail fast instead of retrying to exhaustion.
+template <typename Body>
+Status BTree::RunSnapshotOp(uint64_t sid, Body&& body) {
   Status last = Status::Aborted("no attempts");
   for (uint32_t attempt = 0; attempt < options_.max_attempts; attempt++) {
-    // The transaction is only a fetch vehicle: snapshot reads validate
-    // nothing and need no commit (§4.2).
     DynamicTxn txn(coord_, cache_);
-    auto path = Traverse(txn, snap.sid, snap.root, key,
-                         TraverseMode::kSnapshotRead);
-    if (path.ok()) return LeafLookup(path->back().node, key, value);
-    if (!path.status().IsRetryable()) return path.status();
-    last = path.status();
+    Status st = body(txn);
+    if (st.ok() || !st.IsRetryable()) return st;
+    last = st;
     stats_.op_aborts.fetch_add(1, std::memory_order_relaxed);
-    if (attempt % 64 == 5) MINUET_RETURN_NOT_OK(CheckGcHorizon(snap.sid));
+    if (attempt % 64 == 5) MINUET_RETURN_NOT_OK(CheckGcHorizon(sid));
     if (attempt >= 3) {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
   return last;
+}
+
+Status BTree::SnapshotGet(const SnapshotRef& snap, const std::string& key,
+                          std::string* value) {
+  MINUET_RETURN_NOT_OK(CheckKeyValue(key, ""));
+  return RunSnapshotOp(snap.sid, [&](DynamicTxn& txn) -> Status {
+    auto path = Traverse(txn, snap.sid, snap.root, key,
+                         TraverseMode::kSnapshotRead);
+    if (!path.ok()) return path.status();
+    return LeafLookup(path->back().node, key, value);
+  });
+}
+
+Status BTree::SnapshotMultiGet(
+    const SnapshotRef& snap, const std::vector<std::string>& keys,
+    std::vector<std::optional<std::string>>* values) {
+  for (const std::string& key : keys) {
+    MINUET_RETURN_NOT_OK(CheckKeyValue(key, ""));
+  }
+  return RunSnapshotOp(snap.sid, [&](DynamicTxn& txn) -> Status {
+    return MultiGetAt(txn, snap.sid, snap.root, TraverseMode::kSnapshotRead,
+                      keys, values);
+  });
+}
+
+Result<std::vector<BTree::ScanPartition>> BTree::PartitionRange(
+    const SnapshotRef& snap, const std::string& start,
+    const std::string& end) {
+  std::vector<ScanPartition> parts;
+  Status st = RunSnapshotOp(snap.sid, [&](DynamicTxn& txn) -> Status {
+    parts.clear();
+    Addr addr = snap.root;
+    Result<Node> fetched = Status::Aborted("");
+    // Resolve the root, following discretionary copies like Traverse.
+    for (int hops = 0; hops < 256; hops++) {
+      fetched = FetchNode(txn, addr, /*as_leaf=*/false,
+                          TraverseMode::kSnapshotRead);
+      if (!fetched.ok()) break;
+      if (!oracle_->IsAncestorOrEqual(fetched->created_sid, snap.sid)) {
+        fetched = Status::Aborted("root from a different version lineage");
+        break;
+      }
+      const DescendantEntry* applicable = nullptr;
+      for (const DescendantEntry& d : fetched->descendants) {
+        if (oracle_->IsAncestorOrEqual(d.sid, snap.sid)) {
+          applicable = &d;
+          break;
+        }
+      }
+      if (applicable == nullptr) break;
+      if (!applicable->discretionary) {
+        fetched = Status::Aborted("root copied for an earlier snapshot");
+        break;
+      }
+      addr = applicable->copy_addr;
+    }
+    if (!fetched.ok()) {
+      if (!fetched.status().IsRetryable() &&
+          !fetched.status().IsCorruption()) {
+        return fetched.status();
+      }
+      if (cache_ != nullptr) cache_->Invalidate(addr);
+      return Status::Aborted("partitioning raced a structural change");
+    }
+    if (fetched->is_leaf() || fetched->entries.empty()) {
+      if (fetched->is_leaf() && cache_ != nullptr) {
+        cache_->Invalidate(addr);  // leaves must not linger in the cache
+      }
+      parts.push_back(ScanPartition{start, end, addr.memnode});
+      return Status::OK();
+    }
+    const auto& entries = fetched->entries;
+    for (size_t i = 0; i < entries.size(); i++) {
+      // Child i covers [key_i, key_{i+1}); clip to [start, end).
+      std::string lo = entries[i].key;
+      if (lo < start) lo = start;
+      std::string hi =
+          i + 1 < entries.size() ? entries[i + 1].key : std::string();
+      if (!end.empty() && (hi.empty() || hi > end)) hi = end;
+      if (!hi.empty() && lo >= hi) continue;
+      parts.push_back(ScanPartition{lo, hi, entries[i].child.memnode});
+    }
+    if (parts.empty()) {
+      parts.push_back(ScanPartition{start, end, addr.memnode});
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return parts;
 }
 
 Status BTree::SnapshotScanChunk(
@@ -772,22 +1034,10 @@ Status BTree::SnapshotScanChunk(
   // A scan start is a position, not a key: any byte string is valid ("" =
   // the beginning; cursor resume keys may exceed the max entry size).
   resume_key->clear();
-  uint32_t attempts = 0;
-  while (true) {
-    DynamicTxn txn(coord_, cache_);
+  return RunSnapshotOp(snap.sid, [&](DynamicTxn& txn) -> Status {
     auto path = Traverse(txn, snap.sid, snap.root, start_key,
                          TraverseMode::kSnapshotRead);
-    if (!path.ok()) {
-      if (!path.status().IsRetryable() ||
-          ++attempts >= options_.max_attempts) {
-        return path.status();
-      }
-      if (attempts % 64 == 5) MINUET_RETURN_NOT_OK(CheckGcHorizon(snap.sid));
-      if (attempts >= 3) {
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
-      }
-      continue;
-    }
+    if (!path.ok()) return path.status();
     const Node& leaf = path->back().node;
     size_t i = leaf.LowerBound(start_key);
     for (; i < leaf.entries.size() && out->size() < limit; i++) {
@@ -799,7 +1049,7 @@ Status BTree::SnapshotScanChunk(
       *resume_key = leaf.high_fence;
     }
     return Status::OK();
-  }
+  });
 }
 
 Status BTree::SnapshotScan(

@@ -106,6 +106,14 @@ class BTree {
   // inside the caller's transaction so everything validates together.
   Status GetInTxn(DynamicTxn& txn, const std::string& key,
                   std::string* value);
+  // Batched point reads (the Sinfonia batching the paper's §4.1 argument
+  // rests on): every key's leaf address is resolved through shared dirty
+  // inner-node descents, then ALL distinct leaves are fetched in ONE
+  // minitransaction round and join the read set together. `(*values)[i]`
+  // is nullopt when `keys[i]` is absent. O(1) leaf-read coordinator rounds
+  // instead of one per key.
+  Status MultiGetInTxn(DynamicTxn& txn, const std::vector<std::string>& keys,
+                       std::vector<std::optional<std::string>>* values);
   Status PutInTxn(DynamicTxn& txn, const std::string& key,
                   const std::string& value);
   // CAUTION: an AlreadyExists return must still COMMIT the enclosing
@@ -121,6 +129,12 @@ class BTree {
   // copied-snapshot checks only; traversals follow copies when stale) ------
   Status SnapshotGet(const SnapshotRef& snap, const std::string& key,
                      std::string* value);
+  // Batched snapshot point reads: same leaf grouping as MultiGetInTxn but
+  // with §4.2 semantics — nothing joins a read set, fence-key and
+  // copied-snapshot checks replace validation, no commit needed.
+  Status SnapshotMultiGet(const SnapshotRef& snap,
+                          const std::vector<std::string>& keys,
+                          std::vector<std::optional<std::string>>* values);
   // Scan up to `limit` pairs starting at `start_key` (inclusive).
   Status SnapshotScan(const SnapshotRef& snap, const std::string& start_key,
                       size_t limit,
@@ -140,6 +154,21 @@ class BTree {
   // operation the paper shows "may never commit" without snapshots.
   Status TipScan(const std::string& start_key, size_t limit,
                  std::vector<std::pair<std::string, std::string>>* out);
+
+  // One contiguous slice of a scan range, tagged with the memnode that owns
+  // the root-child subtree covering it — the unit of scan fan-out.
+  struct ScanPartition {
+    std::string start;  // inclusive ("" = from the range start)
+    std::string end;    // exclusive ("" = to the range end / +infinity)
+    sinfonia::MemnodeId home = 0;
+  };
+  // Split [start, end) of `snap` into disjoint, key-ordered partitions
+  // aligned to the root's child subtrees (one partition per child whose
+  // range intersects). A single-leaf tree yields one partition. Cursor
+  // fan-out scans the partitions in parallel, grouped by `home`.
+  Result<std::vector<ScanPartition>> PartitionRange(const SnapshotRef& snap,
+                                                    const std::string& start,
+                                                    const std::string& end);
 
   // --- Snapshot creation (Fig. 6; called via the mvcc snapshot service) ----
   // Freezes the current tip and installs tip id + 1. Returns the frozen
@@ -205,6 +234,15 @@ class BTree {
                                           Addr root, const Slice& key,
                                           TraverseMode mode);
 
+  // Shared body of MultiGetInTxn / SnapshotMultiGet: resolve every key's
+  // leaf via inner descents (dirty/cached, so shared prefixes cost nothing),
+  // batch-fetch all distinct leaves in one minitransaction, then run the
+  // per-leaf safety checks (§4.2/§5.2 version checks, fences, height) that
+  // Traverse would have run, aborting for retry on any failure.
+  Status MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
+                    TraverseMode mode, const std::vector<std::string>& keys,
+                    std::vector<std::optional<std::string>>* values);
+
   // Shared body of the four put/insert entry points: traverse to the leaf
   // under `tip` and upsert `key`; with `strict`, fail AlreadyExists when
   // the key is present.
@@ -238,6 +276,13 @@ class BTree {
   // Retry wrapper for whole-operation optimistic retry.
   template <typename Body>
   Status RunOp(Body&& body);
+
+  // Retry wrapper for validation-free snapshot reads (§4.2): `body` runs
+  // in a fresh fetch-only transaction per attempt (no commit), retryable
+  // aborts back off, and the GC horizon is consulted periodically so reads
+  // below it fail fast with InvalidArgument instead of retrying forever.
+  template <typename Body>
+  Status RunSnapshotOp(uint64_t sid, Body&& body);
 
   sinfonia::Coordinator* coord_;
   NodeAllocator* allocator_;

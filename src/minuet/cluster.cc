@@ -116,13 +116,6 @@ mvcc::SnapshotService* Proxy::snapshot_service(uint32_t tree) {
   return cluster_->snapshot_service(tree);
 }
 
-TreeHandle Proxy::ShimHandle(uint32_t slot) const {
-  return TreeHandle(slot,
-                    slot < cluster_->tree_branching_.size() &&
-                        cluster_->tree_branching_[slot],
-                    cluster_);
-}
-
 // Shared factory body: acquisition pins atomically inside the service (no
 // window for the GC horizon to pass the snapshot before the view exists)
 // and the view adopts that pin for its lifetime.
@@ -181,10 +174,34 @@ Result<version::BranchInfo> Proxy::BranchInfo(const TreeHandle& tree,
 
 Status Proxy::Scan(const TreeHandle& tree, const std::string& start,
                    size_t limit,
-                   std::vector<std::pair<std::string, std::string>>* out) {
+                   std::vector<std::pair<std::string, std::string>>* out,
+                   Cursor::Options copts) {
+  out->clear();
+  if (limit > 0) {
+    copts.chunk_size = std::min(limit, copts.chunk_size);
+    // Bound the fetch too: a fan-out cursor materializes per partition,
+    // and must not fetch far beyond what this call will drain.
+    copts.limit = limit;
+  }
+  if (copts.refresh_lease && copts.fanout <= 1) {
+    // §4.4 long-scan mode: an UNPINNED policy snapshot plus transparent
+    // re-leasing. GC is never held back by the scan; if the horizon
+    // overtakes the snapshot mid-scan, the cursor splices onto the newest
+    // one and continues (per-snapshot consistency).
+    MINUET_RETURN_NOT_OK(CheckHandle(tree));
+    MINUET_RETURN_NOT_OK(CheckLinearAccess(tree));
+    auto snap = snapshot_service(tree.slot())->AcquireForScan(/*pin=*/false);
+    if (!snap.ok()) return snap.status();
+    auto view = ViewAt(tree, *snap);  // carries the service for re-leasing
+    if (!view.ok()) return view.status();
+    return view->NewCursor(start, copts)->Drain(limit, out);
+  }
+  // Pinned path — also taken for fan-out scans regardless of
+  // refresh_lease: a fan-out cursor reads exactly its acquisition snapshot
+  // and cannot re-lease, so the pin is what keeps the horizon off it.
   auto view = RecentSnapshot(tree);
   if (!view.ok()) return view.status();
-  return view->Scan(start, limit, out);
+  return view->NewCursor(start, copts)->Drain(limit, out);
 }
 
 Status Proxy::Apply(const WriteBatch& batch) {
@@ -238,109 +255,9 @@ Status ProxyKV::Scan(
     const std::string& start, uint32_t count,
     std::vector<std::pair<std::string, std::string>>* out) {
   if (scan_mode_ == ScanMode::kSnapshot) {
-    return proxy_->Scan(tree_, start, count, out);
+    return proxy_->Scan(tree_, start, count, out, scan_options_);
   }
   return proxy_->Tip(tree_).Scan(start, count, out);
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated shim layer (pre-View method matrix). Every shim delegates to
-// the tree/service DIRECTLY so legacy behavior is preserved exactly —
-// including raw linear-tip and linear-snapshot access to branching trees,
-// which the View API deliberately rejects (CheckLinearAccess).
-
-namespace {
-
-// The old scan entry points validated start keys like ordinary keys; the
-// new scan paths treat starts as unchecked positions (cursor resume keys
-// may be empty or oversized), so the shims re-impose the legacy check.
-Status CheckLegacyStartKey(const btree::BTree* tree,
-                           const std::string& start) {
-  if (start.empty()) return Status::InvalidArgument("empty key");
-  if (start.size() >
-      btree::MaxEntryBytes(tree->layout().slab_payload_len())) {
-    return Status::InvalidArgument("entry exceeds node capacity");
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-Status Proxy::Get(uint32_t tree, const std::string& key, std::string* value) {
-  return trees_[tree]->Get(key, value);
-}
-
-Status Proxy::Put(uint32_t tree, const std::string& key,
-                  const std::string& value) {
-  return trees_[tree]->Put(key, value);
-}
-
-Status Proxy::Remove(uint32_t tree, const std::string& key) {
-  return trees_[tree]->Remove(key);
-}
-
-Status Proxy::ScanAtTip(
-    uint32_t tree, const std::string& start, size_t limit,
-    std::vector<std::pair<std::string, std::string>>* out) {
-  MINUET_RETURN_NOT_OK(CheckLegacyStartKey(trees_[tree].get(), start));
-  return trees_[tree]->TipScan(start, limit, out);
-}
-
-Result<btree::SnapshotRef> Proxy::CreateSnapshot(uint32_t tree) {
-  return cluster_->snapshot_service(tree)->CreateSnapshot();
-}
-
-Status Proxy::Scan(uint32_t tree, const std::string& start, size_t limit,
-                   std::vector<std::pair<std::string, std::string>>* out) {
-  MINUET_RETURN_NOT_OK(CheckLegacyStartKey(trees_[tree].get(), start));
-  auto snap = cluster_->snapshot_service(tree)->AcquireForScan();
-  if (!snap.ok()) return snap.status();
-  return trees_[tree]->SnapshotScan(*snap, start, limit, out);
-}
-
-Status Proxy::GetAtSnapshot(uint32_t tree, const btree::SnapshotRef& snap,
-                            const std::string& key, std::string* value) {
-  return trees_[tree]->SnapshotGet(snap, key, value);
-}
-
-Status Proxy::ScanAtSnapshot(
-    uint32_t tree, const btree::SnapshotRef& snap, const std::string& start,
-    size_t limit, std::vector<std::pair<std::string, std::string>>* out) {
-  MINUET_RETURN_NOT_OK(CheckLegacyStartKey(trees_[tree].get(), start));
-  return trees_[tree]->SnapshotScan(snap, start, limit, out);
-}
-
-Result<uint64_t> Proxy::CreateBranch(uint32_t tree, uint64_t from_sid) {
-  return CreateBranch(ShimHandle(tree), from_sid);
-}
-
-Result<version::BranchInfo> Proxy::BranchInfo(uint32_t tree, uint64_t sid) {
-  return BranchInfo(ShimHandle(tree), sid);
-}
-
-Status Proxy::GetAtBranch(uint32_t tree, uint64_t branch,
-                          const std::string& key, std::string* value) {
-  return trees_[tree]->BranchGet(branch, key, value);
-}
-
-Status Proxy::PutAtBranch(uint32_t tree, uint64_t branch,
-                          const std::string& key, const std::string& value) {
-  return trees_[tree]->BranchPut(branch, key, value);
-}
-
-Status Proxy::RemoveAtBranch(uint32_t tree, uint64_t branch,
-                             const std::string& key) {
-  return trees_[tree]->BranchRemove(branch, key);
-}
-
-Status Proxy::ScanAtBranch(
-    uint32_t tree, uint64_t branch, const std::string& start, size_t limit,
-    std::vector<std::pair<std::string, std::string>>* out) {
-  MINUET_RETURN_NOT_OK(CheckLegacyStartKey(trees_[tree].get(), start));
-  auto info = BranchInfo(ShimHandle(tree), branch);
-  if (!info.ok()) return info.status();
-  return trees_[tree]->SnapshotScan(btree::SnapshotRef{branch, info->root},
-                                    start, limit, out);
 }
 
 }  // namespace minuet

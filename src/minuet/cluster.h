@@ -111,9 +111,15 @@ class Proxy {
   Status Remove(const TreeHandle& tree, const std::string& key) {
     return Tip(tree).Remove(key);
   }
-  // Scan under the staleness policy (acquires a RecentSnapshot view).
+  // Scan under the staleness policy. With `copts.refresh_lease` the scan
+  // runs on an UNPINNED policy snapshot and transparently re-leases the
+  // newest one when the GC horizon overtakes it mid-scan (§4.4) — GC is
+  // never blocked by the scan. Without it, the snapshot is pinned for the
+  // scan's duration instead (the horizon waits). `copts.fanout`/`prefetch`
+  // apply as documented on Cursor::Options.
   Status Scan(const TreeHandle& tree, const std::string& start, size_t limit,
-              std::vector<std::pair<std::string, std::string>>* out);
+              std::vector<std::pair<std::string, std::string>>* out,
+              Cursor::Options copts = {});
 
   // --- Batched writes ------------------------------------------------------
   // Commit every op in `batch` in ONE dynamic transaction: all-or-nothing,
@@ -137,49 +143,6 @@ class Proxy {
   btree::BTree* tree(uint32_t slot) { return trees_[slot].get(); }
   txn::ObjectCache* cache() { return cache_.get(); }
 
-  // ==========================================================================
-  // Deprecated shim layer: the pre-View method matrix, kept compiling for
-  // one release. Every method below delegates to the View API; new code
-  // should obtain a View instead.
-  // ==========================================================================
-  [[deprecated("use Tip(tree).Get")]] Status Get(uint32_t tree,
-                                                 const std::string& key,
-                                                 std::string* value);
-  [[deprecated("use Tip(tree).Put")]] Status Put(uint32_t tree,
-                                                 const std::string& key,
-                                                 const std::string& value);
-  [[deprecated("use Tip(tree).Remove")]] Status Remove(uint32_t tree,
-                                                       const std::string& key);
-  [[deprecated("use Tip(tree).NewCursor")]] Status ScanAtTip(
-      uint32_t tree, const std::string& start, size_t limit,
-      std::vector<std::pair<std::string, std::string>>* out);
-  [[deprecated("use Snapshot(tree)")]] Result<btree::SnapshotRef>
-  CreateSnapshot(uint32_t tree);
-  [[deprecated("use RecentSnapshot(tree)")]] Status Scan(
-      uint32_t tree, const std::string& start, size_t limit,
-      std::vector<std::pair<std::string, std::string>>* out);
-  [[deprecated("use ViewAt(tree, snap).Get")]] Status GetAtSnapshot(
-      uint32_t tree, const btree::SnapshotRef& snap, const std::string& key,
-      std::string* value);
-  [[deprecated("use ViewAt(tree, snap).NewCursor")]] Status ScanAtSnapshot(
-      uint32_t tree, const btree::SnapshotRef& snap, const std::string& start,
-      size_t limit, std::vector<std::pair<std::string, std::string>>* out);
-  [[deprecated("use CreateBranch(TreeHandle, sid)")]] Result<uint64_t>
-  CreateBranch(uint32_t tree, uint64_t from_sid);
-  [[deprecated("use BranchInfo(TreeHandle, sid)")]] Result<version::BranchInfo>
-  BranchInfo(uint32_t tree, uint64_t sid);
-  [[deprecated("use Branch(tree, sid)->Get")]] Status GetAtBranch(
-      uint32_t tree, uint64_t branch, const std::string& key,
-      std::string* value);
-  [[deprecated("use Branch(tree, sid)->Put")]] Status PutAtBranch(
-      uint32_t tree, uint64_t branch, const std::string& key,
-      const std::string& value);
-  [[deprecated("use Branch(tree, sid)->Remove")]] Status RemoveAtBranch(
-      uint32_t tree, uint64_t branch, const std::string& key);
-  [[deprecated("use Branch(tree, sid)->NewCursor")]] Status ScanAtBranch(
-      uint32_t tree, uint64_t branch, const std::string& start, size_t limit,
-      std::vector<std::pair<std::string, std::string>>* out);
-
  private:
   friend class Cluster;
   friend class View;
@@ -200,8 +163,6 @@ class Proxy {
     return Status::OK();
   }
   mvcc::SnapshotService* snapshot_service(uint32_t tree);
-  // Internal, non-deprecated handle resolver for the shim layer.
-  TreeHandle ShimHandle(uint32_t slot) const;
 
   Cluster* cluster_;
   uint32_t id_;
@@ -219,9 +180,23 @@ class ProxyKV : public ycsb::KVInterface {
   // production configuration); kTip runs strictly serializable tip scans.
   enum class ScanMode { kSnapshot, kTip };
 
+  // Snapshot scans default to refresh_lease=true: YCSB E's long scans run
+  // on unpinned policy snapshots and re-lease across the GC horizon (§4.4)
+  // instead of dying with InvalidArgument under GC pressure (or blocking
+  // GC with per-scan pins).
+  static Cursor::Options DefaultScanOptions() {
+    Cursor::Options copts;
+    copts.refresh_lease = true;
+    return copts;
+  }
+
   ProxyKV(Proxy* proxy, TreeHandle tree,
-          ScanMode scan_mode = ScanMode::kSnapshot)
-      : proxy_(proxy), tree_(tree), scan_mode_(scan_mode) {}
+          ScanMode scan_mode = ScanMode::kSnapshot,
+          Cursor::Options scan_options = DefaultScanOptions())
+      : proxy_(proxy),
+        tree_(tree),
+        scan_mode_(scan_mode),
+        scan_options_(std::move(scan_options)) {}
 
   Status Read(const std::string& key, std::string* value) override {
     return proxy_->Tip(tree_).Get(key, value);
@@ -241,6 +216,7 @@ class ProxyKV : public ycsb::KVInterface {
   Proxy* proxy_;
   TreeHandle tree_;
   ScanMode scan_mode_;
+  Cursor::Options scan_options_;
 };
 
 class Cluster {

@@ -33,7 +33,7 @@ class TreeHandle {
 
  private:
   friend class Cluster;
-  friend class Proxy;  // shim layer: re-derive handles from raw slots
+  friend class Proxy;  // CheckHandle inspects owner_
   TreeHandle(uint32_t slot, bool branching, const Cluster* owner)
       : slot_(slot), branching_(branching), owner_(owner) {}
 

@@ -1,6 +1,9 @@
 #include "minuet/view.h"
 
 #include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
 
 #include "minuet/cluster.h"
 #include "mvcc/snapshot_service.h"
@@ -19,6 +22,12 @@ Cursor::Cursor(ChunkFetcher fetch, const std::string& start, Options options)
 
 Cursor::Cursor(Status error) : exhausted_(true), status_(std::move(error)) {}
 
+Cursor::~Cursor() {
+  // Join a still-running prefetch: its closure borrows the view's tree and
+  // lease, which must outlive it.
+  if (inflight_.valid()) inflight_.get();
+}
+
 bool Cursor::Valid() {
   if (pos_ >= buf_.size() && !exhausted_) FetchChunk(std::move(resume_));
   return pos_ < buf_.size();
@@ -28,25 +37,66 @@ void Cursor::Next() {
   if (pos_ < buf_.size()) pos_++;
 }
 
-void Cursor::FetchChunk(std::string start) {
-  buf_.clear();
-  pos_ = 0;
+Cursor::Chunk Cursor::RunFetch(std::string start) {
+  Chunk chunk;
   while (true) {
-    std::string resume;
-    status_ = fetch_(start, options_.chunk_size, &buf_, &resume);
-    if (!status_.ok()) {
-      buf_.clear();
-      exhausted_ = true;
-      return;
+    chunk.pairs.clear();
+    chunk.resume.clear();
+    chunk.status =
+        fetch_(start, options_.chunk_size, &chunk.pairs, &chunk.resume);
+    if (!chunk.status.ok()) {
+      chunk.pairs.clear();
+      return chunk;
     }
-    if (!buf_.empty() || resume.empty()) {
-      resume_ = std::move(resume);
-      exhausted_ = resume_.empty();
-      return;
+    // Enforce the end bound: drop pairs at/after it and stop the scan once
+    // it is reached.
+    if (!options_.end_key.empty()) {
+      bool clipped = false;
+      while (!chunk.pairs.empty() &&
+             chunk.pairs.back().first >= options_.end_key) {
+        chunk.pairs.pop_back();
+        clipped = true;
+      }
+      if (clipped ||
+          (!chunk.resume.empty() && chunk.resume >= options_.end_key)) {
+        chunk.resume.clear();
+      }
     }
+    if (!chunk.pairs.empty() || chunk.resume.empty()) return chunk;
     // The fetch landed on an empty leaf (removes retain empty leaves);
     // keep walking right.
-    start = std::move(resume);
+    start = std::move(chunk.resume);
+  }
+}
+
+void Cursor::FetchChunk(std::string start) {
+  // Prefer the prefetched chunk: the invariant is that an in-flight fetch
+  // was launched with exactly this resume position.
+  Chunk chunk =
+      inflight_.valid() ? inflight_.get() : RunFetch(std::move(start));
+  buf_ = std::move(chunk.pairs);
+  pos_ = 0;
+  status_ = std::move(chunk.status);
+  if (!status_.ok()) {
+    buf_.clear();
+    exhausted_ = true;
+    return;
+  }
+  if (options_.limit > 0) {
+    // Overall yield cap: truncate the final chunk and stop fetching.
+    if (yielded_ + buf_.size() >= options_.limit) {
+      buf_.resize(options_.limit - yielded_);
+      chunk.resume.clear();
+    }
+    yielded_ += buf_.size();
+  }
+  resume_ = std::move(chunk.resume);
+  exhausted_ = resume_.empty();
+  if (!exhausted_ && options_.prefetch) {
+    // Double-buffer: start chunk n+1 while the client consumes chunk n.
+    inflight_ = std::async(
+        std::launch::async,
+        [this, from = resume_]() mutable { return RunFetch(std::move(from)); });
   }
 }
 
@@ -115,7 +165,10 @@ Status View::Scan(const std::string& start, size_t limit,
                   std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
   Cursor::Options copts;
-  if (limit > 0) copts.chunk_size = std::min<size_t>(limit, copts.chunk_size);
+  if (limit > 0) {
+    copts.chunk_size = std::min<size_t>(limit, copts.chunk_size);
+    copts.limit = limit;
+  }
   auto cursor = NewCursor(start, copts);
   return cursor->Drain(limit, out);
 }
@@ -149,18 +202,23 @@ Status TipView::Remove(const std::string& key) {
 
 Status TipView::MultiGet(const std::vector<std::string>& keys,
                          std::vector<std::optional<std::string>>* values) {
+  // All-or-nothing contract: every exit path of a failed MultiGet — early
+  // validation errors included — leaves only nullopt answers behind.
+  values->assign(keys.size(), std::nullopt);
   MINUET_RETURN_NOT_OK(CheckUsable());
   MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
-  // One transaction: every leaf read validates together at commit, so the
-  // result set is an atomic, strictly serializable multi-point read. The
-  // reset runs INSIDE the body — a retried attempt must not inherit
-  // values its aborted predecessor read.
-  return proxy_->Transaction([&](txn::DynamicTxn& txn) -> Status {
-    return MultiGetImpl(keys, values, [&](const std::string& key,
-                                          std::string* value) {
-      return btree()->GetInTxn(txn, key, value);
-    });
+  // One transaction AND one batched leaf round (BTree::MultiGetInTxn): the
+  // inner descents share the proxy cache, the distinct leaves are fetched
+  // in a single minitransaction, and everything validates together at
+  // commit — an atomic, strictly serializable multi-point read in O(1)
+  // coordinator rounds instead of one per key. The value reset runs INSIDE
+  // the body — a retried attempt must not inherit values its aborted
+  // predecessor read.
+  Status st = proxy_->Transaction([&](txn::DynamicTxn& txn) -> Status {
+    return btree()->MultiGetInTxn(txn, keys, values);
   });
+  if (!st.ok()) values->assign(keys.size(), std::nullopt);
+  return st;
 }
 
 Status TipView::Scan(const std::string& start, size_t limit,
@@ -235,10 +293,93 @@ SnapshotView::~SnapshotView() {
 }
 
 Status SnapshotView::Get(const std::string& key, std::string* value) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->SnapshotGet(snap_, key, value);
 }
 
+Status SnapshotView::MultiGet(const std::vector<std::string>& keys,
+                              std::vector<std::optional<std::string>>* values) {
+  values->assign(keys.size(), std::nullopt);  // no partial answers, ever
+  MINUET_RETURN_NOT_OK(CheckUsable());
+  Status st = btree()->SnapshotMultiGet(snap_, keys, values);
+  if (!st.ok()) values->assign(keys.size(), std::nullopt);
+  return st;
+}
+
 namespace {
+
+// Drain one fan-out partition [part.start, part.end) with chunked snapshot
+// reads, clipping at the partition's end bound.
+Status DrainPartition(btree::BTree* tree, const btree::SnapshotRef& snap,
+                      const btree::BTree::ScanPartition& part, size_t chunk,
+                      size_t max_pairs,
+                      std::vector<std::pair<std::string, std::string>>* out) {
+  std::string cursor = part.start;
+  while (true) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::string resume;
+    MINUET_RETURN_NOT_OK(
+        tree->SnapshotScanChunk(snap, cursor, chunk, &pairs, &resume));
+    for (auto& kv : pairs) {
+      if (!part.end.empty() && kv.first >= part.end) return Status::OK();
+      out->push_back(std::move(kv));
+      // A stitched prefix of max_pairs needs at most max_pairs from each
+      // partition, so a per-partition cap never drops a needed pair.
+      if (max_pairs > 0 && out->size() >= max_pairs) return Status::OK();
+    }
+    if (resume.empty()) return Status::OK();
+    if (!part.end.empty() && resume >= part.end) return Status::OK();
+    cursor = std::move(resume);
+  }
+}
+
+// The fan-out scan body: partition [start, end_key) along root-child
+// subtrees, group partitions by owning memnode, scan the groups with up to
+// `fanout` parallel workers, and stitch the per-partition results back in
+// key order (partitions are disjoint and pre-sorted, so the stitch is a
+// concatenation by partition index).
+Status FanoutScan(btree::BTree* tree, const btree::SnapshotRef& snap,
+                  const std::string& start, const Cursor::Options& options,
+                  std::vector<std::pair<std::string, std::string>>* out) {
+  auto parts = tree->PartitionRange(snap, start, options.end_key);
+  if (!parts.ok()) return parts.status();
+  const size_t chunk = std::max<size_t>(options.chunk_size, 1);
+
+  std::map<sinfonia::MemnodeId, std::vector<size_t>> by_node;
+  for (size_t i = 0; i < parts->size(); i++) {
+    by_node[(*parts)[i].home].push_back(i);
+  }
+  std::vector<std::vector<size_t>> groups;
+  groups.reserve(by_node.size());
+  for (auto& [node, idxs] : by_node) groups.push_back(std::move(idxs));
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> results(
+      parts->size());
+  std::vector<Status> statuses(parts->size(), Status::OK());
+  std::atomic<size_t> next{0};
+  auto work = [&] {
+    for (size_t g = next.fetch_add(1); g < groups.size();
+         g = next.fetch_add(1)) {
+      for (size_t i : groups[g]) {
+        statuses[i] = DrainPartition(tree, snap, (*parts)[i], chunk,
+                                     options.limit, &results[i]);
+      }
+    }
+  };
+  const size_t workers =
+      std::min<size_t>(std::max<uint32_t>(options.fanout, 1), groups.size());
+  std::vector<std::thread> threads;
+  for (size_t w = 1; w < workers; w++) threads.emplace_back(work);
+  work();
+  for (auto& t : threads) t.join();
+
+  for (const Status& st : statuses) MINUET_RETURN_NOT_OK(st);
+  for (auto& r : results) {
+    for (auto& kv : r) out->push_back(std::move(kv));
+  }
+  return Status::OK();
+}
+
 
 // Shared cursor lease: keeps its snapshot pinned independently of the view
 // (the cursor may be re-leased onto a newer snapshot mid-scan).
@@ -280,8 +421,34 @@ struct CursorLease {
 
 }  // namespace
 
+std::unique_ptr<Cursor> View::NewFanoutCursor(btree::BTree* tree,
+                                              const btree::SnapshotRef& snap,
+                                              const std::string& start,
+                                              Cursor::Options options) {
+  Cursor::Options fan = options;
+  auto fetch = [tree, snap, fan](
+                   const std::string& from, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out,
+                   std::string* resume) -> Status {
+    (void)limit;
+    resume->clear();  // one-shot: everything arrives in this chunk
+    return FanoutScan(tree, snap, from, fan, out);
+  };
+  options.end_key.clear();  // FanoutScan already applies the bound
+  options.prefetch = false;
+  return std::unique_ptr<Cursor>(new Cursor(std::move(fetch), start, options));
+}
+
 std::unique_ptr<Cursor> SnapshotView::NewCursor(const std::string& start,
                                                 Cursor::Options options) {
+  if (Status st = CheckUsable(); !st.ok()) {
+    return std::unique_ptr<Cursor>(new Cursor(std::move(st)));
+  }
+  if (options.fanout > 1) {
+    // Reads exactly snap_ — the view's pin (if any) covers the one-shot
+    // fetch, which completes before the cursor outlives anything.
+    return NewFanoutCursor(btree(), snap_, start, std::move(options));
+  }
   // The cursor needs its own pin only when it may re-lease onto a sid the
   // view does not hold; otherwise the view's pin covers it (a cursor must
   // not outlive its view).
@@ -300,10 +467,16 @@ std::unique_ptr<Cursor> SnapshotView::NewCursor(const std::string& start,
     }
     Status st =
         lease->tree->SnapshotScanChunk(lease->snap, from, limit, out, resume);
-    if (refresh && st.IsInvalidArgument() && lease->BelowHorizon()) {
-      // Reactive backstop: the snapshot aged out between the check and the
-      // chunk read. (The BelowHorizon re-check keeps InvalidArgument from
-      // other causes — e.g. a garbage SnapshotRef — surfacing unmasked.)
+    // Reactive backstop: the snapshot aged out between the check and the
+    // chunk read. Under a snapshot storm the RE-LEASED snapshot can age
+    // out again before its own chunk lands, so splice repeatedly
+    // (bounded) rather than once. (The BelowHorizon re-check keeps
+    // InvalidArgument from other causes — e.g. a garbage SnapshotRef —
+    // surfacing unmasked.)
+    for (int splice = 0;
+         refresh && st.IsInvalidArgument() && lease->BelowHorizon() &&
+         splice < 64;
+         splice++) {
       MINUET_RETURN_NOT_OK(lease->Refresh());
       st = lease->tree->SnapshotScanChunk(lease->snap, from, limit, out,
                                           resume);
@@ -316,35 +489,47 @@ std::unique_ptr<Cursor> SnapshotView::NewCursor(const std::string& start,
 // ---------------------------------------------------------------------------
 // BranchView
 
+// Every BranchView operation validates the handle first (uniform with
+// TipView): a stale or foreign TreeHandle must fail loudly instead of
+// dereferencing a tree it does not name.
 Status BranchView::Get(const std::string& key, std::string* value) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->BranchGet(sid_, key, value);
 }
 
 Status BranchView::Put(const std::string& key, const std::string& value) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->BranchPut(sid_, key, value);
 }
 
 Status BranchView::Insert(const std::string& key, const std::string& value) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->BranchInsert(sid_, key, value);
 }
 
 Status BranchView::Remove(const std::string& key) {
+  MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->BranchRemove(sid_, key);
 }
 
 Status BranchView::MultiGet(const std::vector<std::string>& keys,
                             std::vector<std::optional<std::string>>* values) {
+  values->assign(keys.size(), std::nullopt);  // no partial answers, ever
+  MINUET_RETURN_NOT_OK(CheckUsable());
   auto info = proxy_->BranchInfo(tree_, sid_);
   if (!info.ok()) return info.status();
-  const btree::SnapshotRef snap{sid_, info->root};
-  return MultiGetImpl(keys, values, [&](const std::string& key,
-                                        std::string* value) {
-    return btree()->SnapshotGet(snap, key, value);
-  });
+  // One resolved root, one batched leaf round (§4.2 read rules).
+  Status st = btree()->SnapshotMultiGet(btree::SnapshotRef{sid_, info->root},
+                                        keys, values);
+  if (!st.ok()) values->assign(keys.size(), std::nullopt);
+  return st;
 }
 
 std::unique_ptr<Cursor> BranchView::NewCursor(const std::string& start,
                                               Cursor::Options options) {
+  if (Status st = CheckUsable(); !st.ok()) {
+    return std::unique_ptr<Cursor>(new Cursor(std::move(st)));
+  }
   // Resolve the branch's current root once and read it with snapshot-mode
   // traversal (§4.2). Later COW activity from other versions cannot
   // disturb the scan; in-place writes at this still-writable branch tip
@@ -355,6 +540,9 @@ std::unique_ptr<Cursor> BranchView::NewCursor(const std::string& start,
   }
   btree::BTree* tree = btree();
   const btree::SnapshotRef snap{sid_, info->root};
+  if (options.fanout > 1) {
+    return NewFanoutCursor(tree, snap, start, std::move(options));
+  }
   auto fetch = [tree, snap](
                    const std::string& from, size_t limit,
                    std::vector<std::pair<std::string, std::string>>* out,

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <future>
 #include <memory>
 #include <optional>
 #include <string>
@@ -54,6 +55,27 @@ class Cursor {
     // of failing the scan (the paper's long-scan re-acquisition, §4.4).
     // The scan is then consistent per-snapshot, not end-to-end.
     bool refresh_lease = false;
+    // Exclusive upper bound for the scan; "" = unbounded. Enforced by the
+    // cursor for every view kind.
+    std::string end_key;
+    // Overall cap on pairs the cursor will yield (0 = unlimited). Scan
+    // entry points set it from their limit, which also keeps a fan-out
+    // fetch from materializing far beyond what will be consumed.
+    size_t limit = 0;
+    // Double-buffering: while the client consumes chunk n, the fetch for
+    // chunk n+1 is already in flight on a background thread. Purely a
+    // latency overlap — chunk contents and ordering are unchanged (each
+    // snapshot/tip chunk was an independent fetch already).
+    bool prefetch = false;
+    // Scan fan-out: partition [start, end_key) along the root's child
+    // subtrees, group partitions by the memnode owning each subtree, and
+    // fetch the groups in parallel with up to `fanout` threads, stitching
+    // the results back in key order. Snapshot/branch cursors only (a tip
+    // cursor keeps its per-chunk transactional semantics and ignores it);
+    // the partitions are materialized client-side, so bound the range.
+    // Fan-out cursors read exactly their acquisition snapshot
+    // (refresh_lease does not apply).
+    uint32_t fanout = 1;
   };
 
   // Fetches lazily: the next chunk is pulled only when Valid() is asked
@@ -70,7 +92,10 @@ class Cursor {
   Status Drain(size_t limit,
                std::vector<std::pair<std::string, std::string>>* out);
 
+  ~Cursor();  // joins any in-flight prefetch
+
  private:
+  friend class View;
   friend class TipView;
   friend class SnapshotView;
   friend class BranchView;
@@ -82,9 +107,17 @@ class Cursor {
       std::vector<std::pair<std::string, std::string>>* out,
       std::string* resume)>;
 
+  // One fetched chunk, as produced by a (possibly background) fetch.
+  struct Chunk {
+    Status status;
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::string resume;
+  };
+
   Cursor(ChunkFetcher fetch, const std::string& start, Options options);
   explicit Cursor(Status error);  // a cursor born failed (e.g. bad branch)
   void FetchChunk(std::string start);
+  Chunk RunFetch(std::string start);
 
   ChunkFetcher fetch_;
   Options options_;
@@ -92,7 +125,11 @@ class Cursor {
   size_t pos_ = 0;
   std::string resume_;
   bool exhausted_ = false;
+  size_t yielded_ = 0;  // pairs buffered so far, against options_.limit
   Status status_;
+  // Prefetch double-buffer: when valid, holds the in-flight fetch for
+  // resume_. At most one fetch is ever outstanding.
+  std::future<Chunk> inflight_;
 };
 
 enum class ViewKind { kTip, kSnapshot, kBranch };
@@ -137,6 +174,13 @@ class View {
   btree::BTree* btree() const;
   // InvalidArgument when the handle does not name a tree of this cluster.
   Status CheckUsable() const;
+  // Shared by the snapshot-mode views: a cursor whose single fetch runs
+  // the whole parallel fan-out scan of `snap` and then streams from the
+  // stitched buffer.
+  static std::unique_ptr<Cursor> NewFanoutCursor(btree::BTree* tree,
+                                                 const btree::SnapshotRef& snap,
+                                                 const std::string& start,
+                                                 Cursor::Options options);
 
   Proxy* proxy_;
   TreeHandle tree_;
@@ -186,6 +230,10 @@ class SnapshotView : public View {
   const btree::SnapshotRef& ref() const { return snap_; }
 
   Status Get(const std::string& key, std::string* value) override;
+  // Consistent by construction, and batched: all keys' leaves are fetched
+  // in one minitransaction round (BTree::SnapshotMultiGet).
+  Status MultiGet(const std::vector<std::string>& keys,
+                  std::vector<std::optional<std::string>>* values) override;
   std::unique_ptr<Cursor> NewCursor(const std::string& start = "",
                                     Cursor::Options options = {}) override;
 

@@ -1,5 +1,7 @@
 #include "txn/txn.h"
 
+#include <unordered_set>
+
 namespace minuet::txn {
 
 using sinfonia::MemnodeId;
@@ -136,6 +138,93 @@ Result<std::string> DynamicTxn::FetchFresh(const ObjectRef& ref) {
   auto fetched = Fetch(ref);
   if (!fetched.ok()) return fetched.status();
   return std::move(fetched->payload);
+}
+
+Result<std::vector<std::string>> DynamicTxn::ReadBatch(
+    const std::vector<ObjectRef>& refs) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  // Collect the refs the read/write set cannot serve, one per address;
+  // read item k of the minitransaction corresponds to refs[fetch_idx[k]].
+  std::vector<size_t> fetch_idx;
+  std::unordered_set<Addr, sinfonia::AddrHash> pending;
+  MiniTxn mtx;
+  for (size_t i = 0; i < refs.size(); i++) {
+    const Addr addr = refs[i].addr;
+    if (write_index_.count(addr) != 0 || read_index_.count(addr) != 0 ||
+        !pending.insert(addr).second) {
+      continue;
+    }
+    mtx.AddRead(Addr{ReadHome(refs[i]), addr.offset}, refs[i].total_len());
+    fetch_idx.push_back(i);
+  }
+  if (!mtx.reads.empty()) {
+    if (options_.piggyback_validation) {
+      // Validate replicated read-set objects at the batch's first target so
+      // a single-memnode batch stays single-memnode.
+      const MemnodeId at = mtx.reads[0].addr.memnode;
+      for (const ReadRecord& r : reads_) AddSeqCompare(&mtx, r, at);
+    }
+    MiniResult result;
+    MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
+    if (!result.committed) {
+      doomed_ = true;
+      if (net::OpTrace* tr = net::Fabric::ThreadTrace()) {
+        tr->validation_aborts++;
+      }
+      return Status::Aborted("piggyback validation failed");
+    }
+    for (size_t k = 0; k < fetch_idx.size(); k++) {
+      const size_t i = fetch_idx[k];
+      ReadRecord rec;
+      rec.ref = refs[i];
+      rec.seqnum = ObjectSeqnum(result.read_results[k]);
+      rec.payload = ObjectPayload(result.read_results[k]);
+      read_index_.emplace(refs[i].addr, reads_.size());
+      reads_.push_back(std::move(rec));
+    }
+  }
+  std::vector<std::string> out(refs.size());
+  for (size_t i = 0; i < refs.size(); i++) {
+    if (auto it = write_index_.find(refs[i].addr); it != write_index_.end()) {
+      out[i] = writes_[it->second].payload;
+    } else {
+      out[i] = reads_[read_index_.at(refs[i].addr)].payload;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DynamicTxn::FetchFreshBatch(
+    const std::vector<ObjectRef>& refs) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
+  MiniTxn mtx;
+  for (const ObjectRef& ref : refs) {
+    // Like FetchFresh: an object this transaction already wrote is served
+    // from the write set, not the memnode's pre-write image.
+    if (write_index_.count(ref.addr) != 0 || slot.count(ref.addr) != 0) {
+      continue;
+    }
+    slot.emplace(ref.addr, mtx.reads.size());
+    mtx.AddRead(Addr{ReadHome(ref), ref.addr.offset}, ref.total_len());
+  }
+  MiniResult result;
+  if (!mtx.reads.empty()) {
+    MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
+    if (!result.committed) {
+      doomed_ = true;
+      return Status::Aborted("batched fetch failed");
+    }
+  }
+  std::vector<std::string> out(refs.size());
+  for (size_t i = 0; i < refs.size(); i++) {
+    if (auto it = write_index_.find(refs[i].addr); it != write_index_.end()) {
+      out[i] = writes_[it->second].payload;
+    } else {
+      out[i] = ObjectPayload(result.read_results[slot.at(refs[i].addr)]);
+    }
+  }
+  return out;
 }
 
 Status DynamicTxn::Write(const ObjectRef& ref, std::string payload) {

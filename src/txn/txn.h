@@ -63,6 +63,18 @@ class DynamicTxn {
   // joining the read set: used for leaf reads on read-only snapshots, which
   // the paper validates by fence keys alone (§4.2).
   Result<std::string> FetchFresh(const ObjectRef& ref);
+  // Batched transactional read (the read-side analogue of the buffered
+  // write set): every ref not already served by the read/write set is
+  // fetched in ONE minitransaction — one coordinator round no matter how
+  // many objects or memnodes are involved — and joins the read set, with
+  // the usual piggy-backed validation. `(*this)[i]` of the result is
+  // refs[i]'s payload; duplicate addresses are fetched once.
+  Result<std::vector<std::string>> ReadBatch(const std::vector<ObjectRef>& refs);
+  // Batched FetchFresh: one minitransaction, no cache, no read set. Used
+  // for the grouped leaf reads of snapshot MultiGet (§4.2: fence-key
+  // checks replace validation).
+  Result<std::vector<std::string>> FetchFreshBatch(
+      const std::vector<ObjectRef>& refs);
   Status Write(const ObjectRef& ref, std::string payload);
   // Write an object this transaction knows to be freshly allocated: expects
   // the slab's seqnum to still be zero at commit (fails validation if any

@@ -1,10 +1,13 @@
 // Tests for the YCSB-style workload generator: mix proportions,
 // distribution behaviour, insert sequencing, determinism, and op execution
-// against a reference KV.
+// against a reference KV — plus the ProxyKV adapter under GC pressure.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <thread>
 
+#include "minuet/cluster.h"
 #include "ycsb/workload.h"
 
 namespace minuet::ycsb {
@@ -180,6 +183,62 @@ TEST(ExecuteOpTest, FullWorkloadRunAgainstReferenceKV) {
   }
   EXPECT_GT(kv.scans_, 1500);
   EXPECT_GT(kv.inserts_, 20);
+}
+
+// The regression the refresh_lease wiring fixes: YCSB E long scans run on
+// UNPINNED policy snapshots (ProxyKV's snapshot scan mode never blocks GC),
+// so when snapshot churn plus garbage collection push the horizon past a
+// scan's snapshot mid-flight, the cursor must re-lease and finish instead
+// of dying with InvalidArgument.
+TEST(ProxyKVTest, YcsbEScansSurviveGcPressure) {
+  minuet::ClusterOptions opts;
+  opts.machines = 4;
+  opts.node_size = 1024;
+  opts.retain_snapshots = 1;  // the horizon rides right behind the newest
+  minuet::Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  minuet::Proxy& p = cluster.proxy(0);
+  constexpr uint64_t kRecords = 400;
+  {
+    minuet::TipView tip = p.Tip(*tree);
+    for (uint64_t i = 0; i < kRecords; i++) {
+      ASSERT_TRUE(tip.Put(EncodeUserKey(i), EncodeValue(i)).ok());
+    }
+  }
+
+  // Single-pair chunks: every scan takes hundreds of cursor steps, each a
+  // chance for the churn thread to have moved the horizon underneath it.
+  minuet::Cursor::Options copts = minuet::ProxyKV::DefaultScanOptions();
+  copts.chunk_size = 1;
+  minuet::ProxyKV kv(&p, *tree, minuet::ProxyKV::ScanMode::kSnapshot, copts);
+
+  // Snapshot storm + CoW churn + eager GC: old epochs are reclaimed as
+  // fast as they freeze.
+  auto* scs = cluster.snapshot_service(*tree);
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    minuet::TipView tip = cluster.proxy(1).Tip(*tree);
+    Rng crng(3);
+    for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); i++) {
+      for (int j = 0; j < 30; j++) {
+        (void)tip.Put(EncodeUserKey(crng.Uniform(kRecords)), EncodeValue(i));
+      }
+      (void)scs->CreateSnapshot();
+      (void)cluster.CollectGarbage(*tree);
+    }
+  });
+
+  InsertSequence seq(kRecords);
+  WorkloadGenerator gen(WorkloadSpec::ScanOnly(kRecords, 300), &seq, 11);
+  Rng rng(11);
+  for (int i = 0; i < 120; i++) {
+    const Op op = gen.Next();
+    Status st = ExecuteOp(&kv, op, &rng);
+    EXPECT_TRUE(st.ok()) << OpTypeName(op.type) << ": " << st.ToString();
+  }
+  stop.store(true);
+  churn.join();
 }
 
 }  // namespace
