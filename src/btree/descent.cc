@@ -1,0 +1,407 @@
+// The level-synchronized batched descent engine: the shared cold path of
+// MultiGet, WriteBatch application and recursive scan partitioning.
+//
+// A serial B-tree descent pays one minitransaction per node whenever the
+// proxy cache cannot serve it, so K keys on a cold (or freshly invalidated)
+// cache cost ~K × depth coordinator rounds. The engine instead advances a
+// whole FRONTIER of keys one level at a time: every node the frontier needs
+// at a level — across ALL keys — is fetched in ONE batched minitransaction
+// (DynamicTxn::DirtyReadBatch, which also fills the cache per entry), each
+// distinct node is decoded once, and every key steps through it under the
+// same safety checks a serial traversal runs (fence keys, height
+// monotonicity, version lineage, copied-snapshot redirects, §4.2/§5.2).
+// Cold cost becomes ~depth rounds for ANY K; warm keys ride the cache for
+// free exactly as before.
+//
+// Consumers:
+//   - BTree::MultiGetAt        tip/snapshot/branch MultiGet (tree.cc),
+//   - BTree::ApplyWritesInTxn  WriteBatch leaf resolution + per-leaf
+//                              dedupe (Proxy::Apply),
+//   - BTree::PartitionRange    recursive, depth-bounded scan partitioning
+//                              for Cursor::Options::fanout.
+#include <algorithm>
+#include <unordered_map>
+
+#include "btree/tree.h"
+
+namespace minuet::btree {
+
+Status BTree::AbortDescent(DynamicTxn& txn, Addr at,
+                           const std::vector<Addr>& visited,
+                           const char* reason) {
+  if (cache_ != nullptr) {
+    cache_->Invalidate(at);
+    for (const Addr& a : visited) cache_->Invalidate(a);
+  }
+  stats_.traversal_aborts.fetch_add(1, std::memory_order_relaxed);
+  txn.MarkAborted();
+  return Status::Aborted(reason);
+}
+
+Status BTree::SettleNodeForSid(DynamicTxn& txn, uint64_t sid,
+                               TraverseMode mode, const Node** node,
+                               Node* hop, Addr* at,
+                               std::vector<Addr>* visited) {
+  for (int hops = 0; hops < 256; hops++) {
+    if (!oracle_->IsAncestorOrEqual((*node)->created_sid, sid)) {
+      return AbortDescent(txn, *at, *visited,
+                          "node from a different version lineage");
+    }
+    const DescendantEntry* applicable = nullptr;
+    for (const DescendantEntry& d : (*node)->descendants) {
+      if (oracle_->IsAncestorOrEqual(d.sid, sid)) {
+        applicable = &d;
+        break;
+      }
+    }
+    if (applicable == nullptr) return Status::OK();
+    if (!applicable->discretionary) {
+      return AbortDescent(txn, *at, *visited,
+                          "node copied for this or an earlier snapshot");
+    }
+    // Rare: follow the discretionary chain with (cached) point hops — the
+    // level batch could not have known about the hop target up front.
+    stats_.redirects.fetch_add(1, std::memory_order_relaxed);
+    *at = applicable->copy_addr;
+    auto fetched = FetchNode(txn, *at, /*as_leaf=*/false, mode);
+    if (!fetched.ok()) {
+      if (fetched.status().IsCorruption()) {
+        return AbortDescent(txn, *at, *visited,
+                            "undecodable node (stale pointer)");
+      }
+      return fetched.status();
+    }
+    *hop = std::move(fetched).value();
+    *node = hop;
+    visited->push_back(*at);
+  }
+  return AbortDescent(txn, *at, *visited, "redirect chain did not terminate");
+}
+
+Status BTree::ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
+                                TraverseMode mode,
+                                const std::vector<std::string>& keys,
+                                std::vector<LeafGroup>* groups,
+                                std::vector<Addr>* visited_out) {
+  groups->clear();
+
+  // Abort discipline shared with Traverse: invalidate every dirty-read
+  // address this descent leaned on so the retry refetches fresh state.
+  std::vector<Addr> local_visited;
+  std::vector<Addr>& visited =
+      visited_out != nullptr ? *visited_out : local_visited;
+  auto abort = [&](Addr at, const char* reason) -> Status {
+    return AbortDescent(txn, at, visited, reason);
+  };
+
+  std::unordered_map<Addr, size_t, sinfonia::AddrHash> group_of;
+  auto join_group = [&](Addr addr, size_t key) {
+    auto [it, fresh] = group_of.emplace(addr, groups->size());
+    if (fresh) groups->push_back(LeafGroup{addr, {}});
+    (*groups)[it->second].key_idx.push_back(key);
+  };
+
+  // One probe per key: where its descent currently stands.
+  struct Probe {
+    Addr addr;
+    int expected_height;
+    bool resolved;
+  };
+  std::vector<Probe> probes(keys.size(), Probe{root, -1, false});
+
+  // In the Aguilera baseline the whole path joins the read set and
+  // validates against the replicated seqnum table at commit; level fetches
+  // then go through ReadCachedBatch so the batched descent keeps those
+  // semantics (still one round per level).
+  const bool validated_path =
+      mode == TraverseMode::kUpToDate && !options_.dirty_traversals;
+
+  size_t unresolved = keys.size();
+  for (int level = 0; level < 256 && unresolved > 0; level++) {
+    // Keys whose parent said "the child is a leaf" resolve without a
+    // fetch: the frontier never reads leaves (consumers batch-fetch them
+    // with the read discipline their mode requires, and leaves must never
+    // linger in the proxy cache).
+    for (size_t i = 0; i < probes.size(); i++) {
+      Probe& p = probes[i];
+      if (!p.resolved && p.expected_height == 0) {
+        join_group(p.addr, i);
+        p.resolved = true;
+        unresolved--;
+      }
+    }
+    if (unresolved == 0) break;
+
+    // ONE batched round fetches every distinct node this level needs.
+    std::vector<ObjectRef> refs;
+    std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
+    for (const Probe& p : probes) {
+      if (p.resolved) continue;
+      if (slot.emplace(p.addr, refs.size()).second) {
+        refs.push_back(validated_path ? layout().SlabRef(p.addr)
+                                      : NodeRef(p.addr, /*internal=*/true));
+      }
+    }
+    auto payloads =
+        validated_path ? txn.ReadCachedBatch(refs) : txn.DirtyReadBatch(refs);
+    if (!payloads.ok()) return payloads.status();
+
+    std::vector<Node> nodes(refs.size());
+    for (size_t k = 0; k < refs.size(); k++) {
+      const Addr at = refs[k].addr;
+      auto decoded = Node::Decode((*payloads)[k]);
+      if (!decoded.ok()) return abort(at, "undecodable node (stale pointer)");
+      nodes[k] = std::move(decoded).value();
+      visited.push_back(at);
+      if (validated_path && !nodes[k].is_leaf() &&
+          options_.replicate_internal_seqnums) {
+        txn.SetReadValidationMirror(at, layout().SeqSlotFor(at));
+      }
+    }
+
+    // Advance every unresolved key through its (shared) decoded node.
+    for (size_t i = 0; i < probes.size(); i++) {
+      Probe& p = probes[i];
+      if (p.resolved) continue;
+      const Slice key(keys[i]);
+      const Node* node = &nodes[slot.at(p.addr)];
+      Addr at = p.addr;
+      Node hop;  // content of a followed discretionary copy
+      MINUET_RETURN_NOT_OK(
+          SettleNodeForSid(txn, sid, mode, &node, &hop, &at, &visited));
+      if (p.expected_height >= 0 &&
+          node->height != static_cast<uint8_t>(p.expected_height)) {
+        return abort(at, "height mismatch");
+      }
+      if (!node->InFenceRange(key)) {
+        return abort(at, "key outside fence range");
+      }
+      if (node->is_leaf()) {
+        // Reached through the internal-read path (root == leaf, or a
+        // redirect): it may now sit in the proxy cache, and leaves must
+        // never be served from there — drop both the batch-fetched entry
+        // address and the settled hop target. The consumer's batch
+        // refetches it with leaf discipline.
+        if (cache_ != nullptr) {
+          cache_->Invalidate(p.addr);
+          cache_->Invalidate(at);
+        }
+        join_group(at, i);
+        p.resolved = true;
+        unresolved--;
+        continue;
+      }
+      if (node->entries.empty()) {
+        return abort(at, "internal node without children");
+      }
+      const size_t idx = node->ChildIndexFor(key);
+      p.addr = node->entries[idx].child;
+      p.expected_height = node->height - 1;
+    }
+  }
+  if (unresolved > 0) return abort(root, "descent did not terminate");
+  return Status::OK();
+}
+
+Status BTree::ApplyWritesInTxn(DynamicTxn& txn,
+                               const std::vector<WriteOp>& ops) {
+  if (ops.empty()) return Status::OK();
+  std::vector<std::string> keys;
+  keys.reserve(ops.size());
+  for (const WriteOp& op : ops) {
+    MINUET_RETURN_NOT_OK(CheckKeyValue(op.key, op.value));
+    keys.push_back(op.key);
+  }
+  auto tip0 = ReadTipInTxn(txn);
+  if (!tip0.ok()) return tip0.status();
+
+  // Cold-path collapse + per-leaf dedupe: one level-synchronized descent
+  // resolves EVERY op's leaf (O(depth) rounds cold, free warm), then all
+  // distinct leaves join the read set in ONE round — the commit
+  // minitransaction will carry one compare per leaf, not per key.
+  std::vector<LeafGroup> groups;
+  MINUET_RETURN_NOT_OK(ResolveLeafGroups(txn, tip0->sid, tip0->root,
+                                         TraverseMode::kUpToDate, keys,
+                                         &groups, nullptr));
+  {
+    std::vector<ObjectRef> refs;
+    refs.reserve(groups.size());
+    for (const LeafGroup& g : groups) {
+      refs.push_back(NodeRef(g.addr, /*internal=*/false));
+    }
+    auto payloads = txn.ReadBatch(refs);
+    if (!payloads.ok()) return payloads.status();
+  }
+
+  // Apply the ops grouped per leaf: ONE traversal and ONE leaf mutation
+  // per flush instead of one per key. The traversal costs no extra rounds
+  // — inner nodes come from the write set or proxy cache, the leaf from
+  // the read set — and re-running it per flush keeps the mutation path on
+  // the battle-tested Traverse/ApplyLeafMutation invariants even as
+  // earlier flushes copy-on-write ancestors or re-publish the root.
+  for (LeafGroup& g : groups) {
+    // Frontier resolution order is per level, so same-key ops are already
+    // in batch order; sort as cheap insurance (order only matters there).
+    std::sort(g.key_idx.begin(), g.key_idx.end());
+    size_t next = 0;
+    while (next < g.key_idx.size()) {
+      auto tip = ReadTipInTxn(txn);  // an earlier flush may have moved it
+      if (!tip.ok()) return tip.status();
+      auto path = Traverse(txn, tip->sid, tip->root, ops[g.key_idx[next]].key,
+                           TraverseMode::kUpToDate);
+      if (!path.ok()) return path.status();
+      Node leaf = path->back().node;
+      bool dirty = false;
+      size_t applied = 0;
+      while (next < g.key_idx.size()) {
+        const WriteOp& op = ops[g.key_idx[next]];
+        // A flush's split may have moved later keys of this group to a
+        // right sibling: re-traverse for them.
+        if (!leaf.InFenceRange(op.key)) break;
+        if (applied > 0) {
+          // Never grow the leaf further once it already needs a split:
+          // flush now so ApplyLeafMutation's single split always yields
+          // halves that fit (the same one-entry-over-capacity invariant a
+          // serial upsert maintains).
+          const size_t reserve =
+              (kMaxDescendants - leaf.descendants.size()) * kDescEntryBytes;
+          if (leaf.EncodedSize() + reserve > capacity()) break;
+        }
+        if (op.kind == WriteOp::Kind::kPut) {
+          leaf.Upsert(op.key, op.value, sinfonia::kNullAddr);
+          dirty = true;
+        } else if (leaf.Erase(op.key)) {
+          dirty = true;
+        }  // blind remove: an absent key is a tolerated no-op
+        next++;
+        applied++;
+      }
+      if (dirty) {
+        MINUET_RETURN_NOT_OK(
+            ApplyLeafMutation(txn, *tip, *path, std::move(leaf)));
+      }
+      // `applied >= 1` always (Traverse guarantees the first key is in the
+      // leaf's fence range), so the loop makes progress every iteration.
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<BTree::ScanPartition>> BTree::PartitionRange(
+    const SnapshotRef& snap, const std::string& start, const std::string& end,
+    uint32_t max_levels) {
+  if (max_levels == 0) max_levels = 1;
+  std::vector<ScanPartition> parts;
+  Status st = RunSnapshotOp(snap.sid, [&](DynamicTxn& txn) -> Status {
+    parts.clear();
+    std::vector<Addr> visited;
+    auto abort = [&](Addr at, const char* reason) -> Status {
+      return AbortDescent(txn, at, visited, reason);
+    };
+
+    // One pending subtree of the current level: its node plus the clipped
+    // key range it is responsible for within [start, end).
+    struct Sub {
+      Addr addr;
+      std::string lo, hi;  // hi exclusive; "" = unbounded
+      int expected_height;
+    };
+    std::vector<Sub> level;
+    level.push_back(Sub{snap.root, start, end, -1});
+
+    for (uint32_t depth = 0; depth < max_levels && !level.empty(); depth++) {
+      // ONE batched round fetches this whole level of subtree roots.
+      std::vector<ObjectRef> refs;
+      std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
+      for (const Sub& s : level) {
+        if (slot.emplace(s.addr, refs.size()).second) {
+          refs.push_back(NodeRef(s.addr, /*internal=*/true));
+        }
+      }
+      auto payloads = txn.DirtyReadBatch(refs);
+      if (!payloads.ok()) return payloads.status();
+      std::vector<Node> nodes(refs.size());
+      for (size_t k = 0; k < refs.size(); k++) {
+        auto decoded = Node::Decode((*payloads)[k]);
+        if (!decoded.ok()) {
+          return abort(refs[k].addr, "undecodable node (stale pointer)");
+        }
+        nodes[k] = std::move(decoded).value();
+        visited.push_back(refs[k].addr);
+      }
+
+      std::vector<Sub> next_level;
+      for (const Sub& s : level) {
+        const Node* node = &nodes[slot.at(s.addr)];
+        Addr at = s.addr;
+        Node hop;
+        MINUET_RETURN_NOT_OK(SettleNodeForSid(
+            txn, snap.sid, TraverseMode::kSnapshotRead, &node, &hop, &at,
+            &visited));
+        if (s.expected_height >= 0 &&
+            node->height != static_cast<uint8_t>(s.expected_height)) {
+          return abort(at, "height mismatch");
+        }
+        if (node->is_leaf()) {
+          // A single-leaf tree (depth 0 only — heights are uniform). The
+          // frontier cached it; leaves must not linger there.
+          if (cache_ != nullptr) {
+            cache_->Invalidate(s.addr);
+            cache_->Invalidate(at);
+          }
+          parts.push_back(ScanPartition{s.lo, s.hi, at.memnode});
+          continue;
+        }
+        if (node->entries.empty()) {
+          return abort(at, "internal node without children");
+        }
+        // Expand the children intersecting [s.lo, s.hi). Children of
+        // height-1 nodes are leaves — emit partitions instead of
+        // descending further (the frontier never fetches leaves); same
+        // when the level budget is spent.
+        const bool cut = depth + 1 >= max_levels || node->height == 1;
+        const auto& entries = node->entries;
+        for (size_t i = 0; i < entries.size(); i++) {
+          // Child i covers [key_i, key_{i+1}); clip to [s.lo, s.hi).
+          std::string lo = entries[i].key;
+          if (lo < s.lo) lo = s.lo;
+          std::string hi =
+              i + 1 < entries.size() ? entries[i + 1].key : s.hi;
+          if (!s.hi.empty() && (hi.empty() || hi > s.hi)) hi = s.hi;
+          if (!hi.empty() && lo >= hi) continue;
+          if (cut) {
+            parts.push_back(ScanPartition{lo, hi, entries[i].child.memnode});
+          } else {
+            next_level.push_back(
+                Sub{entries[i].child, lo, hi, node->height - 1});
+          }
+        }
+      }
+      level = std::move(next_level);
+    }
+    if (parts.empty()) {
+      parts.push_back(ScanPartition{start, end, snap.root.memnode});
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return parts;
+}
+
+Result<uint32_t> BTree::Depth() {
+  uint32_t depth = 0;
+  Status st = RunOp([&](DynamicTxn& txn) -> Status {
+    auto tip = ReadTipInTxn(txn);
+    if (!tip.ok()) return tip.status();
+    auto node = FetchNode(txn, tip->root, /*as_leaf=*/false,
+                          TraverseMode::kSnapshotRead);
+    if (!node.ok()) return node.status();
+    if (node->is_leaf() && cache_ != nullptr) cache_->Invalidate(tip->root);
+    depth = node->height + 1u;
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return depth;
+}
+
+}  // namespace minuet::btree

@@ -121,14 +121,25 @@ Status BTree::CreateTree() {
 
 Result<TipContext> BTree::ReadTipInTxn(DynamicTxn& txn) {
   // The proxy validates its CACHED tip copy (paper §4.1): no fetch in the
-  // common case, and commit/leaf-fetch validation catches staleness.
-  auto sid_raw = txn.ReadCached(layout().TipIdRef(tree_slot_));
-  if (!sid_raw.ok()) return sid_raw.status();
-  auto root_raw = txn.ReadCached(layout().TipRootRef(tree_slot_));
-  if (!root_raw.ok()) return root_raw.status();
+  // common case, and commit/leaf-fetch validation catches staleness. On a
+  // cold cache the pair is fetched in ONE batched round, not two; when
+  // this transaction already read (or wrote) the pair — every re-read
+  // after the first, e.g. ApplyWritesInTxn's flush loop — it is served
+  // straight from the read/write set with no batch machinery.
+  const ObjectRef id_ref = layout().TipIdRef(tree_slot_);
+  const ObjectRef root_ref = layout().TipRootRef(tree_slot_);
   TipContext tip;
-  tip.sid = DecodeTipId(*sid_raw);
-  tip.root = DecodeRootLoc(*root_raw);
+  const std::string* id_raw = txn.Peek(id_ref);
+  const std::string* root_raw = txn.Peek(root_ref);
+  if (id_raw != nullptr && root_raw != nullptr) {
+    tip.sid = DecodeTipId(*id_raw);
+    tip.root = DecodeRootLoc(*root_raw);
+  } else {
+    auto raw = txn.ReadCachedBatch({id_ref, root_ref});
+    if (!raw.ok()) return raw.status();
+    tip.sid = DecodeTipId((*raw)[0]);
+    tip.root = DecodeRootLoc((*raw)[1]);
+  }
   tip.source = TipContext::Source::kLinearTip;
   if (tip.root == sinfonia::kNullAddr) {
     return Status::InvalidArgument("tree not created");
@@ -564,42 +575,6 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
 // ---------------------------------------------------------------------------
 // Public operations
 
-template <typename Body>
-Status BTree::RunOp(Body&& body) {
-  Status last = Status::Aborted("no attempts");
-  for (uint32_t attempt = 0; attempt < options_.max_attempts; attempt++) {
-    DynamicTxn txn(coord_, cache_);
-    Status st = body(txn);
-    // A stale cache must not refuse an Insert or invent a miss: answers
-    // commit (validating the read set) before being reported, and retry
-    // if validation aborts.
-    if (st.IsCommittableAnswer()) {
-      Status cst = txn.Commit();
-      if (cst.ok()) return st;
-      if (!cst.IsRetryable()) return cst;
-      last = cst;
-    } else if (st.IsRetryable()) {
-      last = st;
-    } else {
-      return st;
-    }
-    stats_.op_aborts.fetch_add(1, std::memory_order_relaxed);
-    // The failed validation implicates something the transaction read from
-    // the proxy cache (the tip objects, or — with dirty traversals off —
-    // cached internal nodes). Drop them all so the retry refetches.
-    if (cache_ != nullptr) {
-      for (const Addr& a : txn.ReadSetAddrs()) cache_->Invalidate(a);
-    }
-    InvalidateTipCache();
-    // Persistent conflicts on an oversubscribed host: let the conflicting
-    // writer actually run before retrying (see Coordinator::Execute).
-    if (attempt >= 3) {
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
-    }
-  }
-  return last;
-}
-
 namespace {
 Status LeafLookup(const Node& leaf, const std::string& key,
                   std::string* value) {
@@ -632,96 +607,17 @@ Status BTree::MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
   // invalidates the implicated path) so the retry refetches fresh state.
   std::vector<Addr> visited;
   auto abort = [&](Addr at, const char* reason) -> Status {
-    if (cache_ != nullptr) {
-      cache_->Invalidate(at);
-      for (const Addr& a : visited) cache_->Invalidate(a);
-    }
-    stats_.traversal_aborts.fetch_add(1, std::memory_order_relaxed);
-    txn.MarkAborted();
-    return Status::Aborted(reason);
+    return AbortDescent(txn, at, visited, reason);
   };
 
-  // -- Phase 1: resolve each key's leaf address via inner descents ----------
-  // Internal levels come from the proxy cache (dirty reads), so K keys
-  // sharing a path prefix pay for it once, and a warm cache pays nothing.
-  struct LeafGroup {
-    Addr addr;
-    std::vector<size_t> key_idx;
-  };
+  // -- Phase 1: resolve each key's leaf with ONE level-synchronized descent.
+  // Warm internal levels come from the proxy cache exactly as before (K
+  // keys sharing a path prefix pay for it once); on a cold cache every
+  // level is a single batched round across ALL keys (descent.cc), so the
+  // whole resolution costs ~depth rounds instead of ~K × depth.
   std::vector<LeafGroup> groups;
-  std::unordered_map<Addr, size_t, sinfonia::AddrHash> group_of;
-  auto join_group = [&](Addr addr, size_t key) {
-    auto [it, fresh] = group_of.emplace(addr, groups.size());
-    if (fresh) groups.push_back(LeafGroup{addr, {}});
-    groups[it->second].key_idx.push_back(key);
-  };
-
-  for (size_t i = 0; i < keys.size(); i++) {
-    const Slice key(keys[i]);
-    Addr addr = root;
-    int expected_height = -1;
-    bool resolved = false;
-    for (int steps = 0; steps < 256; steps++) {
-      if (expected_height == 0) {
-        // The parent told us this child is a leaf: defer its (validated)
-        // read to the batch.
-        join_group(addr, i);
-        resolved = true;
-        break;
-      }
-      auto fetched = FetchNode(txn, addr, /*as_leaf=*/false, mode);
-      if (!fetched.ok()) {
-        if (fetched.status().IsCorruption()) {
-          return abort(addr, "undecodable node (stale pointer)");
-        }
-        return fetched.status();
-      }
-      const Node node = std::move(fetched).value();
-      visited.push_back(addr);
-
-      if (!oracle_->IsAncestorOrEqual(node.created_sid, sid)) {
-        return abort(addr, "node from a different version lineage");
-      }
-      const DescendantEntry* applicable = nullptr;
-      for (const DescendantEntry& d : node.descendants) {
-        if (oracle_->IsAncestorOrEqual(d.sid, sid)) {
-          applicable = &d;
-          break;
-        }
-      }
-      if (applicable != nullptr) {
-        if (applicable->discretionary) {
-          stats_.redirects.fetch_add(1, std::memory_order_relaxed);
-          addr = applicable->copy_addr;
-          continue;
-        }
-        return abort(addr, "node copied for this or an earlier snapshot");
-      }
-      if (expected_height >= 0 &&
-          node.height != static_cast<uint8_t>(expected_height)) {
-        return abort(addr, "height mismatch");
-      }
-      if (!node.InFenceRange(key)) {
-        return abort(addr, "key outside fence range");
-      }
-      if (node.is_leaf()) {
-        // Reached through the internal-read path (root == leaf, or a
-        // redirect): it may now sit in the proxy cache, and leaves must
-        // never be served from there. The batch refetches it properly.
-        if (cache_ != nullptr) cache_->Invalidate(addr);
-        join_group(addr, i);
-        resolved = true;
-        break;
-      }
-      if (node.entries.empty()) {
-        return abort(addr, "internal node without children");
-      }
-      const size_t idx = node.ChildIndexFor(key);
-      expected_height = node.height - 1;
-      addr = node.entries[idx].child;
-    }
-    if (!resolved) return abort(addr, "traversal did not terminate");
-  }
+  MINUET_RETURN_NOT_OK(
+      ResolveLeafGroups(txn, sid, root, mode, keys, &groups, &visited));
 
   // -- Phase 2: fetch ALL distinct leaves in one minitransaction round ------
   std::vector<ObjectRef> refs;
@@ -917,27 +813,6 @@ Status BTree::CheckGcHorizon(uint64_t sid) {
   return Status::OK();
 }
 
-// The shared retry skeleton of every validation-free snapshot read: a
-// fresh fetch-only transaction per attempt (no commit, §4.2), backoff on
-// persistent aborts, and a periodic horizon check so reads below the GC
-// horizon fail fast instead of retrying to exhaustion.
-template <typename Body>
-Status BTree::RunSnapshotOp(uint64_t sid, Body&& body) {
-  Status last = Status::Aborted("no attempts");
-  for (uint32_t attempt = 0; attempt < options_.max_attempts; attempt++) {
-    DynamicTxn txn(coord_, cache_);
-    Status st = body(txn);
-    if (st.ok() || !st.IsRetryable()) return st;
-    last = st;
-    stats_.op_aborts.fetch_add(1, std::memory_order_relaxed);
-    if (attempt % 64 == 5) MINUET_RETURN_NOT_OK(CheckGcHorizon(sid));
-    if (attempt >= 3) {
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
-    }
-  }
-  return last;
-}
-
 Status BTree::SnapshotGet(const SnapshotRef& snap, const std::string& key,
                           std::string* value) {
   MINUET_RETURN_NOT_OK(CheckKeyValue(key, ""));
@@ -959,72 +834,6 @@ Status BTree::SnapshotMultiGet(
     return MultiGetAt(txn, snap.sid, snap.root, TraverseMode::kSnapshotRead,
                       keys, values);
   });
-}
-
-Result<std::vector<BTree::ScanPartition>> BTree::PartitionRange(
-    const SnapshotRef& snap, const std::string& start,
-    const std::string& end) {
-  std::vector<ScanPartition> parts;
-  Status st = RunSnapshotOp(snap.sid, [&](DynamicTxn& txn) -> Status {
-    parts.clear();
-    Addr addr = snap.root;
-    Result<Node> fetched = Status::Aborted("");
-    // Resolve the root, following discretionary copies like Traverse.
-    for (int hops = 0; hops < 256; hops++) {
-      fetched = FetchNode(txn, addr, /*as_leaf=*/false,
-                          TraverseMode::kSnapshotRead);
-      if (!fetched.ok()) break;
-      if (!oracle_->IsAncestorOrEqual(fetched->created_sid, snap.sid)) {
-        fetched = Status::Aborted("root from a different version lineage");
-        break;
-      }
-      const DescendantEntry* applicable = nullptr;
-      for (const DescendantEntry& d : fetched->descendants) {
-        if (oracle_->IsAncestorOrEqual(d.sid, snap.sid)) {
-          applicable = &d;
-          break;
-        }
-      }
-      if (applicable == nullptr) break;
-      if (!applicable->discretionary) {
-        fetched = Status::Aborted("root copied for an earlier snapshot");
-        break;
-      }
-      addr = applicable->copy_addr;
-    }
-    if (!fetched.ok()) {
-      if (!fetched.status().IsRetryable() &&
-          !fetched.status().IsCorruption()) {
-        return fetched.status();
-      }
-      if (cache_ != nullptr) cache_->Invalidate(addr);
-      return Status::Aborted("partitioning raced a structural change");
-    }
-    if (fetched->is_leaf() || fetched->entries.empty()) {
-      if (fetched->is_leaf() && cache_ != nullptr) {
-        cache_->Invalidate(addr);  // leaves must not linger in the cache
-      }
-      parts.push_back(ScanPartition{start, end, addr.memnode});
-      return Status::OK();
-    }
-    const auto& entries = fetched->entries;
-    for (size_t i = 0; i < entries.size(); i++) {
-      // Child i covers [key_i, key_{i+1}); clip to [start, end).
-      std::string lo = entries[i].key;
-      if (lo < start) lo = start;
-      std::string hi =
-          i + 1 < entries.size() ? entries[i + 1].key : std::string();
-      if (!end.empty() && (hi.empty() || hi > end)) hi = end;
-      if (!hi.empty() && lo >= hi) continue;
-      parts.push_back(ScanPartition{lo, hi, entries[i].child.memnode});
-    }
-    if (parts.empty()) {
-      parts.push_back(ScanPartition{start, end, addr.memnode});
-    }
-    return Status::OK();
-  });
-  if (!st.ok()) return st;
-  return parts;
 }
 
 Status BTree::SnapshotScanChunk(

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -162,13 +164,39 @@ class BTree {
     std::string end;    // exclusive ("" = to the range end / +infinity)
     sinfonia::MemnodeId home = 0;
   };
-  // Split [start, end) of `snap` into disjoint, key-ordered partitions
-  // aligned to the root's child subtrees (one partition per child whose
-  // range intersects). A single-leaf tree yields one partition. Cursor
-  // fan-out scans the partitions in parallel, grouped by `home`.
+  // Split [start, end) of `snap` into disjoint, key-ordered partitions by
+  // descending up to `max_levels` internal levels (1 = the root's child
+  // subtrees; 2 = their children, the default) with the level-synchronized
+  // batched descent — every level costs ONE coordinator round no matter
+  // how many subtrees it holds. Each partition is tagged with the memnode
+  // owning its subtree (or leaf), so deeper cuts give finer per-memnode
+  // balance for fan-out scans. A single-leaf tree yields one partition.
   Result<std::vector<ScanPartition>> PartitionRange(const SnapshotRef& snap,
                                                     const std::string& start,
-                                                    const std::string& end);
+                                                    const std::string& end,
+                                                    uint32_t max_levels = 2);
+
+  // Number of levels (including the leaf level) on the current tip's
+  // root-to-leaf paths. Diagnostic aid for the cold-descent round budgets
+  // asserted in tests and printed by bench/abl_cold_descent.
+  Result<uint32_t> Depth();
+
+  // One buffered write for ApplyWritesInTxn. Strict-insert existence must
+  // be settled by the caller BEFORE applying (see Proxy::Apply): here an
+  // insert is a put, and a remove of an absent key is a tolerated no-op.
+  struct WriteOp {
+    enum class Kind : uint8_t { kPut, kRemove };
+    Kind kind = Kind::kPut;
+    std::string key;
+    std::string value;
+  };
+  // Apply a batch of writes to the tip inside the caller's transaction,
+  // with the batched cold path and per-leaf dedupe: all target leaves are
+  // resolved with ONE level-synchronized descent (O(depth) rounds on a
+  // cold cache) and fetched into the read set in ONE round (one commit
+  // compare per leaf, not per key), then ops are applied grouped per leaf
+  // — one traversal + one leaf mutation per flush instead of one per key.
+  Status ApplyWritesInTxn(DynamicTxn& txn, const std::vector<WriteOp>& ops);
 
   // --- Snapshot creation (Fig. 6; called via the mvcc snapshot service) ----
   // Freezes the current tip and installs tip id + 1. Returns the frozen
@@ -234,11 +262,53 @@ class BTree {
                                           Addr root, const Slice& key,
                                           TraverseMode mode);
 
+  // --- Batched (level-synchronized) descent engine — descent.cc -----------
+  // The shared abort discipline of every batched descent: invalidate the
+  // implicated address plus everything the descent leaned on (`visited`),
+  // count the abort, and doom the transaction — same rules as Traverse.
+  Status AbortDescent(DynamicTxn& txn, Addr at,
+                      const std::vector<Addr>& visited, const char* reason);
+  // The §4.2/§5.2 node-settling checks shared by the batched descents:
+  // verify version lineage, follow discretionary-copy redirects with
+  // (cached) point hops — `*hop` is the caller's scratch storage, `*node`
+  // is repointed at it after a hop so the no-redirect common path stays
+  // zero-copy — and abort on an applicable real copy. On return `*at`
+  // names the settled content address; hop addresses join `visited`.
+  Status SettleNodeForSid(DynamicTxn& txn, uint64_t sid, TraverseMode mode,
+                          const Node** node, Node* hop, Addr* at,
+                          std::vector<Addr>* visited);
+  // Keys that resolved to the same leaf, in key-index order. `addr` is the
+  // leaf's content address (after any discretionary hops of the inner
+  // descent; leaf-level hops are re-checked by the consumer's fetch).
+  struct LeafGroup {
+    Addr addr;
+    std::vector<size_t> key_idx;
+  };
+  // The shared cold-path engine: resolve every key's leaf address with a
+  // BFS frontier that walks ALL keys one level at a time. At each level,
+  // the distinct nodes no cache can serve are fetched in ONE batched
+  // minitransaction round (DirtyReadBatch — or ReadCachedBatch in the
+  // Aguilera baseline, where internal nodes join the read set), each node
+  // is decoded once, and every key advances through it under the Fig. 5 /
+  // §4.2 / §5.2 safety checks. A cold cache therefore pays ~depth rounds
+  // for ANY number of keys; a warm cache pays nothing, exactly as before.
+  // Discretionary-copy redirects fall back to (cached) point hops. Aborts
+  // (Status::Aborted) invalidate every implicated cache entry, like
+  // Traverse. Leaves are NOT fetched (only grouped): consumers batch-fetch
+  // them with the read discipline their mode requires. When `visited_out`
+  // is non-null it collects every address the descent leaned on, so the
+  // caller's own later aborts can extend the same invalidation discipline.
+  Status ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
+                           TraverseMode mode,
+                           const std::vector<std::string>& keys,
+                           std::vector<LeafGroup>* groups,
+                           std::vector<Addr>* visited_out);
+
   // Shared body of MultiGetInTxn / SnapshotMultiGet: resolve every key's
-  // leaf via inner descents (dirty/cached, so shared prefixes cost nothing),
-  // batch-fetch all distinct leaves in one minitransaction, then run the
-  // per-leaf safety checks (§4.2/§5.2 version checks, fences, height) that
-  // Traverse would have run, aborting for retry on any failure.
+  // leaf with ResolveLeafGroups, batch-fetch all distinct leaves in one
+  // minitransaction, then run the per-leaf safety checks (§4.2/§5.2
+  // version checks, fences, height) that Traverse would have run,
+  // aborting for retry on any failure.
   Status MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
                     TraverseMode mode, const std::vector<std::string>& keys,
                     std::vector<std::optional<std::string>>* values);
@@ -298,6 +368,65 @@ std::string EncodeTipId(uint64_t sid);
 uint64_t DecodeTipId(const std::string& payload);
 std::string EncodeRootLoc(Addr root);
 Addr DecodeRootLoc(const std::string& payload);
+
+// Retry wrapper for whole-operation optimistic retry: defined here so the
+// batched-descent entry points in descent.cc can instantiate it too.
+template <typename Body>
+Status BTree::RunOp(Body&& body) {
+  Status last = Status::Aborted("no attempts");
+  for (uint32_t attempt = 0; attempt < options_.max_attempts; attempt++) {
+    DynamicTxn txn(coord_, cache_);
+    Status st = body(txn);
+    // A stale cache must not refuse an Insert or invent a miss: answers
+    // commit (validating the read set) before being reported, and retry
+    // if validation aborts.
+    if (st.IsCommittableAnswer()) {
+      Status cst = txn.Commit();
+      if (cst.ok()) return st;
+      if (!cst.IsRetryable()) return cst;
+      last = cst;
+    } else if (st.IsRetryable()) {
+      last = st;
+    } else {
+      return st;
+    }
+    stats_.op_aborts.fetch_add(1, std::memory_order_relaxed);
+    // The failed validation implicates something the transaction read from
+    // the proxy cache (the tip objects, or — with dirty traversals off —
+    // cached internal nodes). Drop them all so the retry refetches.
+    if (cache_ != nullptr) {
+      for (const Addr& a : txn.ReadSetAddrs()) cache_->Invalidate(a);
+    }
+    InvalidateTipCache();
+    // Persistent conflicts on an oversubscribed host: let the conflicting
+    // writer actually run before retrying (see Coordinator::Execute).
+    if (attempt >= 3) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  return last;
+}
+
+// The shared retry skeleton of every validation-free snapshot read: a
+// fresh fetch-only transaction per attempt (no commit, §4.2), backoff on
+// persistent aborts, and a periodic horizon check so reads below the GC
+// horizon fail fast instead of retrying to exhaustion.
+template <typename Body>
+Status BTree::RunSnapshotOp(uint64_t sid, Body&& body) {
+  Status last = Status::Aborted("no attempts");
+  for (uint32_t attempt = 0; attempt < options_.max_attempts; attempt++) {
+    DynamicTxn txn(coord_, cache_);
+    Status st = body(txn);
+    if (st.ok() || !st.IsRetryable()) return st;
+    last = st;
+    stats_.op_aborts.fetch_add(1, std::memory_order_relaxed);
+    if (attempt % 64 == 5) MINUET_RETURN_NOT_OK(CheckGcHorizon(sid));
+    if (attempt >= 3) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  return last;
+}
 
 struct CatalogEntry {
   Addr root;

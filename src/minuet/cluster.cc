@@ -1,5 +1,6 @@
 #include "minuet/cluster.h"
 
+#include <map>
 #include <set>
 
 namespace minuet {
@@ -215,34 +216,58 @@ Status Proxy::Apply(const WriteBatch& batch) {
       return Status::AlreadyExists("duplicate insert within the batch");
     }
   }
+  // Group the batch per tree, preserving batch order within each tree
+  // (order only matters between ops on the same key, which land in the
+  // same tree). Strict-insert keys are collected separately: existence is
+  // settled with one batched read per tree BEFORE any write is buffered.
+  struct PerTree {
+    std::vector<std::string> insert_keys;
+    std::vector<btree::BTree::WriteOp> ops;
+  };
+  std::map<uint32_t, PerTree> per_tree;
+  for (const WriteBatch::Op& op : batch.ops_) {
+    PerTree& pt = per_tree[op.tree.slot()];
+    btree::BTree::WriteOp wop;
+    wop.key = op.key;
+    switch (op.kind) {
+      case WriteBatch::Kind::kInsert:
+        pt.insert_keys.push_back(op.key);
+        [[fallthrough]];  // existence settled in phase 1; then an upsert
+      case WriteBatch::Kind::kPut:
+        wop.kind = btree::BTree::WriteOp::Kind::kPut;
+        wop.value = op.value;
+        break;
+      case WriteBatch::Kind::kRemove:
+        wop.kind = btree::BTree::WriteOp::Kind::kRemove;
+        break;
+    }
+    pt.ops.push_back(std::move(wop));
+  }
   return Transaction([&](txn::DynamicTxn& txn) -> Status {
     // Phase 1 — strict-insert existence checks, BEFORE any write is
     // buffered: an AlreadyExists return then commits a read-only
     // transaction (validating the conclusion, see RunTransaction) without
     // installing a partial batch. Existence is therefore judged against
-    // the pre-batch state.
-    for (const WriteBatch::Op& op : batch.ops_) {
-      if (op.kind != WriteBatch::Kind::kInsert) continue;
-      Status st =
-          trees_[op.tree.slot()]->GetInTxn(txn, op.key, /*value=*/nullptr);
-      if (st.ok()) return Status::AlreadyExists("insert of a present key");
-      if (!st.IsNotFound()) return st;
-    }
-    // Phase 2 — apply every write.
-    for (const WriteBatch::Op& op : batch.ops_) {
-      btree::BTree* t = trees_[op.tree.slot()].get();
-      switch (op.kind) {
-        case WriteBatch::Kind::kPut:
-        case WriteBatch::Kind::kInsert:  // existence settled in phase 1
-          MINUET_RETURN_NOT_OK(t->PutInTxn(txn, op.key, op.value));
-          break;
-        case WriteBatch::Kind::kRemove: {
-          // Blind delete: an absent key does not fail the batch.
-          Status st = t->RemoveInTxn(txn, op.key);
-          if (!st.ok() && !st.IsNotFound()) return st;
-          break;
+    // the pre-batch state — and resolved with ONE batched MultiGet per
+    // tree (shared level-synchronized descents, one grouped leaf round)
+    // instead of one serial descent per insert.
+    for (auto& [slot, pt] : per_tree) {
+      if (pt.insert_keys.empty()) continue;
+      std::vector<std::optional<std::string>> values;
+      MINUET_RETURN_NOT_OK(
+          trees_[slot]->MultiGetInTxn(txn, pt.insert_keys, &values));
+      for (const auto& v : values) {
+        if (v.has_value()) {
+          return Status::AlreadyExists("insert of a present key");
         }
       }
+    }
+    // Phase 2 — apply every write, per tree, through the batched descent:
+    // all target leaves resolve in O(depth) cold rounds and join the read
+    // set in one round, and ops targeting the same leaf collapse into one
+    // traversal + one leaf mutation (one commit compare per leaf).
+    for (auto& [slot, pt] : per_tree) {
+      MINUET_RETURN_NOT_OK(trees_[slot]->ApplyWritesInTxn(txn, pt.ops));
     }
     return Status::OK();
   });

@@ -259,6 +259,12 @@ class Cluster {
   // --- Fault injection -------------------------------------------------------
   void CrashMemnode(uint32_t id);
   void RecoverMemnode(uint32_t id);
+  // Drop every proxy's object cache (tests/benchmarks: forces the cold
+  // descent path, as after a mass invalidation). Correctness-neutral — the
+  // caches are incoherent by design and refill on demand.
+  void DropProxyCaches() {
+    for (auto& proxy : proxies_) proxy->cache()->Clear();
+  }
 
   // --- Plumbing (benchmarks, tests) -----------------------------------------
   net::Fabric* fabric() { return fabric_.get(); }

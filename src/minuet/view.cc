@@ -341,7 +341,8 @@ Status DrainPartition(btree::BTree* tree, const btree::SnapshotRef& snap,
 Status FanoutScan(btree::BTree* tree, const btree::SnapshotRef& snap,
                   const std::string& start, const Cursor::Options& options,
                   std::vector<std::pair<std::string, std::string>>* out) {
-  auto parts = tree->PartitionRange(snap, start, options.end_key);
+  auto parts = tree->PartitionRange(snap, start, options.end_key,
+                                    options.partition_levels);
   if (!parts.ok()) return parts.status();
   const size_t chunk = std::max<size_t>(options.chunk_size, 1);
 

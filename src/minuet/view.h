@@ -76,6 +76,13 @@ class Cursor {
     // Fan-out cursors read exactly their acquisition snapshot
     // (refresh_lease does not apply).
     uint32_t fanout = 1;
+    // How many internal levels the fan-out partitioner descends
+    // (BTree::PartitionRange): 1 splits at the root's children only; 2
+    // (default) splits at their children, giving ~fanout² finer partitions
+    // and much better per-memnode balance on skewed trees. Every level is
+    // ONE batched coordinator round regardless of subtree count. Only
+    // meaningful with fanout > 1.
+    uint32_t partition_levels = 2;
   };
 
   // Fetches lazily: the next chunk is pulled only when Valid() is asked

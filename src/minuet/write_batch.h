@@ -7,6 +7,14 @@
 // does. A memnode crash mid-commit therefore never exposes a partial
 // batch.
 //
+// Apply resolves every op's target leaf with the level-synchronized
+// batched descent (BTree::ApplyWritesInTxn): on a cold proxy cache the
+// whole batch descends in O(depth) coordinator rounds instead of one
+// serial descent per key, all distinct leaves join the read set in one
+// batched round, and ops that land on the same leaf collapse into one
+// traversal + one leaf mutation — the commit carries one compare per
+// leaf, not per key.
+//
 // Semantics per op:
 //   Put     — upsert
 //   Insert  — strict; a key present BEFORE the batch — or Inserted twice

@@ -20,7 +20,7 @@ Fabric::Fabric(uint32_t n_nodes)
   }
 }
 
-Status Fabric::ChargeMessage(NodeId to) {
+Status Fabric::Charge(NodeId to, bool on_critical_path) {
   if (to >= n_nodes_ || !IsUp(to)) {
     return Status::Unavailable("memnode down");
   }
@@ -28,6 +28,7 @@ Status Fabric::ChargeMessage(NodeId to) {
   if (OpTrace* tr = t_trace) {
     tr->messages++;
     if (to < tr->per_node.size()) tr->per_node[to]++;
+    if (!on_critical_path) return Status::OK();
     if (t_batch_depth > 0) {
       if (!t_batch_charged) {
         tr->round_trips++;
@@ -38,6 +39,14 @@ Status Fabric::ChargeMessage(NodeId to) {
     }
   }
   return Status::OK();
+}
+
+Status Fabric::ChargeMessage(NodeId to) {
+  return Charge(to, /*on_critical_path=*/true);
+}
+
+Status Fabric::ChargeMessageAsync(NodeId to) {
+  return Charge(to, /*on_critical_path=*/false);
 }
 
 uint64_t Fabric::TotalMessages() const {

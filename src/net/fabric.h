@@ -63,6 +63,12 @@ class Fabric {
   // When already inside a RoundTripScope the message joins the open round
   // trip; otherwise it is its own round trip.
   Status ChargeMessage(NodeId to);
+  // Charge a message that is OFF the operation's critical path: it counts
+  // against the destination's capacity (and the op's message total) but
+  // adds no round trip. Used for the lock-release phase of read-only
+  // two-phase minitransactions — the caller already holds the read
+  // results after prepare, so the release latency is never observed.
+  Status ChargeMessageAsync(NodeId to);
 
   // Total messages ever delivered to `to` (capacity-model input).
   uint64_t NodeMessages(NodeId to) const {
@@ -78,6 +84,10 @@ class Fabric {
 
  private:
   friend class RoundTripScope;
+
+  // Shared body of the two charge flavors: availability check + message
+  // accounting, with the round trip charged only on the critical path.
+  Status Charge(NodeId to, bool on_critical_path);
 
   uint32_t n_nodes_;
   std::unique_ptr<std::atomic<bool>[]> up_;

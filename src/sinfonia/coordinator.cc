@@ -146,14 +146,23 @@ Status Coordinator::ExecuteTwoPhase(TxId tx,
   }
 
   if (!all_yes) {
-    // Phase two (abort): release locks at yes-voters.
+    // Phase two (abort): release locks at yes-voters. When a READ-ONLY
+    // minitransaction aborts on a decided compare mismatch, the outcome
+    // (committed=false) is already in hand after the votes, so — exactly
+    // as on the read-only commit path below — the release leaves the
+    // critical path. Read-only is judged over the WHOLE minitransaction
+    // (`parts`), not just the yes-voters: a write whose writing
+    // participant voted no still retries-and-waits like any write abort.
+    // A Busy/Unavailable abort likewise keeps the critical-path charge:
+    // the coordinator's own retry waits on that release.
+    bool decided_read_only = failure.ok();
+    for (const PerNode& pn : parts) decided_read_only &= pn.writes.empty();
     net::RoundTripScope rt;
     for (const PerNode* pn : prepared) {
-      if (fabric_->ChargeMessage(pn->node).ok()) {
-        memnodes_[pn->node]->Abort(tx);
-      } else {
-        memnodes_[pn->node]->Abort(tx);  // local cleanup even if "down"
-      }
+      Status st = decided_read_only ? fabric_->ChargeMessageAsync(pn->node)
+                                    : fabric_->ChargeMessage(pn->node);
+      (void)st;  // local cleanup even if "down"
+      memnodes_[pn->node]->Abort(tx);
     }
     if (!failure.ok()) return failure;  // Busy/TimedOut/Unavailable: retry?
     result->committed = false;          // compare failure: final answer
@@ -161,13 +170,23 @@ Status Coordinator::ExecuteTwoPhase(TxId tx,
     return Status::OK();
   }
 
-  // Phase two (commit).
+  // Phase two (commit). A minitransaction with no write items is decided
+  // the moment every participant votes yes: the read results are already
+  // in hand and commit cannot fail, so the lock-release messages leave the
+  // critical path (charged, but not as a round trip) — a read-only
+  // multi-node minitransaction costs ONE observed round, like Sinfonia's.
+  bool read_only = true;
+  for (const PerNode* pn : prepared) read_only &= pn->writes.empty();
   {
     net::RoundTripScope rt;
     for (const PerNode* pn : prepared) {
       // A participant that crashed between prepare and commit does not stop
       // the transaction: Sinfonia's recovery would replay from the backup.
-      (void)fabric_->ChargeMessage(pn->node);
+      if (read_only) {
+        (void)fabric_->ChargeMessageAsync(pn->node);
+      } else {
+        (void)fabric_->ChargeMessage(pn->node);
+      }
       memnodes_[pn->node]->Commit(tx, pn->writes);
       if (options_.replication && !pn->writes.empty()) ReplicateWrites(*pn);
     }

@@ -227,6 +227,138 @@ Result<std::vector<std::string>> DynamicTxn::FetchFreshBatch(
   return out;
 }
 
+Result<std::vector<std::string>> DynamicTxn::DirtyReadBatch(
+    const std::vector<ObjectRef>& refs) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  // Distinct addresses the cache (or this batch's fetch) serves; write/read
+  // set hits are resolved per ref in the output pass below.
+  std::unordered_map<Addr, std::string, sinfonia::AddrHash> from_cache;
+  std::unordered_set<Addr, sinfonia::AddrHash> pending;
+  std::vector<ObjectRef> fetched;
+  MiniTxn mtx;
+  for (const ObjectRef& ref : refs) {
+    const Addr addr = ref.addr;
+    if (write_index_.count(addr) != 0 || read_index_.count(addr) != 0 ||
+        from_cache.count(addr) != 0 || pending.count(addr) != 0) {
+      continue;
+    }
+    if (cache_ != nullptr) {
+      ObjectCache::Entry entry;
+      if (cache_->Lookup(addr, &entry)) {
+        from_cache.emplace(addr, std::move(entry.payload));
+        continue;
+      }
+    }
+    pending.insert(addr);
+    mtx.AddRead(Addr{ReadHome(ref), addr.offset}, ref.total_len());
+    fetched.push_back(ref);
+  }
+  if (!mtx.reads.empty()) {
+    if (options_.piggyback_validation) {
+      const MemnodeId at = mtx.reads[0].addr.memnode;
+      for (const ReadRecord& r : reads_) AddSeqCompare(&mtx, r, at);
+    }
+    MiniResult result;
+    MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
+    if (!result.committed) {
+      doomed_ = true;
+      if (net::OpTrace* tr = net::Fabric::ThreadTrace()) {
+        tr->validation_aborts++;
+      }
+      return Status::Aborted("piggyback validation failed");
+    }
+    for (size_t k = 0; k < fetched.size(); k++) {
+      const uint64_t seqnum = ObjectSeqnum(result.read_results[k]);
+      std::string payload = ObjectPayload(result.read_results[k]);
+      if (cache_ != nullptr) {
+        cache_->Insert(fetched[k].addr, seqnum, payload);
+      }
+      from_cache.emplace(fetched[k].addr, std::move(payload));
+    }
+  }
+  std::vector<std::string> out(refs.size());
+  for (size_t i = 0; i < refs.size(); i++) {
+    const Addr addr = refs[i].addr;
+    if (auto it = write_index_.find(addr); it != write_index_.end()) {
+      out[i] = writes_[it->second].payload;
+    } else if (auto it = read_index_.find(addr); it != read_index_.end()) {
+      out[i] = reads_[it->second].payload;
+    } else {
+      out[i] = from_cache.at(addr);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DynamicTxn::ReadCachedBatch(
+    const std::vector<ObjectRef>& refs) {
+  if (doomed_) return Status::Aborted("transaction doomed");
+  std::unordered_set<Addr, sinfonia::AddrHash> pending;
+  std::vector<ObjectRef> fetched;
+  MiniTxn mtx;
+  for (const ObjectRef& ref : refs) {
+    const Addr addr = ref.addr;
+    if (write_index_.count(addr) != 0 || read_index_.count(addr) != 0 ||
+        pending.count(addr) != 0) {
+      continue;
+    }
+    if (cache_ != nullptr) {
+      ObjectCache::Entry entry;
+      if (cache_->Lookup(addr, &entry)) {
+        // A cache hit joins the read set unfetched (commit-time — or this
+        // very batch's piggy-backed — validation catches staleness).
+        ReadRecord rec;
+        rec.ref = ref;
+        rec.seqnum = entry.seqnum;
+        rec.payload = std::move(entry.payload);
+        read_index_.emplace(addr, reads_.size());
+        reads_.push_back(std::move(rec));
+        continue;
+      }
+    }
+    pending.insert(addr);
+    mtx.AddRead(Addr{ReadHome(ref), addr.offset}, ref.total_len());
+    fetched.push_back(ref);
+  }
+  if (!mtx.reads.empty()) {
+    if (options_.piggyback_validation) {
+      // Cache-served records above are validated here too: staleness
+      // surfaces now instead of at commit.
+      const MemnodeId at = mtx.reads[0].addr.memnode;
+      for (const ReadRecord& r : reads_) AddSeqCompare(&mtx, r, at);
+    }
+    MiniResult result;
+    MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
+    if (!result.committed) {
+      doomed_ = true;
+      if (net::OpTrace* tr = net::Fabric::ThreadTrace()) {
+        tr->validation_aborts++;
+      }
+      return Status::Aborted("piggyback validation failed");
+    }
+    for (size_t k = 0; k < fetched.size(); k++) {
+      ReadRecord rec;
+      rec.ref = fetched[k];
+      rec.seqnum = ObjectSeqnum(result.read_results[k]);
+      rec.payload = ObjectPayload(result.read_results[k]);
+      if (cache_ != nullptr) {
+        cache_->Insert(rec.ref.addr, rec.seqnum, rec.payload);
+      }
+      read_index_.emplace(rec.ref.addr, reads_.size());
+      reads_.push_back(std::move(rec));
+    }
+  }
+  std::vector<std::string> out(refs.size());
+  for (size_t i = 0; i < refs.size(); i++) {
+    if (auto it = write_index_.find(refs[i].addr); it != write_index_.end()) {
+      out[i] = writes_[it->second].payload;
+    } else {
+      out[i] = reads_[read_index_.at(refs[i].addr)].payload;
+    }
+  }
+  return out;
+}
+
 Status DynamicTxn::Write(const ObjectRef& ref, std::string payload) {
   if (doomed_) return Status::Aborted("transaction doomed");
   if (payload.size() > ref.payload_len) {

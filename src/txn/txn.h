@@ -75,6 +75,20 @@ class DynamicTxn {
   // checks replace validation).
   Result<std::vector<std::string>> FetchFreshBatch(
       const std::vector<ObjectRef>& refs);
+  // Batched DirtyRead (§3): each ref is served from the write/read set or
+  // the proxy cache when possible; ALL remaining misses are fetched in ONE
+  // minitransaction (with the usual piggy-backed validation) and fill the
+  // cache per entry, WITHOUT joining the read set. This is the frontier
+  // fetch of level-synchronized B-tree descents: a cold cache pays one
+  // coordinator round per tree level, not one per node per key.
+  Result<std::vector<std::string>> DirtyReadBatch(
+      const std::vector<ObjectRef>& refs);
+  // Batched ReadCached: cache hits join the read set without fetching;
+  // all misses are fetched in ONE minitransaction, join the read set, and
+  // fill the cache. Used for the tip-object pair, so a cold tip resolution
+  // costs one round instead of two.
+  Result<std::vector<std::string>> ReadCachedBatch(
+      const std::vector<ObjectRef>& refs);
   Status Write(const ObjectRef& ref, std::string payload);
   // Write an object this transaction knows to be freshly allocated: expects
   // the slab's seqnum to still be zero at commit (fails validation if any
@@ -108,6 +122,19 @@ class DynamicTxn {
     if (it != read_index_.end()) {
       reads_[it->second].ref.rep_seq_offset = rep_seq_offset;
     }
+  }
+
+  // Serve `ref` from the write or read set WITHOUT fetching; nullptr when
+  // this transaction has not touched it. The zero-allocation fast path
+  // for repeatedly re-read hot objects (the tip pair).
+  const std::string* Peek(const ObjectRef& ref) const {
+    if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
+      return &writes_[it->second].payload;
+    }
+    if (auto it = read_index_.find(ref.addr); it != read_index_.end()) {
+      return &reads_[it->second].payload;
+    }
+    return nullptr;
   }
 
   // Addresses in the read set — callers use this to invalidate proxy-cache

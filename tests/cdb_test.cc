@@ -105,7 +105,9 @@ TEST_F(CdbTest, DualKeyTransactionEngagesAllServers) {
   net::Fabric::SetThreadTrace(nullptr);
   EXPECT_EQ(v1, "1");
   EXPECT_EQ(v2, "2");
-  // Prepare round + commit round, each touching every partition.
+  // Prepare round + commit round, each touching every partition. (CDB
+  // models its own global 2PC directly and keeps the release on the
+  // critical path — unlike Minuet's read-only minitransactions.)
   EXPECT_EQ(trace.messages, 2u * kPartitions);
   EXPECT_EQ(trace.round_trips, 2u);
 }

@@ -84,6 +84,54 @@ TEST(ObjectCacheTest, ClearEmpties) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(ObjectCacheTest, SmallCachesCollapseToOneShard) {
+  // Per-shard capacity must stay meaningful: tiny caches are unsharded, so
+  // CLOCK eviction behaves exactly as a single cache of that capacity.
+  EXPECT_EQ(ObjectCache(4).shard_count(), 1u);
+  EXPECT_EQ(ObjectCache(255).shard_count(), 1u);
+  EXPECT_GT(ObjectCache(1 << 16).shard_count(), 1u);
+  EXPECT_LE(ObjectCache(1 << 20).shard_count(), ObjectCache::kMaxShards);
+}
+
+TEST(ObjectCacheTest, StatsSumShardsAndCountEvictions) {
+  ObjectCache cache(1 << 16);  // sharded
+  ASSERT_GT(cache.shard_count(), 1u);
+  ObjectCache::Entry e;
+  for (uint64_t i = 0; i < 100; i++) {
+    const sinfonia::Addr a{static_cast<uint32_t>(i % 4), i * 4096};
+    EXPECT_FALSE(cache.Lookup(a, &e));  // one miss per address...
+    cache.Insert(a, 1, "v");
+    EXPECT_TRUE(cache.Lookup(a, &e));  // ...then one hit
+  }
+  const ObjectCache::Stats stats = cache.TotalStats();
+  EXPECT_EQ(stats.hits, 100u);
+  EXPECT_EQ(stats.misses, 100u);
+  EXPECT_EQ(stats.size, 100u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.hits(), stats.hits);
+  EXPECT_EQ(cache.misses(), stats.misses);
+
+  // Overflow a single-shard cache: evictions are counted.
+  ObjectCache tiny(8);
+  for (uint64_t i = 0; i < 64; i++) tiny.Insert(sinfonia::Addr{0, i * 64}, 1, "v");
+  EXPECT_LE(tiny.size(), 8u);
+  EXPECT_EQ(tiny.evictions(), 64u - tiny.size());
+}
+
+TEST(ObjectCacheTest, ShardedCacheKeepsPointSemantics) {
+  ObjectCache cache(1 << 16);
+  const sinfonia::Addr a{3, 777 * 4096};
+  cache.Insert(a, 5, "newer");
+  cache.Insert(a, 3, "stale-race");
+  ObjectCache::Entry e;
+  ASSERT_TRUE(cache.Lookup(a, &e));
+  EXPECT_EQ(e.seqnum, 5u);
+  EXPECT_EQ(e.payload, "newer");
+  cache.Invalidate(a);
+  EXPECT_FALSE(cache.Lookup(a, &e));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(ObjectCacheTest, ConcurrentAccessIsSafe) {
   ObjectCache cache(128);
   std::vector<std::thread> ts;

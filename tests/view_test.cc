@@ -4,6 +4,7 @@
 // streaming, and snapshot lease pinning against the GC horizon.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <thread>
@@ -609,6 +610,270 @@ TEST(ViewTest, FanoutCursorMatchesSerialScanAcrossMemnodes) {
   for (int i = 0; i < 7; i++) {
     EXPECT_EQ(limited[i].first, EncodeUserKey(100 + i));
   }
+}
+
+// The cold-path acceptance criterion: with every proxy cache dropped, a
+// 16-key MultiGet resolves through the level-synchronized batched descent
+// in at most depth + 2 coordinator rounds (tip pair + one round per
+// internal level + the grouped leaf round) — not ~K × depth like a serial
+// per-key descent.
+TEST(ViewTest, ColdMultiGetCostsAtMostDepthPlusTwoRounds) {
+  ClusterOptions opts = SmallOptions();
+  opts.node_size = 512;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  TipView tip = p.Tip(*tree);
+  constexpr uint64_t kRecords = 2000;
+  for (uint64_t i = 0; i < kRecords; i++) {
+    ASSERT_TRUE(tip.Put(EncodeUserKey(i * 2), EncodeValue(i)).ok());
+  }
+  btree::BTree* t = p.tree(*tree);
+  auto depth = t->Depth();
+  ASSERT_TRUE(depth.ok());
+  ASSERT_GE(*depth, 3u) << "tree too shallow to exercise the frontier";
+  auto snap = p.Snapshot(*tree);
+  ASSERT_TRUE(snap.ok());
+
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < 16; i++) {
+    // Wide stride → many distinct leaves; odd ids are misses.
+    keys.push_back(EncodeUserKey(i * (2 * kRecords / 16) + (i % 2)));
+  }
+  std::vector<std::optional<std::string>> values;
+
+  net::OpTrace trace;
+  trace.Reset(opts.machines);
+
+  cluster.DropProxyCaches();
+  net::Fabric::SetThreadTrace(&trace);
+  ASSERT_TRUE(tip.MultiGet(keys, &values).ok());
+  const uint64_t tip_cold = trace.round_trips;
+
+  cluster.DropProxyCaches();
+  trace.Reset(opts.machines);
+  ASSERT_TRUE(snap->MultiGet(keys, &values).ok());
+  const uint64_t snap_cold = trace.round_trips;
+
+  // The pre-engine baseline: per-key descents in one transaction.
+  cluster.DropProxyCaches();
+  trace.Reset(opts.machines);
+  ASSERT_TRUE(p.Transaction([&](txn::DynamicTxn& txn) -> Status {
+                 for (const std::string& key : keys) {
+                   std::string value;
+                   Status st = t->GetInTxn(txn, key, &value);
+                   if (!st.ok() && !st.IsNotFound()) return st;
+                 }
+                 return Status::OK();
+               }).ok());
+  const uint64_t serial_cold = trace.round_trips;
+  net::Fabric::SetThreadTrace(nullptr);
+
+  EXPECT_LE(tip_cold, *depth + 2) << "depth " << *depth;
+  EXPECT_LE(snap_cold, *depth + 2) << "depth " << *depth;
+  // The serial loop pays at least one round per distinct leaf.
+  EXPECT_GE(serial_cold, keys.size());
+  EXPECT_GT(serial_cold, 2 * tip_cold);
+
+  for (size_t i = 0; i < keys.size(); i++) {
+    EXPECT_EQ(values[i].has_value(), i % 2 == 0) << i;
+  }
+}
+
+// Cold WriteBatch application rides the same engine: all target leaves
+// resolve in O(depth) batched rounds, against a serial per-key PutInTxn
+// loop that pays a round per leaf. Two identically-preloaded trees keep
+// the comparison apples-to-apples.
+TEST(ViewTest, ColdApplyResolvesLeavesThroughBatchedDescent) {
+  ClusterOptions opts = SmallOptions();
+  opts.node_size = 512;
+  Cluster cluster(opts);
+  auto ta = cluster.CreateTree();
+  auto tb = cluster.CreateTree();
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  Proxy& p = cluster.proxy(0);
+  constexpr uint64_t kRecords = 1200;
+  for (uint64_t i = 0; i < kRecords; i++) {
+    ASSERT_TRUE(p.Put(*ta, EncodeUserKey(i), EncodeValue(i)).ok());
+    ASSERT_TRUE(p.Put(*tb, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < 16; i++) {
+    keys.push_back(EncodeUserKey(i * (kRecords / 16)));
+  }
+  WriteBatch batch;
+  for (const std::string& key : keys) batch.Put(*ta, key, "x");
+
+  net::OpTrace trace;
+  trace.Reset(opts.machines);
+  cluster.DropProxyCaches();
+  net::Fabric::SetThreadTrace(&trace);
+  ASSERT_TRUE(p.Apply(batch).ok());
+  const uint64_t batched = trace.round_trips;
+
+  cluster.DropProxyCaches();
+  trace.Reset(opts.machines);
+  ASSERT_TRUE(p.Transaction([&](txn::DynamicTxn& txn) -> Status {
+                 for (const std::string& key : keys) {
+                   MINUET_RETURN_NOT_OK(
+                       p.tree(*tb)->PutInTxn(txn, key, "x"));
+                 }
+                 return Status::OK();
+               }).ok());
+  const uint64_t serial = trace.round_trips;
+  net::Fabric::SetThreadTrace(nullptr);
+
+  EXPECT_LT(batched, serial);
+  // The serial loop descends per key; the batch's leaf resolution is one
+  // frontier (both still pay the same copy-on-write re-reads upward).
+  EXPECT_GE(serial, batched + keys.size() / 2);
+
+  std::string value;
+  for (const std::string& key : keys) {
+    ASSERT_TRUE(p.Get(*ta, key, &value).ok());
+    EXPECT_EQ(value, "x");
+  }
+}
+
+// The engine's Aguilera-baseline leg: with dirty traversals OFF, frontier
+// levels go through ReadCachedBatch (the path joins the read set and
+// validates against the replicated seqnum table) — results must match the
+// per-key reads, warm and cold, and batched writes must still apply.
+TEST(ViewTest, BatchedPathsWorkWithValidatedTraversals) {
+  ClusterOptions opts = SmallOptions();
+  opts.dirty_traversals = false;  // forces replicate_internal_seqnums too
+  opts.node_size = 512;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  TipView tip = p.Tip(*tree);
+  constexpr uint64_t kRecords = 500;
+  for (uint64_t i = 0; i < kRecords; i++) {
+    ASSERT_TRUE(tip.Put(EncodeUserKey(i * 2), EncodeValue(i)).ok());
+  }
+
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < 24; i++) {
+    keys.push_back(EncodeUserKey(i * 40 + (i % 2)));  // odd ids miss
+  }
+  for (bool cold : {false, true}) {
+    if (cold) cluster.DropProxyCaches();
+    std::vector<std::optional<std::string>> values;
+    ASSERT_TRUE(tip.MultiGet(keys, &values).ok());
+    for (size_t i = 0; i < keys.size(); i++) {
+      std::string value;
+      Status st = tip.Get(keys[i], &value);
+      ASSERT_EQ(st.ok(), values[i].has_value()) << keys[i];
+      if (st.ok()) EXPECT_EQ(value, *values[i]);
+    }
+  }
+
+  WriteBatch batch;
+  for (uint64_t i = 0; i < 12; i++) {
+    batch.Put(*tree, EncodeUserKey(i * 80), "batched");
+  }
+  batch.Insert(*tree, EncodeUserKey(999999), "fresh");
+  cluster.DropProxyCaches();
+  ASSERT_TRUE(p.Apply(batch).ok());
+  std::string value;
+  for (uint64_t i = 0; i < 12; i++) {
+    ASSERT_TRUE(p.Get(*tree, EncodeUserKey(i * 80), &value).ok());
+    EXPECT_EQ(value, "batched");
+  }
+  ASSERT_TRUE(p.Get(*tree, EncodeUserKey(999999), &value).ok());
+  EXPECT_EQ(value, "fresh");
+}
+
+// Recursive PartitionRange: on a ≥3-level tree, descending one extra level
+// yields ≥ 2× more partitions than root-only splitting, and the finer
+// partitions spread a skewed tree's keys across memnodes to within 2× of
+// the ideal per-memnode share.
+TEST(ViewTest, RecursivePartitionRangeBalancesSkewedTrees) {
+  ClusterOptions opts = SmallOptions();
+  opts.node_size = 512;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  TipView tip = p.Tip(*tree);
+  // A skewed keyspace: 80% of the keys are packed into one narrow hot
+  // range, the rest spread over the whole domain — so equal KEY RANGES
+  // hold wildly different key counts, and only the tree's own subtree
+  // boundaries (which recursive partitioning follows one level deeper)
+  // split the population evenly. Insertion order is shuffled so node
+  // placement is not aliased to the round-robin allocator.
+  constexpr uint64_t kKeys = 1500;
+  std::vector<uint64_t> ids;
+  for (uint64_t i = 0; i < kKeys; i++) {
+    ids.push_back(i < kKeys * 4 / 5 ? 5000000000ULL + i
+                                    : (i - kKeys * 4 / 5) * 7000000ULL);
+  }
+  Rng rng(99);
+  for (size_t i = ids.size(); i > 1; i--) {
+    std::swap(ids[i - 1], ids[rng.Uniform(i)]);
+  }
+  for (uint64_t id : ids) {
+    ASSERT_TRUE(tip.Put(EncodeUserKey(id), EncodeValue(id)).ok());
+  }
+  auto snap = p.Snapshot(*tree);
+  ASSERT_TRUE(snap.ok());
+  btree::BTree* t = p.tree(*tree);
+  auto depth = t->Depth();
+  ASSERT_TRUE(depth.ok());
+  ASSERT_GE(*depth, 3u);
+
+  auto root_only = t->PartitionRange(snap->ref(), "", "", /*max_levels=*/1);
+  auto recursive = t->PartitionRange(snap->ref(), "", "", /*max_levels=*/2);
+  ASSERT_TRUE(root_only.ok() && recursive.ok());
+  ASSERT_GE(recursive->size(), 2 * root_only->size());
+
+  // Partitions tile the range: key-ordered, disjoint, contiguous.
+  for (size_t i = 0; i + 1 < recursive->size(); i++) {
+    EXPECT_EQ((*recursive)[i].end, (*recursive)[i + 1].start) << i;
+  }
+  EXPECT_EQ(recursive->front().start, "");
+  EXPECT_EQ(recursive->back().end, "");
+
+  // The finer partitioning changes nothing about scan results.
+  Cursor::Options fan;
+  fan.fanout = 4;
+  Rows rows;
+  ASSERT_TRUE(snap->NewCursor("", fan)->Drain(100000, &rows).ok());
+  ASSERT_EQ(rows.size(), kKeys);
+  std::vector<std::string> sorted_keys;
+  for (const auto& kv : rows) sorted_keys.push_back(kv.first);
+  ASSERT_TRUE(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+
+  // Count the keys each home memnode would serve under both splits.
+  auto per_home_max = [&](const std::vector<btree::BTree::ScanPartition>&
+                              parts,
+                          std::map<uint32_t, uint64_t>* homes) {
+    homes->clear();
+    for (const auto& part : parts) {
+      auto lo = part.start.empty()
+                    ? sorted_keys.begin()
+                    : std::lower_bound(sorted_keys.begin(), sorted_keys.end(),
+                                       part.start);
+      auto hi = part.end.empty()
+                    ? sorted_keys.end()
+                    : std::lower_bound(sorted_keys.begin(), sorted_keys.end(),
+                                       part.end);
+      if (hi > lo) (*homes)[part.home] += hi - lo;
+    }
+    uint64_t max_keys = 0;
+    for (const auto& [home, n] : *homes) max_keys = std::max(max_keys, n);
+    return max_keys;
+  };
+  std::map<uint32_t, uint64_t> homes1, homes2;
+  const uint64_t max1 = per_home_max(*root_only, &homes1);
+  const uint64_t max2 = per_home_max(*recursive, &homes2);
+  const double ideal = static_cast<double>(kKeys) / homes2.size();
+  EXPECT_LE(max2, 2.0 * ideal)
+      << "homes " << homes2.size() << " max " << max2;
+  EXPECT_LE(max2, max1);  // never worse than root-only splitting
 }
 
 // Strict-serializability smoke for the batched path: concurrent atomic
