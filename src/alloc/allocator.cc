@@ -6,7 +6,8 @@ namespace {
 
 struct Meta {
   uint64_t bump;
-  uint64_t free_head;  // 0 = empty
+  uint64_t free_head;   // 0 = empty
+  uint64_t free_count;  // slabs on the free list (occupancy accounting)
 };
 
 Meta ParseMeta(const std::string& payload, const Layout& layout) {
@@ -18,6 +19,7 @@ Meta ParseMeta(const std::string& payload, const Layout& layout) {
     m.bump = 0;
     m.free_head = 0;
   }
+  m.free_count = payload.size() >= 24 ? DecodeFixed64(payload.data() + 16) : 0;
   if (m.bump < layout.slab_base()) m.bump = layout.slab_base();
   return m;
 }
@@ -26,6 +28,7 @@ std::string SerializeMeta(const Meta& m) {
   std::string out;
   PutFixed64(&out, m.bump);
   PutFixed64(&out, m.free_head);
+  PutFixed64(&out, m.free_count);
   return out;
 }
 
@@ -33,11 +36,83 @@ std::string SerializeMeta(const Meta& m) {
 
 NodeAllocator::NodeAllocator(Layout layout, sinfonia::Coordinator* coord,
                              Options options)
-    : layout_(layout), coord_(coord), options_(options) {
-  reserved_.reserve(layout_.n_memnodes);
-  for (uint32_t i = 0; i < layout_.n_memnodes; i++) {
+    : layout_(layout),
+      coord_(coord),
+      options_(options),
+      n_memnodes_(layout.n_memnodes) {
+  const uint32_t capacity = layout_.memnode_capacity();
+  reserved_.reserve(capacity);
+  live_.reserve(capacity);
+  for (uint32_t i = 0; i < capacity; i++) {
     reserved_.push_back(std::make_unique<Reservation>());
+    live_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
+}
+
+Status NodeAllocator::AddMemnode() {
+  uint32_t n = n_memnodes_.load(std::memory_order_acquire);
+  while (true) {
+    if (n >= layout_.memnode_capacity()) {
+      return Status::NoSpace("allocator at its layout memnode capacity");
+    }
+    if (n_memnodes_.compare_exchange_weak(n, n + 1,
+                                          std::memory_order_acq_rel)) {
+      return Status::OK();
+    }
+  }
+}
+
+MemnodeId NodeAllocator::NextPlacement() {
+  const uint32_t n = n_memnodes();
+  const MemnodeId rr =
+      static_cast<MemnodeId>(rr_.fetch_add(1, std::memory_order_relaxed) % n);
+  // Two-choice refinement: take the least-loaded memnode only when it is
+  // strictly lighter than the rotation candidate.
+  MemnodeId lightest = rr;
+  uint64_t lightest_live = live_[rr]->load(std::memory_order_relaxed);
+  for (MemnodeId m = 0; m < n; m++) {
+    const uint64_t l = live_[m]->load(std::memory_order_relaxed);
+    if (l < lightest_live) {
+      lightest = m;
+      lightest_live = l;
+    }
+  }
+  return lightest;
+}
+
+std::vector<uint64_t> NodeAllocator::ApproxLiveSlabsAll() const {
+  const uint32_t n = n_memnodes();
+  std::vector<uint64_t> out(n);
+  for (uint32_t m = 0; m < n; m++) {
+    out[m] = live_[m]->load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Result<uint64_t> NodeAllocator::MetaLiveSlabs(MemnodeId m) {
+  uint64_t live = 0;
+  Status st = txn::RunTransaction(
+      coord_, nullptr, {}, 64, [&](txn::DynamicTxn& t) -> Status {
+        auto raw = t.Read(layout_.MetaRef(m));
+        if (!raw.ok()) return raw.status();
+        const Meta meta = ParseMeta(*raw, layout_);
+        const uint64_t bumped =
+            (meta.bump - layout_.slab_base()) / layout_.node_size;
+        live = bumped > meta.free_count ? bumped - meta.free_count : 0;
+        return Status::OK();
+      });
+  MINUET_RETURN_NOT_OK(st);
+  return live;
+}
+
+Status NodeAllocator::ResyncLiveCounters() {
+  const uint32_t n = n_memnodes();
+  for (uint32_t m = 0; m < n; m++) {
+    auto live = MetaLiveSlabs(m);
+    if (!live.ok()) return live.status();
+    live_[m]->store(*live, std::memory_order_relaxed);
+  }
+  return Status::OK();
 }
 
 Result<std::pair<uint64_t, bool>> NodeAllocator::TakeReserved(
@@ -63,6 +138,7 @@ Result<std::pair<uint64_t, bool>> NodeAllocator::TakeReserved(
             head = raw->size() >= 8 ? DecodeFixed64(raw->data()) : 0;
           }
           meta.free_head = head;
+          meta.free_count -= std::min<uint64_t>(meta.free_count, taken.size());
           while (taken.size() < options_.batch) {
             taken.emplace_back(meta.bump, /*fresh=*/true);
             meta.bump += layout_.node_size;
@@ -79,11 +155,18 @@ Result<std::pair<uint64_t, bool>> NodeAllocator::TakeReserved(
 
 Result<AllocatedSlab> NodeAllocator::Allocate(txn::DynamicTxn& txn,
                                               MemnodeId memnode) {
+  if (memnode >= n_memnodes()) {
+    return Status::InvalidArgument("allocation on an unregistered memnode");
+  }
   allocated_.fetch_add(1, std::memory_order_relaxed);
+  live_[memnode]->fetch_add(1, std::memory_order_relaxed);
 
   if (options_.batch > 0) {
     auto taken = TakeReserved(memnode);
-    if (!taken.ok()) return taken.status();
+    if (!taken.ok()) {
+      live_[memnode]->fetch_sub(1, std::memory_order_relaxed);
+      return taken.status();
+    }
     AllocatedSlab slab;
     slab.ref = layout_.SlabRef(Addr{memnode, taken->first});
     slab.fresh = taken->second;
@@ -92,8 +175,12 @@ Result<AllocatedSlab> NodeAllocator::Allocate(txn::DynamicTxn& txn,
 
   // Unbatched path: manipulate {bump, free_head} inside the caller's
   // transaction, preferring the free list.
+  auto fail = [&](Status st) {
+    live_[memnode]->fetch_sub(1, std::memory_order_relaxed);
+    return st;
+  };
   auto meta_raw = txn.Read(layout_.MetaRef(memnode));
-  if (!meta_raw.ok()) return meta_raw.status();
+  if (!meta_raw.ok()) return fail(meta_raw.status());
   Meta meta = ParseMeta(*meta_raw, layout_);
 
   AllocatedSlab slab;
@@ -105,16 +192,19 @@ Result<AllocatedSlab> NodeAllocator::Allocate(txn::DynamicTxn& txn,
     // current seqnum into the read set so the re-initializing Write
     // validates).
     auto raw = txn.Read(slab.ref);
-    if (!raw.ok()) return raw.status();
+    if (!raw.ok()) return fail(raw.status());
     meta.free_head = raw->size() >= 8 ? DecodeFixed64(raw->data()) : 0;
+    if (meta.free_count > 0) meta.free_count--;
   } else {
     const Addr addr{memnode, meta.bump};
     slab.ref = layout_.SlabRef(addr);
     slab.fresh = true;
     meta.bump += layout_.node_size;
   }
-  MINUET_RETURN_NOT_OK(
-      txn.Write(layout_.MetaRef(memnode), SerializeMeta(meta)));
+  if (Status st = txn.Write(layout_.MetaRef(memnode), SerializeMeta(meta));
+      !st.ok()) {
+    return fail(st);
+  }
   return slab;
 }
 
@@ -136,7 +226,17 @@ Status NodeAllocator::Free(txn::DynamicTxn& txn, Addr slab) {
   MINUET_RETURN_NOT_OK(txn.Write(layout_.SlabRef(slab), std::move(link)));
 
   meta.free_head = slab.offset;
-  return txn.Write(layout_.MetaRef(memnode), SerializeMeta(meta));
+  meta.free_count++;
+  MINUET_RETURN_NOT_OK(
+      txn.Write(layout_.MetaRef(memnode), SerializeMeta(meta)));
+  if (memnode < n_memnodes()) {
+    auto& live = *live_[memnode];
+    uint64_t cur = live.load(std::memory_order_relaxed);
+    while (cur > 0 && !live.compare_exchange_weak(
+                          cur, cur - 1, std::memory_order_relaxed)) {
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace minuet::alloc

@@ -3,10 +3,10 @@
 // load. The allocator itself is a data structure implemented using dynamic
 // transactions").
 //
-// Per memnode, the allocator keeps one metadata object {bump, free_head}
-// and an intrusive free list threaded through freed slabs. Allocation and
-// free run inside the caller's dynamic transaction, so they commit or abort
-// atomically with the B-tree operation that needed the node.
+// Per memnode, the allocator keeps one metadata object {bump, free_head,
+// free_count} and an intrusive free list threaded through freed slabs.
+// Allocation and free run inside the caller's dynamic transaction, so they
+// commit or abort atomically with the B-tree operation that needed the node.
 //
 // To keep concurrent splits from serializing on the metadata object's
 // sequence number, proxies may reserve slabs in batches: a small standalone
@@ -14,6 +14,15 @@
 // them out locally (slabs from an unused reservation are simply recycled by
 // the proxy, never leaked to other proxies' view since they were never
 // linked into the tree).
+//
+// Placement is LOAD-AWARE: the allocator tracks an in-process live-slab
+// count per memnode (handed out minus freed) and NextPlacement compares the
+// round-robin candidate against the currently least-loaded memnode. On a
+// balanced cluster this degenerates to exact round-robin; after an elastic
+// scale-out (AddMemnode) new allocations flow to the fresh, empty memnodes
+// until the counts even out. The authoritative occupancy — {bump,
+// free_count} in the per-memnode metadata object — is exported for the
+// rebalancer and monitoring via MetaLiveSlabs.
 #pragma once
 
 #include <atomic>
@@ -49,10 +58,19 @@ class NodeAllocator {
 
   const Layout& layout() const { return layout_; }
 
+  // Memnodes currently receiving placements. Starts at the layout's
+  // n_memnodes and grows with AddMemnode (never past memnode_capacity).
+  uint32_t n_memnodes() const {
+    return n_memnodes_.load(std::memory_order_acquire);
+  }
+  // Open one more memnode for placement (elastic scale-out). The caller
+  // must have registered the memnode with the coordinator/fabric first.
+  Status AddMemnode();
+
   // Allocate one slab on `memnode` inside `txn`.
   Result<AllocatedSlab> Allocate(txn::DynamicTxn& txn, MemnodeId memnode);
 
-  // Allocate on a memnode chosen round-robin (load balancing placement).
+  // Allocate on a memnode chosen by the load-aware placement rotation.
   Result<AllocatedSlab> AllocateAnywhere(txn::DynamicTxn& txn);
 
   // Return a slab to the memnode's free list inside `txn`. The slab's
@@ -61,16 +79,38 @@ class NodeAllocator {
   Status Free(txn::DynamicTxn& txn, Addr slab);
 
   // Next memnode in the placement rotation (exposed so callers that must
-  // allocate several nodes in one transaction can spread them).
-  MemnodeId NextPlacement() {
-    return static_cast<MemnodeId>(rr_.fetch_add(1, std::memory_order_relaxed) %
-                                  layout_.n_memnodes);
-  }
+  // allocate several nodes in one transaction can spread them): the
+  // round-robin candidate, displaced by the least-loaded memnode when that
+  // one is strictly lighter. Ties go to round-robin, so a balanced cluster
+  // sees the classic rotation.
+  MemnodeId NextPlacement();
 
   // Slabs handed out since construction (monitoring/tests).
   uint64_t allocated_count() const {
     return allocated_.load(std::memory_order_relaxed);
   }
+
+  // --- Occupancy (placement weighting, rebalancer, monitoring) ------------
+  // In-process estimate of live slabs on `m`: handed out minus freed,
+  // adjusted eagerly (before the enclosing transaction commits), so
+  // aborted attempts leave residual drift. Cheap and monotone with real
+  // load between ResyncLiveCounters calls, which re-anchor it.
+  uint64_t ApproxLiveSlabs(MemnodeId m) const {
+    return live_[m]->load(std::memory_order_relaxed);
+  }
+  std::vector<uint64_t> ApproxLiveSlabsAll() const;
+
+  // Authoritative occupancy from the memnode's allocator metadata object:
+  // slabs under the bump pointer minus slabs on the free list (outstanding
+  // proxy reservations, at most `batch` per proxy, count as occupied).
+  // Reads the metadata in a standalone transaction.
+  Result<uint64_t> MetaLiveSlabs(MemnodeId m);
+
+  // Re-anchor every live counter to MetaLiveSlabs, erasing the drift that
+  // aborted allocate/free attempts accumulate in the eager adjustments.
+  // The rebalancer calls this once per round; callers with long-lived
+  // clusters and no rebalancer may want to as well.
+  Status ResyncLiveCounters();
 
  private:
   // Take one slab from the proxy-local reservation for `memnode`,
@@ -82,6 +122,7 @@ class NodeAllocator {
   Layout layout_;
   sinfonia::Coordinator* coord_;
   Options options_;
+  std::atomic<uint32_t> n_memnodes_;
   std::atomic<uint64_t> rr_{0};
   std::atomic<uint64_t> allocated_{0};
 
@@ -91,7 +132,10 @@ class NodeAllocator {
     // come from the shared free list during replenishment.
     std::vector<std::pair<uint64_t, bool>> pool;
   };
+  // Sized to memnode_capacity at construction; indexes past n_memnodes()
+  // exist but receive no placements until AddMemnode opens them.
   std::vector<std::unique_ptr<Reservation>> reserved_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> live_;
 };
 
 }  // namespace minuet::alloc

@@ -37,6 +37,16 @@ struct Layout {
   // One slot per slab per memnode; see SeqSlotFor.
   uint64_t seq_table_slabs_per_node = 1 << 16;
   uint32_t n_memnodes = 1;
+  // Upper bound the memnode count may GROW to at runtime (elastic
+  // scale-out). Every derived offset below is computed against this
+  // capacity, so adding a memnode never moves alloc_meta_base/slab_base —
+  // existing addresses stay valid across membership changes. 0 means the
+  // initial count is also the cap (a fixed-size cluster).
+  uint32_t max_memnodes = 0;
+
+  uint32_t memnode_capacity() const {
+    return max_memnodes > n_memnodes ? max_memnodes : n_memnodes;
+  }
 
   uint32_t max_trees() const {
     return static_cast<uint32_t>(replicated_size / kTreeStride);
@@ -46,7 +56,7 @@ struct Layout {
     return replicated_base + replicated_size;
   }
   uint64_t seq_table_entries() const {
-    return seq_table_slabs_per_node * n_memnodes;
+    return seq_table_slabs_per_node * memnode_capacity();
   }
   uint64_t alloc_meta_base() const {
     return seq_table_base() + seq_table_entries() * 8;
@@ -129,7 +139,7 @@ struct Layout {
   ObjectRef MetaRef(MemnodeId m) const {
     ObjectRef r;
     r.addr = Addr{m, alloc_meta_base()};
-    r.payload_len = 16;  // bump (8) + free-list head (8)
+    r.payload_len = 24;  // bump (8) + free-list head (8) + free count (8)
     return r;
   }
 };

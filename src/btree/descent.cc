@@ -205,6 +205,17 @@ Status BTree::ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
 
 Status BTree::ApplyWritesInTxn(DynamicTxn& txn,
                                const std::vector<WriteOp>& ops) {
+  return ApplyWritesToTip(txn, ops, /*branch=*/false, /*branch_sid=*/0);
+}
+
+Status BTree::BranchApplyWritesInTxn(DynamicTxn& txn, uint64_t branch_sid,
+                                     const std::vector<WriteOp>& ops) {
+  return ApplyWritesToTip(txn, ops, /*branch=*/true, branch_sid);
+}
+
+Status BTree::ApplyWritesToTip(DynamicTxn& txn,
+                               const std::vector<WriteOp>& ops, bool branch,
+                               uint64_t branch_sid) {
   if (ops.empty()) return Status::OK();
   std::vector<std::string> keys;
   keys.reserve(ops.size());
@@ -212,7 +223,14 @@ Status BTree::ApplyWritesInTxn(DynamicTxn& txn,
     MINUET_RETURN_NOT_OK(CheckKeyValue(op.key, op.value));
     keys.push_back(op.key);
   }
-  auto tip0 = ReadTipInTxn(txn);
+  // The branch flavor resolves (and validates) the catalog entry instead
+  // of the linear tip; writability is enforced there, inside this very
+  // transaction.
+  auto read_tip = [&](DynamicTxn& t) {
+    return branch ? ReadBranchTipInTxn(t, branch_sid, /*for_write=*/true)
+                  : ReadTipInTxn(t);
+  };
+  auto tip0 = read_tip(txn);
   if (!tip0.ok()) return tip0.status();
 
   // Cold-path collapse + per-leaf dedupe: one level-synchronized descent
@@ -245,7 +263,7 @@ Status BTree::ApplyWritesInTxn(DynamicTxn& txn,
     std::sort(g.key_idx.begin(), g.key_idx.end());
     size_t next = 0;
     while (next < g.key_idx.size()) {
-      auto tip = ReadTipInTxn(txn);  // an earlier flush may have moved it
+      auto tip = read_tip(txn);  // an earlier flush may have moved it
       if (!tip.ok()) return tip.status();
       auto path = Traverse(txn, tip->sid, tip->root, ops[g.key_idx[next]].key,
                            TraverseMode::kUpToDate);
@@ -386,6 +404,23 @@ Result<std::vector<BTree::ScanPartition>> BTree::PartitionRange(
   });
   if (!st.ok()) return st;
   return parts;
+}
+
+Status BTree::PrewarmSnapshotPaths(const SnapshotRef& snap,
+                                   const std::vector<std::string>& keys) {
+  if (keys.empty() || cache_ == nullptr) return Status::OK();
+  // A handful of attempts only: this is an optimization pass, and callers
+  // proceed cold if the tree is churning too hard to settle.
+  Status last = Status::OK();
+  for (uint32_t attempt = 0; attempt < 3; attempt++) {
+    DynamicTxn txn(coord_, cache_);
+    std::vector<LeafGroup> groups;
+    last = ResolveLeafGroups(txn, snap.sid, snap.root,
+                             TraverseMode::kSnapshotRead, keys, &groups,
+                             nullptr);
+    if (last.ok() || !last.IsRetryable()) return last;
+  }
+  return last;
 }
 
 Result<uint32_t> BTree::Depth() {

@@ -1,0 +1,235 @@
+// Live slab migration: relocate one tip-reachable B-tree node to a chosen
+// memnode while readers and writers keep running.
+//
+// A migration is an ordinary copy-on-write dressed as a move: the node's
+// content is copied into a fresh slab at the DESTINATION memnode as a copy
+// belonging to the current tip snapshot, the copy is recorded in the source
+// node's descendant set, and the parent's child pointer swings to the copy
+// through the same CoW-aware write-back every leaf mutation uses. Every
+// consistency property then comes for free:
+//   - tip traversals that raced through a stale cached parent land on the
+//     source, see an applicable real copy, and abort-retry onto the copy
+//     (Traverse's §4.2 rule);
+//   - snapshot readers below the migration sid keep reading the source,
+//     whose content is untouched (only its descendant record grew);
+//   - the source slab is reclaimed by the MVCC garbage collector once the
+//     snapshot horizon passes the migration sid — never before, so no
+//     in-flight snapshot or stale proxy pointer can observe a recycled slab
+//     outside the existing seqnum safety net.
+//
+// CollectTipPlacement feeds the rebalancer: a frontier walk of the tip that
+// lists every node with a routing key to re-locate it by.
+#include <unordered_map>
+
+#include "btree/tree.h"
+
+namespace minuet::btree {
+
+Status BTree::CollectTipPlacement(std::vector<NodePlacement>* out) {
+  return RunOp([&](DynamicTxn& txn) -> Status {
+    out->clear();
+    auto tip = ReadTipInTxn(txn);
+    if (!tip.ok()) return tip.status();
+
+    std::vector<Addr> visited;
+    auto abort = [&](Addr at, const char* reason) -> Status {
+      return AbortDescent(txn, at, visited, reason);
+    };
+
+    // One pending node of the current level: the address its PARENT holds
+    // (the address a later migration must find in the parent again), a key
+    // routing to it, and the height the parent promised.
+    struct Item {
+      Addr addr;
+      std::string routing_key;
+      int expected_height;
+    };
+    std::vector<Item> level;
+    level.push_back(Item{tip->root, "", -1});
+
+    for (int depth = 0; depth < 256 && !level.empty(); depth++) {
+      // Leaves are recorded straight from their parent's entry — the walk
+      // needs no leaf content, and leaves must never enter the proxy cache.
+      std::vector<Item> fetchable;
+      for (Item& it : level) {
+        if (it.expected_height == 0) {
+          out->push_back(NodePlacement{it.addr, std::move(it.routing_key), 0});
+        } else {
+          fetchable.push_back(std::move(it));
+        }
+      }
+      if (fetchable.empty()) break;
+
+      // ONE batched round per level (the frontier-engine discipline).
+      std::vector<ObjectRef> refs;
+      std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
+      for (const Item& it : fetchable) {
+        if (slot.emplace(it.addr, refs.size()).second) {
+          refs.push_back(NodeRef(it.addr, /*internal=*/true));
+        }
+      }
+      auto payloads = txn.DirtyReadBatch(refs);
+      if (!payloads.ok()) return payloads.status();
+      std::vector<Node> nodes(refs.size());
+      for (size_t k = 0; k < refs.size(); k++) {
+        auto decoded = Node::Decode((*payloads)[k]);
+        if (!decoded.ok()) {
+          return abort(refs[k].addr, "undecodable node (stale pointer)");
+        }
+        nodes[k] = std::move(decoded).value();
+        visited.push_back(refs[k].addr);
+      }
+
+      std::vector<Item> next_level;
+      for (Item& it : fetchable) {
+        const Node* node = &nodes[slot.at(it.addr)];
+        Addr at = it.addr;
+        Node hop;
+        MINUET_RETURN_NOT_OK(SettleNodeForSid(txn, tip->sid,
+                                              TraverseMode::kUpToDate, &node,
+                                              &hop, &at, &visited));
+        if (it.expected_height >= 0 &&
+            node->height != static_cast<uint8_t>(it.expected_height)) {
+          return abort(at, "height mismatch");
+        }
+        if (node->is_leaf()) {
+          // Only the root can arrive here with unknown height; it was
+          // batch-fetched through the internal path and must not linger in
+          // the cache.
+          if (cache_ != nullptr) {
+            cache_->Invalidate(it.addr);
+            cache_->Invalidate(at);
+          }
+          out->push_back(
+              NodePlacement{it.addr, std::move(it.routing_key), 0});
+          continue;
+        }
+        if (node->entries.empty()) {
+          return abort(at, "internal node without children");
+        }
+        out->push_back(
+            NodePlacement{it.addr, it.routing_key, node->height});
+        for (size_t e = 0; e < node->entries.size(); e++) {
+          next_level.push_back(Item{
+              node->entries[e].child,
+              e == 0 ? it.routing_key : node->entries[e].key,
+              node->height - 1});
+        }
+      }
+      level = std::move(next_level);
+    }
+    return Status::OK();
+  });
+}
+
+Status BTree::MigrateNodeInTxn(DynamicTxn& txn, const NodePlacement& expected,
+                               sinfonia::MemnodeId dest, bool* migrated) {
+  *migrated = false;
+  if (dest >= allocator_->n_memnodes()) {
+    return Status::InvalidArgument("destination memnode not registered");
+  }
+  if (expected.addr.memnode == dest) return Status::OK();  // already home
+
+  auto tip = ReadTipInTxn(txn);
+  if (!tip.ok()) return tip.status();
+  auto path = Traverse(txn, tip->sid, tip->root, expected.routing_key,
+                       TraverseMode::kUpToDate);
+  if (!path.ok()) return path.status();
+
+  // Re-locate the node by the address its parent holds. Not found — or
+  // found via a discretionary hop, which linear tips never take — means the
+  // placement snapshot went stale (split, CoW, earlier migration): nothing
+  // to do, which is success for a rebalancing pass.
+  size_t i = path->size();
+  for (size_t k = 0; k < path->size(); k++) {
+    if ((*path)[k].link_addr == expected.addr) {
+      i = k;
+      break;
+    }
+  }
+  if (i == path->size() || (*path)[i].addr != expected.addr) {
+    return Status::OK();
+  }
+  PathEntry& entry = (*path)[i];
+
+  // Validated read of the source content: internal nodes were dirty-read
+  // during traversal, and the copy must base on bytes the commit validates
+  // (for the leaf this is a read-set hit).
+  const bool internal = entry.node.height > 0;
+  auto raw = txn.Read(NodeRef(entry.addr, internal));
+  if (!raw.ok()) return raw.status();
+  auto decoded = Node::Decode(*raw);
+  if (!decoded.ok()) {
+    return AbortDescent(txn, entry.addr, {}, "source no longer decodable");
+  }
+  Node source = std::move(decoded).value();
+  if (source.height != entry.node.height ||
+      source.height != expected.height) {
+    return AbortDescent(txn, entry.addr, {}, "source changed under migration");
+  }
+
+  // The relocated copy belongs to the current tip: later tip writes mutate
+  // it in place, snapshots below tip->sid keep the source.
+  Node copy = source;
+  copy.created_sid = tip->sid;
+  copy.descendants.clear();
+  auto copy_addr = WriteFreshNodeAt(txn, copy, dest);
+  if (!copy_addr.ok()) return copy_addr.status();
+  if (net::OpTrace* tr = net::Fabric::ThreadTrace()) tr->nodes_copied++;
+  MINUET_RETURN_NOT_OK(
+      RecordCopy(txn, entry.addr, std::move(source), tip->sid, *copy_addr));
+
+  if (i == 0) {
+    // The root moved: re-publish its location (replicated tip object).
+    MINUET_RETURN_NOT_OK(PublishRoot(txn, *tip, *copy_addr));
+  } else {
+    // Swing the parent's child pointer. The parent was dirty-read; re-read
+    // it validated, verify it still points at the source, splice the
+    // validated content into the path, and let ApplyLeafMutation run the
+    // CoW-aware write-back (copying/propagating up to the root as needed).
+    PathEntry& parent = (*path)[i - 1];
+    auto praw = txn.Read(NodeRef(parent.addr, /*internal=*/true));
+    if (!praw.ok()) return praw.status();
+    auto pdecoded = Node::Decode(*praw);
+    if (!pdecoded.ok()) {
+      return AbortDescent(txn, parent.addr, {}, "parent no longer decodable");
+    }
+    Node pristine = std::move(pdecoded).value();
+    size_t e = pristine.entries.size();
+    for (size_t k = 0; k < pristine.entries.size(); k++) {
+      if (pristine.entries[k].child == expected.addr) {
+        e = k;
+        break;
+      }
+    }
+    if (pristine.height != parent.node.height ||
+        e == pristine.entries.size()) {
+      return AbortDescent(txn, parent.addr, {},
+                          "parent changed during migration");
+    }
+    Node modified = pristine;
+    modified.entries[e].child = *copy_addr;
+    parent.node = std::move(pristine);  // RecordCopy must base on validated bytes
+    path->resize(i);                    // the parent is now the path's last entry
+    MINUET_RETURN_NOT_OK(
+        ApplyLeafMutation(txn, *tip, *path, std::move(modified)));
+  }
+
+  *migrated = true;
+  return Status::OK();
+}
+
+Status BTree::MigrateNode(const NodePlacement& expected,
+                          sinfonia::MemnodeId dest, bool* migrated) {
+  Status st = RunOp([&](DynamicTxn& txn) -> Status {
+    return MigrateNodeInTxn(txn, expected, dest, migrated);
+  });
+  // Count COMMITTED relocations only (the in-txn flag alone may belong to
+  // an attempt whose commit failed validation).
+  if (st.ok() && *migrated) {
+    stats_.migrations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+}  // namespace minuet::btree

@@ -348,7 +348,12 @@ Result<std::vector<BTree::PathEntry>> BTree::Traverse(DynamicTxn& txn,
 // Copy-on-write bookkeeping
 
 Result<Addr> BTree::WriteFreshNode(DynamicTxn& txn, const Node& node) {
-  auto slab = allocator_->Allocate(txn, allocator_->NextPlacement());
+  return WriteFreshNodeAt(txn, node, allocator_->NextPlacement());
+}
+
+Result<Addr> BTree::WriteFreshNodeAt(DynamicTxn& txn, const Node& node,
+                                     sinfonia::MemnodeId memnode) {
+  auto slab = allocator_->Allocate(txn, memnode);
   if (!slab.ok()) return slab.status();
   const std::string image = node.Encode();
   if (image.size() > capacity()) return Status::NoSpace("node overflow");
@@ -781,6 +786,24 @@ Status BTree::BranchInsert(uint64_t branch_sid, const std::string& key,
     if (!tip.ok()) return tip.status();
     return UpsertLeafInTxn(txn, *tip, key, value, /*strict=*/true);
   });
+}
+
+Status BTree::BranchPutInTxn(DynamicTxn& txn, uint64_t branch_sid,
+                             const std::string& key,
+                             const std::string& value) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kPut;
+  op.key = key;
+  op.value = value;
+  return BranchApplyWritesInTxn(txn, branch_sid, {op});
+}
+
+Status BTree::BranchRemoveInTxn(DynamicTxn& txn, uint64_t branch_sid,
+                                const std::string& key) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kRemove;
+  op.key = key;
+  return BranchApplyWritesInTxn(txn, branch_sid, {op});
 }
 
 Status BTree::BranchRemove(uint64_t branch_sid, const std::string& key) {

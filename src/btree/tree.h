@@ -76,6 +76,7 @@ class BTree {
     std::atomic<uint64_t> discretionary_copies{0};
     std::atomic<uint64_t> splits{0};
     std::atomic<uint64_t> redirects{0};
+    std::atomic<uint64_t> migrations{0};  // live slab relocations
   };
 
   BTree(sinfonia::Coordinator* coord, NodeAllocator* allocator,
@@ -102,6 +103,7 @@ class BTree {
   Status BranchInsert(uint64_t branch_sid, const std::string& key,
                       const std::string& value);
   Status BranchRemove(uint64_t branch_sid, const std::string& key);
+
 
   // --- In-transaction variants (multi-key / multi-tree transactions) ------
   // The caller owns the transaction and its commit; these read the tip
@@ -176,10 +178,54 @@ class BTree {
                                                     const std::string& end,
                                                     uint32_t max_levels = 2);
 
+  // Warm the proxy cache along the root-to-leaf path of every key in
+  // `keys` on `snap`, with ONE level-synchronized frontier descent: a cold
+  // cache pays ~depth batched rounds for ANY number of keys, a warm cache
+  // pays nothing. Fan-out scans call this with their partition start keys
+  // before spawning workers, so no worker descends serially from the root
+  // on its first chunk after a cache drop. Best-effort: a persistent abort
+  // is returned but safe to ignore (workers fall back to cold descents).
+  Status PrewarmSnapshotPaths(const SnapshotRef& snap,
+                              const std::vector<std::string>& keys);
+
   // Number of levels (including the leaf level) on the current tip's
   // root-to-leaf paths. Diagnostic aid for the cold-descent round budgets
   // asserted in tests and printed by bench/abl_cold_descent.
   Result<uint32_t> Depth();
+
+  // --- Live migration (src/rebalance, bench) — migrate.cc ------------------
+  // One tip-reachable node and how to find it again: `routing_key` is a key
+  // whose root-to-leaf path passes through the node, so a later traversal
+  // can re-locate it (or discover it moved).
+  struct NodePlacement {
+    Addr addr;
+    std::string routing_key;
+    uint8_t height = 0;
+  };
+  // Enumerate every node reachable from the current linear tip with a
+  // level-synchronized frontier walk (ONE batched round per level on a
+  // cold cache). The listing is a placement snapshot, not a consistent cut:
+  // concurrent writers may move nodes under it, which migration tolerates
+  // (a stale entry is skipped, not mis-moved).
+  Status CollectTipPlacement(std::vector<NodePlacement>* out);
+
+  // Live-migrate the node at `expected` to memnode `dest`: allocate a slab
+  // at the destination, copy the node's content (version metadata and all)
+  // as a copy-on-write into the CURRENT tip snapshot, record the copy on
+  // the source node, and swing the parent's child pointer (or re-publish
+  // the root) through the ordinary CoW machinery — all in one dynamic
+  // transaction with optimistic retry. The SOURCE slab stays intact: it
+  // keeps serving snapshot readers below the tip and is reclaimed by the
+  // MVCC garbage collector once the snapshot horizon passes the migration
+  // sid. Sets `*migrated` false (with OK) when the node is no longer where
+  // the placement snapshot saw it — moved, split, copied or already on
+  // `dest` — since rebalancing treats that as "nothing to do", not failure.
+  // Linear tips only (branching version trees are not rebalanced, matching
+  // the GC's scope).
+  Status MigrateNode(const NodePlacement& expected, sinfonia::MemnodeId dest,
+                     bool* migrated);
+  Status MigrateNodeInTxn(DynamicTxn& txn, const NodePlacement& expected,
+                          sinfonia::MemnodeId dest, bool* migrated);
 
   // One buffered write for ApplyWritesInTxn. Strict-insert existence must
   // be settled by the caller BEFORE applying (see Proxy::Apply): here an
@@ -197,6 +243,20 @@ class BTree {
   // compare per leaf, not per key), then ops are applied grouped per leaf
   // — one traversal + one leaf mutation per flush instead of one per key.
   Status ApplyWritesInTxn(DynamicTxn& txn, const std::vector<WriteOp>& ops);
+
+  // --- In-transaction branch-tip writes (branching mode) -------------------
+  // WriteBatch routing and multi-key transactions against a writable
+  // branch: the branch's writability is read (and validated) inside the
+  // caller's transaction, and the mutations ride the same batched
+  // ApplyWritesInTxn machinery as linear-tip batches. Remove here is BLIND
+  // (absent keys are tolerated, matching WriteOp semantics); use
+  // BranchRemove for the NotFound-reporting single op.
+  Status BranchApplyWritesInTxn(DynamicTxn& txn, uint64_t branch_sid,
+                                const std::vector<WriteOp>& ops);
+  Status BranchPutInTxn(DynamicTxn& txn, uint64_t branch_sid,
+                        const std::string& key, const std::string& value);
+  Status BranchRemoveInTxn(DynamicTxn& txn, uint64_t branch_sid,
+                           const std::string& key);
 
   // --- Snapshot creation (Fig. 6; called via the mvcc snapshot service) ----
   // Freezes the current tip and installs tip id + 1. Returns the frozen
@@ -313,6 +373,12 @@ class BTree {
                     TraverseMode mode, const std::vector<std::string>& keys,
                     std::vector<std::optional<std::string>>* values);
 
+  // Shared body of ApplyWritesInTxn / BranchApplyWritesInTxn (descent.cc):
+  // with `branch`, every tip read resolves the branch catalog entry for
+  // `branch_sid` (validated, writable-checked) instead of the linear tip.
+  Status ApplyWritesToTip(DynamicTxn& txn, const std::vector<WriteOp>& ops,
+                          bool branch, uint64_t branch_sid);
+
   // Shared body of the four put/insert entry points: traverse to the leaf
   // under `tip` and upsert `key`; with `strict`, fail AlreadyExists when
   // the key is present.
@@ -332,8 +398,11 @@ class BTree {
   Status RecordCopy(DynamicTxn& txn, Addr old_addr, Node old_node,
                     uint64_t sid, Addr copy_addr);
 
-  // Allocate a slab and write `node` into it.
+  // Allocate a slab (load-aware placement) and write `node` into it.
   Result<Addr> WriteFreshNode(DynamicTxn& txn, const Node& node);
+  // Same, but on a caller-chosen memnode (live migration placement).
+  Result<Addr> WriteFreshNodeAt(DynamicTxn& txn, const Node& node,
+                                sinfonia::MemnodeId memnode);
 
   Status PublishRoot(DynamicTxn& txn, const TipContext& tip, Addr new_root);
 

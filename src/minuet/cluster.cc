@@ -1,7 +1,10 @@
 #include "minuet/cluster.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
+
+#include "rebalance/rebalancer.h"
 
 namespace minuet {
 
@@ -16,8 +19,16 @@ Cluster::Cluster(ClusterOptions options) : options_(options) {
   }
   layout_.node_size = options_.node_size;
   layout_.n_memnodes = options_.machines;
+  // Elastic headroom: every derived layout offset is computed against this
+  // capacity, so AddMemnode never relocates existing objects.
+  const uint32_t capacity =
+      options_.max_machines > 0
+          ? std::max(options_.max_machines, options_.machines)
+          : std::max(2 * options_.machines, 8u);
+  layout_.max_memnodes = capacity;
 
-  fabric_ = std::make_unique<net::Fabric>(options_.machines);
+  fabric_ = std::make_unique<net::Fabric>(options_.machines, capacity);
+  memnodes_.reserve(capacity);
   std::vector<sinfonia::Memnode*> raw;
   for (uint32_t i = 0; i < options_.machines; i++) {
     memnodes_.push_back(std::make_unique<sinfonia::Memnode>(i));
@@ -38,6 +49,28 @@ Cluster::Cluster(ClusterOptions options) : options_(options) {
 }
 
 Cluster::~Cluster() = default;
+
+Result<uint32_t> Cluster::AddMemnode() {
+  const uint32_t id = coord_->n_memnodes();
+  auto node = std::make_unique<sinfonia::Memnode>(id);
+  // The coordinator seeds the new node's replicated region ([0,
+  // alloc_meta_base): tip objects, version catalogs, seqnum-table mirrors)
+  // and rewires the backup ring, all between in-flight minitransactions.
+  // Its own allocator metadata and slab region start empty.
+  MINUET_RETURN_NOT_OK(coord_->AddMemnode(node.get(),
+                                          layout_.alloc_meta_base()));
+  memnodes_.push_back(std::move(node));
+  MINUET_RETURN_NOT_OK(allocator_->AddMemnode());
+  return id;
+}
+
+rebalance::Rebalancer* Cluster::rebalancer() {
+  std::lock_guard<std::mutex> g(rebalancer_mu_);
+  if (rebalancer_ == nullptr) {
+    rebalancer_ = std::make_unique<rebalance::Rebalancer>(this);
+  }
+  return rebalancer_.get();
+}
 
 Result<TreeHandle> Cluster::CreateTree(bool branching) {
   if (next_tree_ >= layout_.max_trees()) {
@@ -210,23 +243,30 @@ Status Proxy::Apply(const WriteBatch& batch) {
   std::set<std::pair<uint32_t, std::string>> inserted;
   for (const WriteBatch::Op& op : batch.ops_) {
     MINUET_RETURN_NOT_OK(CheckHandle(op.tree));
-    MINUET_RETURN_NOT_OK(CheckLinearAccess(op.tree));
+    if (op.branch_sid == WriteBatch::kNoBranch) {
+      MINUET_RETURN_NOT_OK(CheckLinearAccess(op.tree));
+    } else if (!op.tree.branching()) {
+      return Status::InvalidArgument(
+          "branch writes target branching trees; use Put/Remove on linear "
+          "tips");
+    }
     if (op.kind == WriteBatch::Kind::kInsert &&
         !inserted.emplace(op.tree.slot(), op.key).second) {
       return Status::AlreadyExists("duplicate insert within the batch");
     }
   }
-  // Group the batch per tree, preserving batch order within each tree
-  // (order only matters between ops on the same key, which land in the
-  // same tree). Strict-insert keys are collected separately: existence is
-  // settled with one batched read per tree BEFORE any write is buffered.
-  struct PerTree {
+  // Group the batch per (tree, branch) tip, preserving batch order within
+  // each group (order only matters between ops on the same key, which land
+  // in the same group). Strict-insert keys are collected separately:
+  // existence is settled with one batched read per tree BEFORE any write
+  // is buffered.
+  struct PerTip {
     std::vector<std::string> insert_keys;
     std::vector<btree::BTree::WriteOp> ops;
   };
-  std::map<uint32_t, PerTree> per_tree;
+  std::map<std::pair<uint32_t, uint64_t>, PerTip> per_tip;
   for (const WriteBatch::Op& op : batch.ops_) {
-    PerTree& pt = per_tree[op.tree.slot()];
+    PerTip& pt = per_tip[{op.tree.slot(), op.branch_sid}];
     btree::BTree::WriteOp wop;
     wop.key = op.key;
     switch (op.kind) {
@@ -250,24 +290,32 @@ Status Proxy::Apply(const WriteBatch& batch) {
     // installing a partial batch. Existence is therefore judged against
     // the pre-batch state — and resolved with ONE batched MultiGet per
     // tree (shared level-synchronized descents, one grouped leaf round)
-    // instead of one serial descent per insert.
-    for (auto& [slot, pt] : per_tree) {
+    // instead of one serial descent per insert. (Inserts are linear-tip
+    // only; WriteBatch exposes no branch insert.)
+    for (auto& [key, pt] : per_tip) {
       if (pt.insert_keys.empty()) continue;
       std::vector<std::optional<std::string>> values;
       MINUET_RETURN_NOT_OK(
-          trees_[slot]->MultiGetInTxn(txn, pt.insert_keys, &values));
+          trees_[key.first]->MultiGetInTxn(txn, pt.insert_keys, &values));
       for (const auto& v : values) {
         if (v.has_value()) {
           return Status::AlreadyExists("insert of a present key");
         }
       }
     }
-    // Phase 2 — apply every write, per tree, through the batched descent:
+    // Phase 2 — apply every write, per tip, through the batched descent:
     // all target leaves resolve in O(depth) cold rounds and join the read
     // set in one round, and ops targeting the same leaf collapse into one
-    // traversal + one leaf mutation (one commit compare per leaf).
-    for (auto& [slot, pt] : per_tree) {
-      MINUET_RETURN_NOT_OK(trees_[slot]->ApplyWritesInTxn(txn, pt.ops));
+    // traversal + one leaf mutation (one commit compare per leaf). Branch
+    // groups resolve (and validate) their catalog tip inside this same
+    // transaction, so a concurrent fork aborts the whole batch.
+    for (auto& [key, pt] : per_tip) {
+      const auto& [slot, branch_sid] = key;
+      MINUET_RETURN_NOT_OK(
+          branch_sid == WriteBatch::kNoBranch
+              ? trees_[slot]->ApplyWritesInTxn(txn, pt.ops)
+              : trees_[slot]->BranchApplyWritesInTxn(txn, branch_sid,
+                                                     pt.ops));
     }
     return Status::OK();
   });

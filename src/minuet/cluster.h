@@ -27,6 +27,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,10 +46,19 @@
 
 namespace minuet {
 
+namespace rebalance {
+class Rebalancer;
+}  // namespace rebalance
+
 struct ClusterOptions {
   // "Machines": each contributes one memnode and one proxy, as in the
   // paper's experimental deployment (Fig. 9).
   uint32_t machines = 4;
+  // Upper bound the memnode count may grow to at runtime via
+  // Cluster::AddMemnode (elastic scale-out). The address-space layout is
+  // computed against this capacity so growth never relocates existing
+  // objects. 0 = max(2 x machines, 8).
+  uint32_t max_machines = 0;
   uint32_t node_size = 4096;
   bool dirty_traversals = true;
   // Aguilera baseline (forced on automatically when dirty_traversals is
@@ -235,6 +245,24 @@ class Cluster {
   uint32_t n_proxies() const {
     return static_cast<uint32_t>(proxies_.size());
   }
+  uint32_t n_memnodes() const { return coord_->n_memnodes(); }
+  uint32_t n_trees() const { return next_tree_; }
+
+  // --- Elastic scale-out -----------------------------------------------------
+  // Bring one more memnode online while the cluster serves traffic: the
+  // node registers with the fabric and coordinator (which seeds its
+  // replicated region and rewires the backup ring between in-flight
+  // minitransactions), and the allocator opens it for load-aware placement.
+  // Returns the new memnode id. Existing data does NOT move by itself —
+  // run the rebalancer to migrate slabs onto the new node. Not safe to call
+  // concurrently with itself or with Crash/RecoverMemnode.
+  Result<uint32_t> AddMemnode();
+
+  // The cluster's rebalancer (created on first use; see
+  // rebalance::Rebalancer for RunOnce/Start/Stop). Tests and benchmarks
+  // that need custom rebalance::Options can construct their own
+  // Rebalancer(cluster) instead.
+  rebalance::Rebalancer* rebalancer();
 
   // nullptr when the handle was not minted by this cluster.
   mvcc::SnapshotService* snapshot_service(const TreeHandle& tree) {
@@ -297,6 +325,8 @@ class Cluster {
   std::vector<bool> tree_branching_;
   std::function<double()> snapshot_clock_;
   uint32_t next_tree_ = 0;
+  std::mutex rebalancer_mu_;
+  std::unique_ptr<rebalance::Rebalancer> rebalancer_;
 };
 
 }  // namespace minuet

@@ -346,6 +346,17 @@ Status FanoutScan(btree::BTree* tree, const btree::SnapshotRef& snap,
   if (!parts.ok()) return parts.status();
   const size_t chunk = std::max<size_t>(options.chunk_size, 1);
 
+  // Pre-warm every partition's first descent through the frontier engine:
+  // one batched round per tree level covers ALL partition starts, so after
+  // a cache drop no worker pays a serial root-to-leaf descent for its
+  // first chunk. Best-effort — cold workers are correct, just slower.
+  {
+    std::vector<std::string> starts;
+    starts.reserve(parts->size());
+    for (const auto& p : *parts) starts.push_back(p.start);
+    (void)tree->PrewarmSnapshotPaths(snap, starts);
+  }
+
   std::map<sinfonia::MemnodeId, std::vector<size_t>> by_node;
   for (size_t i = 0; i < parts->size(); i++) {
     by_node[(*parts)[i].home].push_back(i);

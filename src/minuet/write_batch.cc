@@ -4,16 +4,29 @@ namespace minuet {
 
 void WriteBatch::Put(const TreeHandle& tree, std::string key,
                      std::string value) {
-  ops_.push_back(Op{tree, Kind::kPut, std::move(key), std::move(value)});
+  ops_.push_back(
+      Op{tree, Kind::kPut, kNoBranch, std::move(key), std::move(value)});
 }
 
 void WriteBatch::Insert(const TreeHandle& tree, std::string key,
                         std::string value) {
-  ops_.push_back(Op{tree, Kind::kInsert, std::move(key), std::move(value)});
+  ops_.push_back(
+      Op{tree, Kind::kInsert, kNoBranch, std::move(key), std::move(value)});
 }
 
 void WriteBatch::Remove(const TreeHandle& tree, std::string key) {
-  ops_.push_back(Op{tree, Kind::kRemove, std::move(key), {}});
+  ops_.push_back(Op{tree, Kind::kRemove, kNoBranch, std::move(key), {}});
+}
+
+void WriteBatch::BranchPut(const TreeHandle& tree, uint64_t branch_sid,
+                           std::string key, std::string value) {
+  ops_.push_back(
+      Op{tree, Kind::kPut, branch_sid, std::move(key), std::move(value)});
+}
+
+void WriteBatch::BranchRemove(const TreeHandle& tree, uint64_t branch_sid,
+                              std::string key) {
+  ops_.push_back(Op{tree, Kind::kRemove, branch_sid, std::move(key), {}});
 }
 
 }  // namespace minuet

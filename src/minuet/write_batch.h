@@ -22,8 +22,13 @@
 //             is otherwise judged against pre-batch state, so a Put and an
 //             Insert of the same key in one batch both apply.
 //   Remove  — blind delete (absent keys are tolerated)
-// Batches target linear tips only; Apply rejects branching trees (their
-// writable tips take writes through BranchView).
+//
+// Branch-tip writes: BranchPut/BranchRemove target one writable branch of
+// a BRANCHING tree (§5) and commit atomically with the rest of the batch —
+// the branch's writability is validated inside the same transaction, so a
+// concurrent fork aborts the whole batch with ReadOnly. Linear-tip
+// Put/Insert/Remove still reject branching trees (their version-0 tip is
+// only reachable through branch views).
 #pragma once
 
 #include <cstdint>
@@ -42,6 +47,12 @@ class WriteBatch {
   void Insert(const TreeHandle& tree, std::string key, std::string value);
   void Remove(const TreeHandle& tree, std::string key);
 
+  // Branch-tip writes (branching trees; blind remove, like Remove).
+  void BranchPut(const TreeHandle& tree, uint64_t branch_sid, std::string key,
+                 std::string value);
+  void BranchRemove(const TreeHandle& tree, uint64_t branch_sid,
+                    std::string key);
+
   size_t size() const { return ops_.size(); }
   bool empty() const { return ops_.empty(); }
   void Clear() { ops_.clear(); }
@@ -50,9 +61,12 @@ class WriteBatch {
   friend class Proxy;
 
   enum class Kind : uint8_t { kPut, kInsert, kRemove };
+  // Linear-tip ops carry kNoBranch; branch ops name their branch sid.
+  static constexpr uint64_t kNoBranch = ~0ULL;
   struct Op {
     TreeHandle tree;  // full handle, so Apply can reject foreign clusters
     Kind kind;
+    uint64_t branch_sid = kNoBranch;
     std::string key;
     std::string value;
   };

@@ -84,7 +84,12 @@ Result<GarbageCollector::Report> GarbageCollector::CollectOnce(
 
   for (uint32_t m = 0; m < coord->n_memnodes(); m++) {
     const uint64_t extent = coord->memnode(m)->Extent();
-    for (uint64_t off = layout.slab_base(); off + layout.node_size <= extent;
+    // A slab counts as touched once ANY of its bytes is under the
+    // high-water mark: the last node written on a memnode rarely fills its
+    // slab, and `off + node_size <= extent` would exempt it from
+    // collection forever. Reads past the extent return zeros, so probing
+    // the partial tail is safe.
+    for (uint64_t off = layout.slab_base(); off < extent;
          off += layout.node_size) {
       report.scanned++;
       auto freed = TryFreeSlab(Addr{m, off}, lowest_sid, &report);

@@ -10,18 +10,32 @@ thread_local int t_batch_depth = 0;
 thread_local bool t_batch_charged = false;
 }  // namespace
 
-Fabric::Fabric(uint32_t n_nodes)
+Fabric::Fabric(uint32_t n_nodes, uint32_t max_nodes)
     : n_nodes_(n_nodes),
-      up_(new std::atomic<bool>[n_nodes]),
-      node_msgs_(new std::atomic<uint64_t>[n_nodes]) {
-  for (uint32_t i = 0; i < n_nodes; i++) {
+      max_nodes_(max_nodes < n_nodes ? n_nodes : max_nodes),
+      up_(new std::atomic<bool>[max_nodes_]),
+      node_msgs_(new std::atomic<uint64_t>[max_nodes_]) {
+  for (uint32_t i = 0; i < max_nodes_; i++) {
+    // Not-yet-registered slots are pre-marked up so RegisterNode is just a
+    // count bump; the bounds check against n_nodes_ keeps them unreachable.
     up_[i].store(true, std::memory_order_relaxed);
     node_msgs_[i].store(0, std::memory_order_relaxed);
   }
 }
 
+Result<NodeId> Fabric::RegisterNode() {
+  const uint32_t id = n_nodes_.load(std::memory_order_acquire);
+  if (id >= max_nodes_) {
+    return Status::NoSpace("fabric at its configured max_nodes");
+  }
+  up_[id].store(true, std::memory_order_release);
+  node_msgs_[id].store(0, std::memory_order_relaxed);
+  n_nodes_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
 Status Fabric::Charge(NodeId to, bool on_critical_path) {
-  if (to >= n_nodes_ || !IsUp(to)) {
+  if (to >= n_nodes() || !IsUp(to)) {
     return Status::Unavailable("memnode down");
   }
   node_msgs_[to].fetch_add(1, std::memory_order_relaxed);
@@ -51,14 +65,14 @@ Status Fabric::ChargeMessageAsync(NodeId to) {
 
 uint64_t Fabric::TotalMessages() const {
   uint64_t sum = 0;
-  for (uint32_t i = 0; i < n_nodes_; i++) {
+  for (uint32_t i = 0; i < n_nodes(); i++) {
     sum += node_msgs_[i].load(std::memory_order_relaxed);
   }
   return sum;
 }
 
 void Fabric::ResetCounters() {
-  for (uint32_t i = 0; i < n_nodes_; i++) {
+  for (uint32_t i = 0; i < n_nodes(); i++) {
     node_msgs_[i].store(0, std::memory_order_relaxed);
   }
 }

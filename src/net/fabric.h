@@ -46,9 +46,21 @@ struct OpTrace {
 
 class Fabric {
  public:
-  explicit Fabric(uint32_t n_nodes);
+  // `max_nodes` caps how far RegisterNode can grow the fabric (elastic
+  // scale-out); the per-node arrays are sized to it up front so readers
+  // never race a reallocation. Defaults to a fixed-size fabric.
+  explicit Fabric(uint32_t n_nodes) : Fabric(n_nodes, n_nodes) {}
+  Fabric(uint32_t n_nodes, uint32_t max_nodes);
 
-  uint32_t n_nodes() const { return n_nodes_; }
+  uint32_t n_nodes() const {
+    return n_nodes_.load(std::memory_order_acquire);
+  }
+  uint32_t max_nodes() const { return max_nodes_; }
+
+  // Bring one more node online; returns its id. The caller (the
+  // coordinator's membership change) is responsible for seeding the node's
+  // state BEFORE any traffic can name it. Fails with NoSpace at capacity.
+  Result<NodeId> RegisterNode();
 
   // --- Failure injection -------------------------------------------------
   bool IsUp(NodeId id) const {
@@ -72,7 +84,8 @@ class Fabric {
 
   // Total messages ever delivered to `to` (capacity-model input).
   uint64_t NodeMessages(NodeId to) const {
-    return node_msgs_[to].load(std::memory_order_relaxed);
+    return to < n_nodes() ? node_msgs_[to].load(std::memory_order_relaxed)
+                          : 0;
   }
   uint64_t TotalMessages() const;
   void ResetCounters();
@@ -89,7 +102,9 @@ class Fabric {
   // accounting, with the round trip charged only on the critical path.
   Status Charge(NodeId to, bool on_critical_path);
 
-  uint32_t n_nodes_;
+  // Arrays are sized to max_nodes_ once; only [0, n_nodes_) is live.
+  std::atomic<uint32_t> n_nodes_;
+  uint32_t max_nodes_;
   std::unique_ptr<std::atomic<bool>[]> up_;
   std::unique_ptr<std::atomic<uint64_t>[]> node_msgs_;
 };

@@ -1,0 +1,185 @@
+#include "rebalance/rebalancer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "minuet/cluster.h"
+
+namespace minuet::rebalance {
+
+using btree::BTree;
+
+Rebalancer::Rebalancer(Cluster* cluster, Options options)
+    : cluster_(cluster), options_(options) {
+  if (options_.imbalance_ratio <= 1.0) options_.imbalance_ratio = 1.5;
+}
+
+Rebalancer::~Rebalancer() { Stop(); }
+
+namespace {
+
+// One tree's pairing pass: move slabs from the heaviest memnode to the
+// lightest until no memnode exceeds the donor threshold, the per-round
+// budget runs out, or the donors' candidate lists dry up.
+struct TreePlan {
+  std::vector<uint64_t> counts;                 // tip slabs per memnode
+  std::vector<std::vector<size_t>> candidates;  // placement idx per memnode
+};
+
+TreePlan CountPlacement(const std::vector<BTree::NodePlacement>& placement,
+                        uint32_t n) {
+  TreePlan plan;
+  plan.counts.assign(n, 0);
+  plan.candidates.assign(n, {});
+  for (size_t i = 0; i < placement.size(); i++) {
+    const auto home = placement[i].addr.memnode;
+    if (home >= n) continue;  // stale placement past a membership change
+    plan.counts[home]++;
+    plan.candidates[home].push_back(i);
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<Rebalancer::RoundReport> Rebalancer::RunOnce() {
+  RoundReport report;
+  report.balanced = true;
+  const uint32_t n = cluster_->coordinator()->n_memnodes();
+  if (n < 2) return report;
+
+  // Re-anchor the allocator's load-aware placement counters to the
+  // authoritative metadata; best-effort (a down memnode fails the read,
+  // and migration onto it would fail anyway).
+  (void)cluster_->allocator()->ResyncLiveCounters();
+
+  uint64_t budget = options_.max_moves_per_round;
+  for (uint32_t slot = 0; slot < cluster_->n_trees(); slot++) {
+    auto handle = cluster_->OpenTree(slot);
+    if (!handle.ok()) continue;
+    if (handle->branching()) continue;  // version trees: GC scope, not ours
+    report.trees++;
+    BTree* tree = cluster_->proxy(0).tree(slot);
+
+    std::vector<BTree::NodePlacement> placement;
+    MINUET_RETURN_NOT_OK(tree->CollectTipPlacement(&placement));
+    TreePlan plan = CountPlacement(placement, n);
+    const double mean =
+        static_cast<double>(placement.size()) / static_cast<double>(n);
+    // Imbalance is judged from both ends: a donor above hi_water must
+    // shed, AND a receiver below lo_water must be filled (a freshly added
+    // empty memnode is the canonical case — the heaviest node may sit
+    // comfortably under hi_water while the new one serves nothing).
+    const double hi_water = mean * options_.imbalance_ratio;
+    const double lo_water = mean / options_.imbalance_ratio;
+
+    while (budget > 0) {
+      const auto max_it =
+          std::max_element(plan.counts.begin(), plan.counts.end());
+      const auto min_it =
+          std::min_element(plan.counts.begin(), plan.counts.end());
+      const uint32_t donor =
+          static_cast<uint32_t>(max_it - plan.counts.begin());
+      const uint32_t receiver =
+          static_cast<uint32_t>(min_it - plan.counts.begin());
+      const bool over = static_cast<double>(*max_it) > hi_water;
+      const bool under = static_cast<double>(*min_it) < lo_water;
+      // The +2 slack stops tiny trees (and the last slab of a nearly even
+      // split) from ping-ponging between equally loaded nodes forever.
+      if ((!over && !under) || *max_it < *min_it + 2) break;
+      auto& pool = plan.candidates[donor];
+      if (pool.empty()) {
+        // Every slab we knew about on this donor was tried; re-listing
+        // next round will see the post-migration truth.
+        report.balanced = false;
+        break;
+      }
+      const BTree::NodePlacement& victim = placement[pool.back()];
+      pool.pop_back();
+      report.planned++;
+      budget--;
+      bool migrated = false;
+      Status st = tree->MigrateNode(victim, receiver, &migrated);
+      if (!st.ok()) {
+        // A retryable abort means concurrent writers kept moving this
+        // slab's neighborhood: skip it — the next round re-lists placement
+        // and tries again — rather than failing the whole round. Hard
+        // failures (a crashed destination) do stop the round.
+        if (!st.IsRetryable()) return st;
+        report.skipped++;
+        report.balanced = false;
+        continue;
+      }
+      if (migrated) {
+        report.migrated++;
+        total_migrated_.fetch_add(1, std::memory_order_relaxed);
+        plan.counts[donor]--;
+        plan.counts[receiver]++;
+      } else {
+        report.skipped++;  // placement went stale under concurrent writes
+      }
+    }
+
+    const uint64_t mx =
+        *std::max_element(plan.counts.begin(), plan.counts.end());
+    const uint64_t mn =
+        *std::min_element(plan.counts.begin(), plan.counts.end());
+    const bool still_skewed = static_cast<double>(mx) > hi_water ||
+                              static_cast<double>(mn) < lo_water;
+    if (still_skewed && mx >= mn + 2) report.balanced = false;
+  }
+
+  if (report.migrated > 0 && options_.collect_garbage) {
+    // Reclaim migrated sources whose sid already sits below the snapshot
+    // horizon; the rest are picked up once the horizon advances.
+    for (uint32_t slot = 0; slot < cluster_->n_trees(); slot++) {
+      auto handle = cluster_->OpenTree(slot);
+      if (!handle.ok() || handle->branching()) continue;
+      auto gc = cluster_->CollectGarbage(slot);
+      if (gc.ok()) report.gc_freed += gc->freed;
+    }
+  }
+  return report;
+}
+
+Result<uint64_t> Rebalancer::RunUntilBalanced(uint32_t max_rounds) {
+  uint64_t migrated = 0;
+  for (uint32_t round = 0; round < max_rounds; round++) {
+    auto report = RunOnce();
+    if (!report.ok()) return report.status();
+    migrated += report->migrated;
+    if (report->balanced && report->migrated == 0) return migrated;
+  }
+  return Status::Aborted("rebalance did not converge within max_rounds");
+}
+
+void Rebalancer::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Rebalancer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Rebalancer::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Failures (e.g. a crashed memnode mid-round) are transient here: the
+    // next round re-lists placement and retries what still applies.
+    (void)RunOnce();
+    auto remaining = options_.interval;
+    constexpr auto kSlice = std::chrono::milliseconds(10);
+    while (remaining.count() > 0 && !stop_.load(std::memory_order_acquire)) {
+      const auto nap = remaining < kSlice ? remaining : kSlice;
+      std::this_thread::sleep_for(nap);
+      remaining -= nap;
+    }
+  }
+}
+
+}  // namespace minuet::rebalance

@@ -7,9 +7,18 @@ namespace minuet::sinfonia {
 
 Coordinator::Coordinator(net::Fabric* fabric, std::vector<Memnode*> memnodes,
                          Options options)
-    : fabric_(fabric), memnodes_(std::move(memnodes)), options_(options) {}
+    : fabric_(fabric),
+      memnodes_(std::move(memnodes)),
+      n_memnodes_(static_cast<uint32_t>(memnodes_.size())),
+      options_(options) {
+  // Indexed reads of memnodes_ run without the membership lock; reserving
+  // the fabric's capacity up front means AddMemnode's push_back never
+  // reallocates under them.
+  memnodes_.reserve(fabric_->max_nodes());
+}
 
-std::vector<Coordinator::PerNode> Coordinator::Partition(const MiniTxn& mtx) {
+std::vector<Coordinator::PerNode> Coordinator::Partition(
+    const MiniTxn& mtx) const {
   std::vector<PerNode> parts;
   auto find = [&parts](MemnodeId node) -> PerNode& {
     for (auto& p : parts) {
@@ -28,8 +37,18 @@ std::vector<Coordinator::PerNode> Coordinator::Partition(const MiniTxn& mtx) {
     p.reads.push_back(mtx.reads[i]);
     p.read_index.push_back(i);
   }
+  const uint32_t n = n_memnodes();
   for (const auto& w : mtx.writes) {
-    find(w.addr.memnode).writes.push_back(w);
+    if (w.all_nodes) {
+      // Replicated object: one write per memnode, expanded against the
+      // membership in force for this execution.
+      for (MemnodeId m = 0; m < n; m++) {
+        find(m).writes.push_back(
+            MiniTxn::WriteItem{Addr{m, w.addr.offset}, w.data, false});
+      }
+    } else {
+      find(w.addr.memnode).writes.push_back(w);
+    }
   }
   std::sort(parts.begin(), parts.end(),
             [](const PerNode& a, const PerNode& b) { return a.node < b.node; });
@@ -47,6 +66,10 @@ std::vector<MemnodeId> MiniTxn::Participants() const {
 }
 
 Status Coordinator::Execute(const MiniTxn& mtx, MiniResult* result) {
+  // Membership is stable for the whole execution: all-node writes expand
+  // over exactly the set that will receive them, and BackupOf cannot flip
+  // mid-replication.
+  std::shared_lock<std::shared_mutex> membership(membership_mu_);
   const std::vector<PerNode> parts = Partition(mtx);
   if (parts.empty()) {
     result->committed = true;
@@ -204,10 +227,60 @@ void Coordinator::ReplicateWrites(const PerNode& pn) {
 }
 
 void Coordinator::Recover(MemnodeId id) {
+  std::shared_lock<std::shared_mutex> membership(membership_mu_);
   const MemnodeId backup = BackupOf(id);
   if (backup == id) return;
   memnodes_[id]->RestoreFrom(*memnodes_[backup]);
   fabric_->SetUp(id, true);
+}
+
+Status Coordinator::AddMemnode(Memnode* node, uint64_t replicated_bytes) {
+  // Exclusive: every in-flight minitransaction drains first, and none can
+  // start until the new node is seeded and published. Commits built before
+  // this point therefore wrote their all-node objects to the old set — all
+  // of which the seeding copy below captures.
+  std::unique_lock<std::shared_mutex> membership(membership_mu_);
+  const uint32_t n = n_memnodes_.load(std::memory_order_relaxed);
+  if (n >= fabric_->max_nodes()) {
+    return Status::NoSpace("cluster at its configured max memnode count");
+  }
+  if (node->id() != n) {
+    return Status::InvalidArgument("memnode id must be the next free id");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("cannot grow an empty memnode set");
+  }
+  // Both seeding sources must be alive: cloning a crashed (wiped) peer
+  // would install zeros as the new node's replicated region — and, worse,
+  // the ring rewire below would REPLACE the last good backup image of
+  // n-1 with a clone of its wiped primary. Grow the cluster after
+  // recovery, not during an outage.
+  if (!fabric_->IsUp(0) || !fabric_->IsUp(n - 1)) {
+    return Status::Unavailable("a seeding peer memnode is down");
+  }
+
+  // Seed the replicated region (and seqnum-table mirrors): replicated
+  // objects live at the SAME offset on every memnode, so the new node's
+  // image is a byte copy of any seeded peer's prefix.
+  node->ClonePrimaryRegion(*memnodes_[0], replicated_bytes);
+
+  if (options_.replication && n >= 1) {
+    // The backup ring rewires from (n-1 → 0) to (n-1 → n → 0): the new
+    // node takes over hosting n-1's image (seeded from n-1's live primary —
+    // consistent, as no writes run under the exclusive lock), and node 0
+    // hosts the new node's image — seeded from the region copy above, so a
+    // crash BEFORE the node's first replicated write still recovers the
+    // pre-join history.
+    node->SeedBackupFrom(n - 1, *memnodes_[n - 1]);
+    memnodes_[0]->SeedBackupFrom(n, *node);
+    memnodes_[0]->DropBackup(n - 1);
+  }
+
+  auto id = fabric_->RegisterNode();
+  if (!id.ok()) return id.status();
+  memnodes_.push_back(node);
+  n_memnodes_.store(n + 1, std::memory_order_release);
+  return Status::OK();
 }
 
 }  // namespace minuet::sinfonia

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -38,21 +39,34 @@ class Coordinator {
   //   OK           — protocol ran; inspect result->committed / failed_compares
   //   Busy         — lock contention persisted past max_retries
   //   Unavailable  — a participant memnode is down
+  // Holds the membership lock (shared) end to end, so the memnode set —
+  // including the expansion of all-node writes — is stable per execution.
   Status Execute(const MiniTxn& mtx, MiniResult* result);
 
   uint32_t n_memnodes() const {
-    return static_cast<uint32_t>(memnodes_.size());
+    return n_memnodes_.load(std::memory_order_acquire);
   }
   Memnode* memnode(MemnodeId id) { return memnodes_[id]; }
   net::Fabric* fabric() { return fabric_; }
   const Options& options() const { return options_; }
 
   MemnodeId BackupOf(MemnodeId id) const {
-    return static_cast<MemnodeId>((id + 1) % memnodes_.size());
+    return static_cast<MemnodeId>((id + 1) % n_memnodes());
   }
 
   // Restore a recovered memnode's state from its backup peer.
   void Recover(MemnodeId id);
+
+  // --- Elastic membership (online scale-out) ------------------------------
+  // Register `node` (id must be the next free one) while NO minitransaction
+  // is in flight: takes the membership lock exclusively, seeds the new
+  // node's primary space with the first `replicated_bytes` of memnode 0's
+  // (the replicated-data region and seqnum-table mirrors live below that
+  // bound at identical offsets on every memnode), rewires the backup ring
+  // (node n backs up node n-1; node 0 backs up node n), and only then
+  // publishes the new count to the fabric and to n_memnodes(). Ownership of
+  // `node` stays with the caller, exactly as for the constructor's set.
+  Status AddMemnode(Memnode* node, uint64_t replicated_bytes);
 
  private:
   struct PerNode {
@@ -64,7 +78,9 @@ class Coordinator {
     std::vector<MiniTxn::WriteItem> writes;
   };
 
-  static std::vector<PerNode> Partition(const MiniTxn& mtx);
+  // Expands all-node writes over the CURRENT memnode count; the caller
+  // must hold membership_mu_ (shared suffices).
+  std::vector<PerNode> Partition(const MiniTxn& mtx) const;
 
   Status ExecuteSingle(TxId tx, const PerNode& pn, bool blocking,
                        MiniResult* result);
@@ -73,9 +89,15 @@ class Coordinator {
   void ReplicateWrites(const PerNode& pn);
 
   net::Fabric* fabric_;
+  // Reserved to the fabric's max_nodes at construction so concurrent
+  // indexed reads never race a reallocation; only [0, n_memnodes_) is live.
   std::vector<Memnode*> memnodes_;
+  std::atomic<uint32_t> n_memnodes_;
   Options options_;
   std::atomic<TxId> next_tx_{1};
+  // Held shared by Execute, exclusively by AddMemnode: a membership change
+  // happens only between minitransactions, never under one.
+  mutable std::shared_mutex membership_mu_;
 };
 
 }  // namespace minuet::sinfonia

@@ -193,6 +193,44 @@ void Memnode::LoseState() {
   space_.Reset();
 }
 
+namespace {
+
+// Block copy of [0, limit) from one space into another; unwritten source
+// ranges read as zeros, which a fresh destination already holds.
+void CopySpace(const ByteSpace& src, uint64_t limit, ByteSpace* dst) {
+  const uint64_t extent = std::min(limit, src.Extent());
+  std::string data;
+  constexpr uint32_t kBlock = 1 << 16;
+  for (uint64_t off = 0; off < extent; off += kBlock) {
+    const uint32_t n =
+        static_cast<uint32_t>(std::min<uint64_t>(kBlock, extent - off));
+    src.Read(off, n, &data);
+    dst->Write(off, data.data(), n);
+  }
+}
+
+}  // namespace
+
+void Memnode::ClonePrimaryRegion(const Memnode& src, uint64_t limit) {
+  CopySpace(src.space_, limit, &space_);
+}
+
+void Memnode::SeedBackupFrom(MemnodeId primary, const Memnode& peer) {
+  ByteSpace* image = nullptr;
+  {
+    std::lock_guard<std::mutex> g(backup_mu_);
+    auto& slot = backups_[primary];
+    slot = std::make_unique<ByteSpace>();  // replace any stale image
+    image = slot.get();
+  }
+  CopySpace(peer.space_, ~0ULL, image);
+}
+
+void Memnode::DropBackup(MemnodeId primary) {
+  std::lock_guard<std::mutex> g(backup_mu_);
+  backups_.erase(primary);
+}
+
 void Memnode::RestoreFrom(const Memnode& peer) {
   const ByteSpace* image = nullptr;
   {

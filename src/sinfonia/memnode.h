@@ -97,6 +97,19 @@ class Memnode {
   // Reload this node's primary space from the backup image held by `peer`.
   void RestoreFrom(const Memnode& peer);
 
+  // ---- Elastic membership ------------------------------------------------
+  // Copy [0, min(limit, src extent)) of `src`'s primary space into this
+  // node's primary space (seeding the replicated region of a node added at
+  // runtime). Caller guarantees quiescence (the coordinator's exclusive
+  // membership lock).
+  void ClonePrimaryRegion(const Memnode& src, uint64_t limit);
+  // Install a backup image of `primary` cloned from `peer`'s live primary
+  // space (the backup-ring rewire when a node joins). Same quiescence
+  // contract as ClonePrimaryRegion.
+  void SeedBackupFrom(MemnodeId primary, const Memnode& peer);
+  // Drop a hosted backup image this node is no longer responsible for.
+  void DropBackup(MemnodeId primary);
+
   // ---- Direct access (garbage collector, recovery, tests) ---------------
   // Raw read that bypasses the minitransaction protocol. The GC uses this
   // under its own slab locking discipline.

@@ -28,6 +28,12 @@ struct MiniTxn {
   struct WriteItem {
     Addr addr;
     std::string data;
+    // Apply this write at `addr.offset` on EVERY memnode (replicated-data
+    // objects, §4.1, and the Aguilera baseline's seqnum mirrors). Expanded
+    // by the coordinator under its membership lock, so the write set always
+    // covers the memnode count in force when the minitransaction executes —
+    // a membership change can never strand a stale replica.
+    bool all_nodes = false;
   };
 
   std::vector<CompareItem> compares;
@@ -45,7 +51,12 @@ struct MiniTxn {
   }
   void AddRead(Addr addr, uint32_t len) { reads.push_back({addr, len}); }
   void AddWrite(Addr addr, std::string data) {
-    writes.push_back({addr, std::move(data)});
+    writes.push_back({addr, std::move(data), false});
+  }
+  // One logical write applied at `offset` on every memnode in the cluster
+  // at execution time (see WriteItem::all_nodes).
+  void AddWriteAll(uint64_t offset, std::string data) {
+    writes.push_back({Addr{0, offset}, std::move(data), true});
   }
 
   bool empty() const {

@@ -140,179 +140,42 @@ Result<std::string> DynamicTxn::FetchFresh(const ObjectRef& ref) {
   return std::move(fetched->payload);
 }
 
-Result<std::vector<std::string>> DynamicTxn::ReadBatch(
-    const std::vector<ObjectRef>& refs) {
+// The one skeleton behind every batched-fetch flavor (see BatchPolicy in
+// the header): dedupe the addresses, serve what local state already can,
+// fetch ALL remaining misses in ONE minitransaction, then run the flavor's
+// per-entry bookkeeping (cache fill, read-set join).
+Result<std::vector<std::string>> DynamicTxn::BatchFetch(
+    const std::vector<ObjectRef>& refs, const BatchPolicy& policy) {
   if (doomed_) return Status::Aborted("transaction doomed");
-  // Collect the refs the read/write set cannot serve, one per address;
-  // read item k of the minitransaction corresponds to refs[fetch_idx[k]].
-  std::vector<size_t> fetch_idx;
-  std::unordered_set<Addr, sinfonia::AddrHash> pending;
-  MiniTxn mtx;
-  for (size_t i = 0; i < refs.size(); i++) {
-    const Addr addr = refs[i].addr;
-    if (write_index_.count(addr) != 0 || read_index_.count(addr) != 0 ||
-        !pending.insert(addr).second) {
-      continue;
-    }
-    mtx.AddRead(Addr{ReadHome(refs[i]), addr.offset}, refs[i].total_len());
-    fetch_idx.push_back(i);
-  }
-  if (!mtx.reads.empty()) {
-    if (options_.piggyback_validation) {
-      // Validate replicated read-set objects at the batch's first target so
-      // a single-memnode batch stays single-memnode.
-      const MemnodeId at = mtx.reads[0].addr.memnode;
-      for (const ReadRecord& r : reads_) AddSeqCompare(&mtx, r, at);
-    }
-    MiniResult result;
-    MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
-    if (!result.committed) {
-      doomed_ = true;
-      if (net::OpTrace* tr = net::Fabric::ThreadTrace()) {
-        tr->validation_aborts++;
-      }
-      return Status::Aborted("piggyback validation failed");
-    }
-    for (size_t k = 0; k < fetch_idx.size(); k++) {
-      const size_t i = fetch_idx[k];
-      ReadRecord rec;
-      rec.ref = refs[i];
-      rec.seqnum = ObjectSeqnum(result.read_results[k]);
-      rec.payload = ObjectPayload(result.read_results[k]);
-      read_index_.emplace(refs[i].addr, reads_.size());
-      reads_.push_back(std::move(rec));
-    }
-  }
-  std::vector<std::string> out(refs.size());
-  for (size_t i = 0; i < refs.size(); i++) {
-    if (auto it = write_index_.find(refs[i].addr); it != write_index_.end()) {
-      out[i] = writes_[it->second].payload;
-    } else {
-      out[i] = reads_[read_index_.at(refs[i].addr)].payload;
-    }
-  }
-  return out;
-}
 
-Result<std::vector<std::string>> DynamicTxn::FetchFreshBatch(
-    const std::vector<ObjectRef>& refs) {
-  if (doomed_) return Status::Aborted("transaction doomed");
-  std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
-  MiniTxn mtx;
-  for (const ObjectRef& ref : refs) {
-    // Like FetchFresh: an object this transaction already wrote is served
-    // from the write set, not the memnode's pre-write image.
-    if (write_index_.count(ref.addr) != 0 || slot.count(ref.addr) != 0) {
-      continue;
-    }
-    slot.emplace(ref.addr, mtx.reads.size());
-    mtx.AddRead(Addr{ReadHome(ref), ref.addr.offset}, ref.total_len());
-  }
-  MiniResult result;
-  if (!mtx.reads.empty()) {
-    MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
-    if (!result.committed) {
-      doomed_ = true;
-      return Status::Aborted("batched fetch failed");
-    }
-  }
-  std::vector<std::string> out(refs.size());
-  for (size_t i = 0; i < refs.size(); i++) {
-    if (auto it = write_index_.find(refs[i].addr); it != write_index_.end()) {
-      out[i] = writes_[it->second].payload;
-    } else {
-      out[i] = ObjectPayload(result.read_results[slot.at(refs[i].addr)]);
-    }
-  }
-  return out;
-}
-
-Result<std::vector<std::string>> DynamicTxn::DirtyReadBatch(
-    const std::vector<ObjectRef>& refs) {
-  if (doomed_) return Status::Aborted("transaction doomed");
-  // Distinct addresses the cache (or this batch's fetch) serves; write/read
-  // set hits are resolved per ref in the output pass below.
-  std::unordered_map<Addr, std::string, sinfonia::AddrHash> from_cache;
+  // Distinct addresses this call resolved WITHOUT the read set: cache hits
+  // that must not join it, and fetched entries of non-joining flavors.
+  std::unordered_map<Addr, std::string, sinfonia::AddrHash> local;
   std::unordered_set<Addr, sinfonia::AddrHash> pending;
   std::vector<ObjectRef> fetched;
   MiniTxn mtx;
   for (const ObjectRef& ref : refs) {
     const Addr addr = ref.addr;
-    if (write_index_.count(addr) != 0 || read_index_.count(addr) != 0 ||
-        from_cache.count(addr) != 0 || pending.count(addr) != 0) {
-      continue;
-    }
-    if (cache_ != nullptr) {
-      ObjectCache::Entry entry;
-      if (cache_->Lookup(addr, &entry)) {
-        from_cache.emplace(addr, std::move(entry.payload));
-        continue;
-      }
-    }
-    pending.insert(addr);
-    mtx.AddRead(Addr{ReadHome(ref), addr.offset}, ref.total_len());
-    fetched.push_back(ref);
-  }
-  if (!mtx.reads.empty()) {
-    if (options_.piggyback_validation) {
-      const MemnodeId at = mtx.reads[0].addr.memnode;
-      for (const ReadRecord& r : reads_) AddSeqCompare(&mtx, r, at);
-    }
-    MiniResult result;
-    MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
-    if (!result.committed) {
-      doomed_ = true;
-      if (net::OpTrace* tr = net::Fabric::ThreadTrace()) {
-        tr->validation_aborts++;
-      }
-      return Status::Aborted("piggyback validation failed");
-    }
-    for (size_t k = 0; k < fetched.size(); k++) {
-      const uint64_t seqnum = ObjectSeqnum(result.read_results[k]);
-      std::string payload = ObjectPayload(result.read_results[k]);
-      if (cache_ != nullptr) {
-        cache_->Insert(fetched[k].addr, seqnum, payload);
-      }
-      from_cache.emplace(fetched[k].addr, std::move(payload));
-    }
-  }
-  std::vector<std::string> out(refs.size());
-  for (size_t i = 0; i < refs.size(); i++) {
-    const Addr addr = refs[i].addr;
-    if (auto it = write_index_.find(addr); it != write_index_.end()) {
-      out[i] = writes_[it->second].payload;
-    } else if (auto it = read_index_.find(addr); it != read_index_.end()) {
-      out[i] = reads_[it->second].payload;
-    } else {
-      out[i] = from_cache.at(addr);
-    }
-  }
-  return out;
-}
-
-Result<std::vector<std::string>> DynamicTxn::ReadCachedBatch(
-    const std::vector<ObjectRef>& refs) {
-  if (doomed_) return Status::Aborted("transaction doomed");
-  std::unordered_set<Addr, sinfonia::AddrHash> pending;
-  std::vector<ObjectRef> fetched;
-  MiniTxn mtx;
-  for (const ObjectRef& ref : refs) {
-    const Addr addr = ref.addr;
-    if (write_index_.count(addr) != 0 || read_index_.count(addr) != 0 ||
+    if (write_index_.count(addr) != 0 || local.count(addr) != 0 ||
         pending.count(addr) != 0) {
       continue;
     }
-    if (cache_ != nullptr) {
+    if (policy.serve_read_set && read_index_.count(addr) != 0) continue;
+    if (policy.consult_cache && cache_ != nullptr) {
       ObjectCache::Entry entry;
       if (cache_->Lookup(addr, &entry)) {
-        // A cache hit joins the read set unfetched (commit-time — or this
-        // very batch's piggy-backed — validation catches staleness).
-        ReadRecord rec;
-        rec.ref = ref;
-        rec.seqnum = entry.seqnum;
-        rec.payload = std::move(entry.payload);
-        read_index_.emplace(addr, reads_.size());
-        reads_.push_back(std::move(rec));
+        if (policy.cache_hit_joins_read_set) {
+          // Unfetched join: commit-time — or this very batch's
+          // piggy-backed — validation catches staleness.
+          ReadRecord rec;
+          rec.ref = ref;
+          rec.seqnum = entry.seqnum;
+          rec.payload = std::move(entry.payload);
+          read_index_.emplace(addr, reads_.size());
+          reads_.push_back(std::move(rec));
+        } else {
+          local.emplace(addr, std::move(entry.payload));
+        }
         continue;
       }
     }
@@ -320,10 +183,13 @@ Result<std::vector<std::string>> DynamicTxn::ReadCachedBatch(
     mtx.AddRead(Addr{ReadHome(ref), addr.offset}, ref.total_len());
     fetched.push_back(ref);
   }
+
   if (!mtx.reads.empty()) {
-    if (options_.piggyback_validation) {
-      // Cache-served records above are validated here too: staleness
-      // surfaces now instead of at commit.
+    if (policy.piggyback) {
+      // Validate replicated read-set objects at the batch's first target so
+      // a single-memnode batch stays single-memnode. Cache-served records
+      // joined above are validated here too: staleness surfaces now
+      // instead of at commit.
       const MemnodeId at = mtx.reads[0].addr.memnode;
       for (const ReadRecord& r : reads_) AddSeqCompare(&mtx, r, at);
     }
@@ -331,32 +197,87 @@ Result<std::vector<std::string>> DynamicTxn::ReadCachedBatch(
     MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
     if (!result.committed) {
       doomed_ = true;
-      if (net::OpTrace* tr = net::Fabric::ThreadTrace()) {
-        tr->validation_aborts++;
+      if (policy.piggyback) {
+        if (net::OpTrace* tr = net::Fabric::ThreadTrace()) {
+          tr->validation_aborts++;
+        }
+        return Status::Aborted("piggyback validation failed");
       }
-      return Status::Aborted("piggyback validation failed");
+      return Status::Aborted("batched fetch failed");
     }
     for (size_t k = 0; k < fetched.size(); k++) {
       ReadRecord rec;
       rec.ref = fetched[k];
       rec.seqnum = ObjectSeqnum(result.read_results[k]);
       rec.payload = ObjectPayload(result.read_results[k]);
-      if (cache_ != nullptr) {
+      if (policy.fill_cache && cache_ != nullptr) {
         cache_->Insert(rec.ref.addr, rec.seqnum, rec.payload);
       }
-      read_index_.emplace(rec.ref.addr, reads_.size());
-      reads_.push_back(std::move(rec));
+      if (policy.join_read_set) {
+        read_index_.emplace(rec.ref.addr, reads_.size());
+        reads_.push_back(std::move(rec));
+      } else {
+        local.emplace(rec.ref.addr, std::move(rec.payload));
+      }
     }
   }
+
+  // Resolve every ref, duplicates included: write set first, then what
+  // this call resolved locally (which outranks the read set — FetchFresh
+  // flavors must answer with the fresh bytes even for read-set members),
+  // then the read set.
   std::vector<std::string> out(refs.size());
   for (size_t i = 0; i < refs.size(); i++) {
-    if (auto it = write_index_.find(refs[i].addr); it != write_index_.end()) {
+    const Addr addr = refs[i].addr;
+    if (auto it = write_index_.find(addr); it != write_index_.end()) {
       out[i] = writes_[it->second].payload;
+    } else if (auto it = local.find(addr); it != local.end()) {
+      out[i] = it->second;
     } else {
-      out[i] = reads_[read_index_.at(refs[i].addr)].payload;
+      out[i] = reads_[read_index_.at(addr)].payload;
     }
   }
   return out;
+}
+
+Result<std::vector<std::string>> DynamicTxn::ReadBatch(
+    const std::vector<ObjectRef>& refs) {
+  BatchPolicy policy{};
+  policy.serve_read_set = true;
+  policy.join_read_set = true;
+  policy.piggyback = options_.piggyback_validation;
+  return BatchFetch(refs, policy);
+}
+
+Result<std::vector<std::string>> DynamicTxn::FetchFreshBatch(
+    const std::vector<ObjectRef>& refs) {
+  // Like FetchFresh: an object this transaction already wrote is served
+  // from the write set, not the memnode's pre-write image; everything else
+  // is fetched even when the read set holds it.
+  BatchPolicy policy{};
+  return BatchFetch(refs, policy);
+}
+
+Result<std::vector<std::string>> DynamicTxn::DirtyReadBatch(
+    const std::vector<ObjectRef>& refs) {
+  BatchPolicy policy{};
+  policy.serve_read_set = true;
+  policy.consult_cache = true;
+  policy.fill_cache = true;
+  policy.piggyback = options_.piggyback_validation;
+  return BatchFetch(refs, policy);
+}
+
+Result<std::vector<std::string>> DynamicTxn::ReadCachedBatch(
+    const std::vector<ObjectRef>& refs) {
+  BatchPolicy policy{};
+  policy.serve_read_set = true;
+  policy.consult_cache = true;
+  policy.cache_hit_joins_read_set = true;
+  policy.fill_cache = true;
+  policy.join_read_set = true;
+  policy.piggyback = options_.piggyback_validation;
+  return BatchFetch(refs, policy);
 }
 
 Status DynamicTxn::Write(const ObjectRef& ref, std::string payload) {
@@ -442,23 +363,21 @@ Status DynamicTxn::Commit() {
   MiniTxn mtx;
   mtx.blocking = options_.blocking_commit;
   for (const ReadRecord& r : reads_) AddSeqCompare(&mtx, r, at);
-  const uint32_t n = coord_->n_memnodes();
   for (const WriteRecord& w : writes_) {
-    const std::string image = MakeObjectImage(w.new_seqnum, w.payload);
+    std::string image = MakeObjectImage(w.new_seqnum, w.payload);
     if (w.ref.replicated_data) {
-      for (MemnodeId m = 0; m < n; m++) {
-        mtx.AddWrite(Addr{m, w.ref.addr.offset}, image);
-      }
+      // The coordinator expands all-node writes over the memnode set in
+      // force when the commit executes, so an elastic membership change
+      // between here and execution can never strand a stale replica.
+      mtx.AddWriteAll(w.ref.addr.offset, std::move(image));
     } else {
-      mtx.AddWrite(w.ref.addr, image);
+      mtx.AddWrite(w.ref.addr, std::move(image));
       if (w.ref.rep_seq_offset != 0) {
         // Replicated seqnum table (Aguilera baseline): mirror the new
         // seqnum at every memnode.
         std::string seq;
         PutFixed64(&seq, w.new_seqnum);
-        for (MemnodeId m = 0; m < n; m++) {
-          mtx.AddWrite(Addr{m, w.ref.rep_seq_offset}, seq);
-        }
+        mtx.AddWriteAll(w.ref.rep_seq_offset, std::move(seq));
       }
     }
   }

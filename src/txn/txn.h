@@ -159,6 +159,26 @@ class DynamicTxn {
     std::string payload;
   };
 
+  // What one batched-fetch flavor does at each stage. The four public
+  // variants are this one skeleton — dedupe → probe local state → ONE
+  // minitransaction for the misses → per-entry bookkeeping — with the
+  // stages toggled:
+  //                     serve_read_set  consult_cache  cache_hit_joins  fill_cache  join_read_set  piggyback
+  //   ReadBatch               yes            no              —              no           yes           yes
+  //   FetchFreshBatch         no             no              —              no           no            no
+  //   DirtyReadBatch          yes            yes             no             yes          no            yes
+  //   ReadCachedBatch         yes            yes             yes            yes          yes           yes
+  struct BatchPolicy {
+    bool serve_read_set;        // read-set hits answer without a fetch
+    bool consult_cache;         // probe the proxy cache before fetching
+    bool cache_hit_joins_read_set;  // a cache hit joins the read set unfetched
+    bool fill_cache;            // fetched entries populate the proxy cache
+    bool join_read_set;         // fetched entries join the read set
+    bool piggyback;             // validate the read set inside the fetch
+  };
+  Result<std::vector<std::string>> BatchFetch(
+      const std::vector<ObjectRef>& refs, const BatchPolicy& policy);
+
   // Fetch `ref` from a memnode, piggy-backing read-set validation.
   // On validation failure dooms the transaction and returns Aborted.
   Result<ReadRecord> Fetch(const ObjectRef& ref);

@@ -195,6 +195,106 @@ TEST(FailureTest, BranchCatalogSurvivesCrash) {
   EXPECT_EQ(info->branch_id, *b1);
 }
 
+TEST(FailureTest, CrashMidMigrationAbortsCleanly) {
+  // A migration whose destination dies mid-flight must fail without losing
+  // or duplicating a single slab: the copy/pointer-swing transaction never
+  // commits, so the source stays the one live home of the node.
+  Cluster cluster(Opts());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  constexpr int kKeys = 400;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(cluster.proxy(0)
+                    .Put(*tree, EncodeUserKey(i), EncodeValue(i))
+                    .ok());
+  }
+  auto added = cluster.AddMemnode();
+  ASSERT_TRUE(added.ok());
+  btree::BTree* t = cluster.proxy(0).tree(tree->slot());
+  std::vector<btree::BTree::NodePlacement> placement;
+  ASSERT_TRUE(t->CollectTipPlacement(&placement).ok());
+  ASSERT_FALSE(placement.empty());
+
+  cluster.CrashMemnode(*added);
+  int failed = 0;
+  for (size_t k = 0; k < placement.size() && k < 8; k++) {
+    bool migrated = false;
+    Status st = t->MigrateNode(placement[k], *added, &migrated);
+    // Either the attempt saw the dead destination (Unavailable) or the
+    // placement had gone stale and there was nothing to do — never a
+    // partial move.
+    if (!st.ok()) {
+      EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+      failed++;
+    } else {
+      EXPECT_FALSE(migrated);
+    }
+  }
+  EXPECT_GT(failed, 0);
+
+  // No lost keys, no duplicated keys.
+  std::string value;
+  for (int i = 0; i < kKeys; i += 7) {
+    ASSERT_TRUE(cluster.proxy(1).Get(*tree, EncodeUserKey(i), &value).ok())
+        << i;
+    EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
+  }
+  // Tip scan: read-only, so it succeeds with the destination still down
+  // (snapshot creation would need to write the replicated tip everywhere).
+  std::vector<std::pair<std::string, std::string>> all;
+  ASSERT_TRUE(cluster.proxy(0).Tip(*tree).Scan("", kKeys + 1, &all).ok());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kKeys));
+
+  // After recovery the same migration goes through.
+  cluster.RecoverMemnode(*added);
+  bool migrated = false;
+  ASSERT_TRUE(t->CollectTipPlacement(&placement).ok());
+  ASSERT_TRUE(t->MigrateNode(placement[0], *added, &migrated).ok());
+  EXPECT_TRUE(migrated);
+  for (int i = 0; i < kKeys; i += 11) {
+    ASSERT_TRUE(cluster.proxy(1).Get(*tree, EncodeUserKey(i), &value).ok());
+    EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
+  }
+}
+
+TEST(FailureTest, AddedMemnodeRecoversFromBackupRing) {
+  // A memnode added at runtime joins the primary-backup ring: its seeded
+  // replicated region and every slab later migrated onto it must survive a
+  // crash-recover cycle.
+  Cluster cluster(Opts());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  constexpr int kKeys = 300;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(cluster.proxy(0)
+                    .Put(*tree, EncodeUserKey(i), EncodeValue(i))
+                    .ok());
+  }
+  auto added = cluster.AddMemnode();
+  ASSERT_TRUE(added.ok());
+
+  btree::BTree* t = cluster.proxy(0).tree(tree->slot());
+  std::vector<btree::BTree::NodePlacement> placement;
+  ASSERT_TRUE(t->CollectTipPlacement(&placement).ok());
+  uint64_t moved = 0;
+  for (const auto& entry : placement) {
+    bool migrated = false;
+    ASSERT_TRUE(t->MigrateNode(entry, *added, &migrated).ok());
+    moved += migrated ? 1 : 0;
+  }
+  ASSERT_GT(moved, 0u);
+
+  cluster.CrashMemnode(*added);
+  cluster.RecoverMemnode(*added);
+
+  std::string value;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(cluster.proxy(1).Get(*tree, EncodeUserKey(i), &value).ok())
+        << i;
+    EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
+  }
+}
+
 TEST(FailureTest, UnreplicatedClusterLosesDataButFailsSafe) {
   ClusterOptions opts = Opts();
   opts.replication = false;

@@ -912,5 +912,133 @@ TEST(ViewTest, TipMultiGetNeverObservesTornBatches) {
   writer.join();
 }
 
+// Branch-tip writes ride WriteBatch/Transaction: a batch mixing linear-tip
+// and branch ops commits atomically, strict writability is enforced inside
+// the transaction, and the in-txn entry points compose with other ops.
+TEST(ViewTest, WriteBatchAndTransactionReachBranchTips) {
+  Cluster cluster(SmallOptions());
+  auto linear = cluster.CreateTree(/*branching=*/false);
+  auto branchy = cluster.CreateTree(/*branching=*/true);
+  ASSERT_TRUE(linear.ok() && branchy.ok());
+  Proxy& p = cluster.proxy(0);
+  auto v0 = p.Branch(*branchy, 0);
+  ASSERT_TRUE(v0.ok());
+  ASSERT_TRUE(v0->Put("stale", "doomed").ok());
+
+  // One atomic batch across a linear tip and a writable branch tip.
+  WriteBatch batch;
+  batch.Put(*linear, EncodeUserKey(1), "linear");
+  batch.BranchPut(*branchy, 0, EncodeUserKey(1), "branched");
+  batch.BranchPut(*branchy, 0, EncodeUserKey(2), "branched-too");
+  batch.BranchRemove(*branchy, 0, "stale");
+  batch.BranchRemove(*branchy, 0, "never-existed");  // blind: tolerated
+  ASSERT_TRUE(p.Apply(batch).ok());
+
+  std::string value;
+  ASSERT_TRUE(p.Tip(*linear).Get(EncodeUserKey(1), &value).ok());
+  EXPECT_EQ(value, "linear");
+  ASSERT_TRUE(v0->Get(EncodeUserKey(1), &value).ok());
+  EXPECT_EQ(value, "branched");
+  ASSERT_TRUE(v0->Get(EncodeUserKey(2), &value).ok());
+  EXPECT_EQ(value, "branched-too");
+  EXPECT_TRUE(v0->Get("stale", &value).IsNotFound());
+
+  // Mis-addressed batches fail up front: branch ops on a linear tree and
+  // linear ops on a branching tree.
+  WriteBatch bad;
+  bad.BranchPut(*linear, 0, "k", "v");
+  EXPECT_TRUE(p.Apply(bad).IsInvalidArgument());
+  WriteBatch bad2;
+  bad2.Put(*branchy, "k", "v");
+  EXPECT_TRUE(p.Apply(bad2).IsInvalidArgument());
+
+  // Forking freezes the parent: the whole batch aborts with ReadOnly.
+  auto b1 = p.CreateBranch(*branchy, 0);
+  ASSERT_TRUE(b1.ok());
+  WriteBatch frozen;
+  frozen.BranchPut(*branchy, 0, EncodeUserKey(3), "late");
+  EXPECT_TRUE(p.Apply(frozen).IsReadOnly());
+  EXPECT_TRUE(v0->Get(EncodeUserKey(3), &value).IsNotFound());
+
+  // The in-txn entry points compose inside Proxy::Transaction: write the
+  // fork and the linear tip together, atomically.
+  btree::BTree* bt = p.tree(branchy->slot());
+  btree::BTree* lt = p.tree(linear->slot());
+  ASSERT_TRUE(p.Transaction([&](txn::DynamicTxn& txn) -> Status {
+                 MINUET_RETURN_NOT_OK(
+                     bt->BranchPutInTxn(txn, *b1, EncodeUserKey(4), "forked"));
+                 MINUET_RETURN_NOT_OK(
+                     bt->BranchRemoveInTxn(txn, *b1, EncodeUserKey(2)));
+                 return lt->PutInTxn(txn, EncodeUserKey(4), "linear-too");
+               }).ok());
+  auto fork = p.Branch(*branchy, *b1);
+  ASSERT_TRUE(fork.ok());
+  ASSERT_TRUE(fork->Get(EncodeUserKey(4), &value).ok());
+  EXPECT_EQ(value, "forked");
+  EXPECT_TRUE(fork->Get(EncodeUserKey(2), &value).IsNotFound());
+  ASSERT_TRUE(v0->Get(EncodeUserKey(2), &value).ok());  // parent untouched
+  ASSERT_TRUE(p.Get(*linear, EncodeUserKey(4), &value).ok());
+  EXPECT_EQ(value, "linear-too");
+}
+
+// The fan-out prewarm satellite: after a cache drop, PrewarmSnapshotPaths
+// resolves all partition starts in ~depth batched rounds, and each
+// partition's first chunk read then descends warm (one leaf round, no
+// serial root-to-leaf refetch).
+TEST(ViewTest, PrewarmedFanoutPartitionsReadFirstChunksWarm) {
+  ClusterOptions opts = SmallOptions();
+  opts.node_size = 512;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  for (uint64_t i = 0; i < 1500; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  auto snap = p.Snapshot(*tree);
+  ASSERT_TRUE(snap.ok());
+  btree::BTree* t = p.tree(*tree);
+  auto depth = t->Depth();
+  ASSERT_TRUE(depth.ok());
+  ASSERT_GE(*depth, 3u);
+
+  auto parts = t->PartitionRange(snap->ref(), "", "", /*max_levels=*/2);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_GT(parts->size(), 4u);
+  std::vector<std::string> starts;
+  for (const auto& part : *parts) starts.push_back(part.start);
+
+  cluster.DropProxyCaches();
+  net::OpTrace trace;
+  trace.Reset(cluster.n_memnodes());
+  net::Fabric::SetThreadTrace(&trace);
+  ASSERT_TRUE(t->PrewarmSnapshotPaths(snap->ref(), starts).ok());
+  const uint64_t prewarm_rounds = trace.round_trips;
+  // The frontier engine: one batched round per internal level for ALL
+  // partition starts (plus nothing else — leaves are not fetched).
+  EXPECT_LE(prewarm_rounds, static_cast<uint64_t>(*depth));
+
+  // Warm now: each partition's first chunk costs one leaf round, not a
+  // serial descent.
+  for (const auto& part : *parts) {
+    trace.Reset(cluster.n_memnodes());
+    Rows rows;
+    std::string resume;
+    ASSERT_TRUE(
+        t->SnapshotScanChunk(snap->ref(), part.start, 8, &rows, &resume).ok());
+    EXPECT_LE(trace.round_trips, 1u) << "partition at " << part.start;
+  }
+  net::Fabric::SetThreadTrace(nullptr);
+
+  // And the stitched fan-out scan (which performs the prewarm itself)
+  // returns the full population after a fresh drop.
+  cluster.DropProxyCaches();
+  Cursor::Options copts;
+  copts.fanout = 4;
+  Rows rows;
+  ASSERT_TRUE(p.Scan(*tree, "", 1500, &rows, copts).ok());
+  EXPECT_EQ(rows.size(), 1500u);
+}
+
 }  // namespace
 }  // namespace minuet
