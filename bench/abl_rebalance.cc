@@ -1,4 +1,4 @@
-// Ablation: elastic scale-out with live rebalancing.
+// Ablation: elastic scale-out with live rebalancing, then scale back IN.
 //
 // A 4-memnode cluster is preloaded and driven with a YCSB-B-style mix
 // (95% read / 5% update); its modeled peak throughput is capacity-bound by
@@ -13,10 +13,19 @@
 //   scaled8_bal   — 8 nodes after rebalancing converges (target: >= 1.5x
 //                   baseline4; ideal is ~2x as the per-memnode message
 //                   demand halves).
-// Prints per-phase throughput + per-memnode demand spread, and emits a
-// machine-readable BENCH json (--json PATH; --smoke shrinks sizes for CI).
+// The SCALE-IN scenario then removes one memnode from the balanced 8-node
+// cluster (Cluster::RemoveMemnode: drain + GC-horizon wait + retire) while
+// the mix keeps running:
+//   drain_live    — throughput measured DURING the drain/retire,
+//   scaled7_post  — throughput after the node is gone (expected ~7/8 of
+//                   scaled8_bal: capacity shrinks, nothing else degrades;
+//                   the binary exits non-zero below 0.6x).
+// Prints per-phase throughput + per-memnode demand spread, and emits
+// machine-readable BENCH jsons (--json PATH for the scale-out rows,
+// --json-scalein PATH for the scale-in rows; --smoke shrinks sizes for CI).
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness/setup.h"
@@ -28,10 +37,14 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string json_path;
+  std::string scalein_json_path;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--json-scalein") == 0 && i + 1 < argc) {
+      scalein_json_path = argv[++i];
     }
   }
 
@@ -165,5 +178,88 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return ratio >= 1.5 ? 0 : 2;
+
+  // --- Scale-IN: drain + retire one memnode under load ----------------------
+  // The balanced 8-node cluster loses its highest id while the same mix
+  // keeps running: drain_live measures throughput DURING the removal
+  // (migration + GC-horizon wait + retire race the clients), scaled7_post
+  // after it. Expected: drain_live stays close to scaled8_bal (the drain is
+  // incremental), scaled7_post lands near 7/8 of it (capacity shrinks by
+  // one node, nothing else degrades).
+  PrintHeader("Scale-in: RemoveMemnode (drain + retire) under the same mix",
+              "phase          memnodes  throughput_ops_s  hot_node_msgs_op  "
+              "mean_op_ms");
+  const uint32_t victim = kScaledMachines - 1;
+  Status removed = Status::OK();
+  std::thread remover(
+      [&cluster, &removed, victim] { removed = cluster.RemoveMemnode(victim); });
+  std::vector<Phase> in_phases;
+  in_phases.push_back(
+      {"drain_live", kScaledMachines, run_mix("drain_live"), 0});
+  remover.join();
+  if (!removed.ok()) {
+    std::fprintf(stderr, "RemoveMemnode failed: %s\n",
+                 removed.ToString().c_str());
+    return 1;
+  }
+  // Same discipline as scale-out: a membership change leaves skew behind
+  // (the drain picked the lightest receivers, and updates racing the
+  // drain's snapshot churn CoW-ed their leaves by the same counters), so
+  // rebalance to the band before measuring the steady state.
+  auto remigrated = rebalancer.RunUntilBalanced(/*max_rounds=*/64);
+  if (!remigrated.ok()) {
+    std::fprintf(stderr, "post-removal rebalance failed: %s\n",
+                 remigrated.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# post-removal rebalance: %llu slabs migrated\n",
+              static_cast<unsigned long long>(*remigrated));
+  in_phases.push_back(
+      {"scaled7_post", kScaledMachines - 1, run_mix("scaled7_post"), 0});
+
+  std::string in_json = "{\"bench\":\"scalein\",\"victim\":" +
+                        std::to_string(victim) + ",\"rows\":[";
+  for (size_t i = 0; i < in_phases.size(); i++) {
+    Phase& ph = in_phases[i];
+    ph.tput = ModeledPeakThroughput(model, ph.agg, kBaseMachines);
+    std::printf("%-13s  %8u  %16.0f  %16.3f  %10.3f\n", ph.name, ph.machines,
+                ph.tput, ph.agg.max_node_msgs_per_op(),
+                ph.agg.mean_latency_ms());
+    spread(ph.agg);
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"phase\":\"%s\",\"memnodes\":%u,"
+                  "\"throughput_ops_s\":%.1f,\"hot_node_msgs_per_op\":%.4f,"
+                  "\"mean_op_ms\":%.4f}",
+                  i == 0 ? "" : ",", ph.name, ph.machines, ph.tput,
+                  ph.agg.max_node_msgs_per_op(), ph.agg.mean_latency_ms());
+    in_json += row;
+  }
+  const double ratio_during =
+      phases[2].tput > 0 ? in_phases[0].tput / phases[2].tput : 0;
+  const double ratio_after =
+      phases[2].tput > 0 ? in_phases[1].tput / phases[2].tput : 0;
+  std::printf(
+      "# vs scaled8_bal: during drain %.2fx, after removal %.2fx "
+      "(ideal ~%.2fx, gate >= 0.6x)\n",
+      ratio_during, ratio_after,
+      static_cast<double>(kScaledMachines - 1) / kScaledMachines);
+  char in_tail[96];
+  std::snprintf(in_tail, sizeof(in_tail),
+                "],\"ratio_during\":%.3f,\"ratio_after\":%.3f}\n",
+                ratio_during, ratio_after);
+  in_json += in_tail;
+
+  if (!scalein_json_path.empty()) {
+    if (std::FILE* f = std::fopen(scalein_json_path.c_str(), "w")) {
+      std::fputs(in_json.c_str(), f);
+      std::fclose(f);
+      std::printf("# wrote %s\n", scalein_json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", scalein_json_path.c_str());
+      return 1;
+    }
+  }
+  if (ratio < 1.5) return 2;
+  return ratio_after >= 0.6 ? 0 : 3;
 }

@@ -43,9 +43,12 @@ NodeAllocator::NodeAllocator(Layout layout, sinfonia::Coordinator* coord,
   const uint32_t capacity = layout_.memnode_capacity();
   reserved_.reserve(capacity);
   live_.reserve(capacity);
+  states_.reserve(capacity);
   for (uint32_t i = 0; i < capacity; i++) {
     reserved_.push_back(std::make_unique<Reservation>());
     live_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    states_.push_back(std::make_unique<std::atomic<uint8_t>>(
+        static_cast<uint8_t>(PlacementState::kActive)));
   }
 }
 
@@ -64,13 +67,20 @@ Status NodeAllocator::AddMemnode() {
 
 MemnodeId NodeAllocator::NextPlacement() {
   const uint32_t n = n_memnodes();
-  const MemnodeId rr =
+  // Rotation candidate: the next ACTIVE memnode (draining and retired ids
+  // are placement holes the rotation steps over).
+  MemnodeId rr =
       static_cast<MemnodeId>(rr_.fetch_add(1, std::memory_order_relaxed) % n);
-  // Two-choice refinement: take the least-loaded memnode only when it is
-  // strictly lighter than the rotation candidate.
+  for (uint32_t i = 0;
+       i < n && placement_state(rr) != PlacementState::kActive; i++) {
+    rr = static_cast<MemnodeId>((rr + 1) % n);
+  }
+  // Two-choice refinement: take the least-loaded active memnode only when
+  // it is strictly lighter than the rotation candidate.
   MemnodeId lightest = rr;
   uint64_t lightest_live = live_[rr]->load(std::memory_order_relaxed);
   for (MemnodeId m = 0; m < n; m++) {
+    if (placement_state(m) != PlacementState::kActive) continue;
     const uint64_t l = live_[m]->load(std::memory_order_relaxed);
     if (l < lightest_live) {
       lightest = m;
@@ -90,6 +100,12 @@ std::vector<uint64_t> NodeAllocator::ApproxLiveSlabsAll() const {
 }
 
 Result<uint64_t> NodeAllocator::MetaLiveSlabs(MemnodeId m) {
+  if (m < states_.size() && placement_state(m) == PlacementState::kRetired) {
+    // A retired memnode is unreachable (its fabric id is rejected) and by
+    // the retire invariant held nothing; report the zero directly so means
+    // computed over the id space stay honest.
+    return uint64_t{0};
+  }
   uint64_t live = 0;
   Status st = txn::RunTransaction(
       coord_, nullptr, {}, 64, [&](txn::DynamicTxn& t) -> Status {
@@ -108,11 +124,122 @@ Result<uint64_t> NodeAllocator::MetaLiveSlabs(MemnodeId m) {
 Status NodeAllocator::ResyncLiveCounters() {
   const uint32_t n = n_memnodes();
   for (uint32_t m = 0; m < n; m++) {
+    if (placement_state(m) == PlacementState::kRetired) continue;
     auto live = MetaLiveSlabs(m);
     if (!live.ok()) return live.status();
     live_[m]->store(*live, std::memory_order_relaxed);
   }
   return Status::OK();
+}
+
+Status NodeAllocator::BeginDrain(MemnodeId m) {
+  if (m >= n_memnodes()) {
+    return Status::InvalidArgument("no such memnode");
+  }
+  if (placement_state(m) == PlacementState::kDraining) {
+    // Idempotent (a re-drain after an aborted scale-in) — but re-attempt
+    // the flush: a first call that failed AFTER setting the state would
+    // otherwise strand its pooled slabs in the occupancy count forever.
+    return FlushReservation(m);
+  }
+  if (placement_state(m) == PlacementState::kRetired) {
+    return Status::InvalidArgument("memnode already retired");
+  }
+  uint32_t active = 0;
+  for (uint32_t i = 0; i < n_memnodes(); i++) {
+    if (placement_state(i) == PlacementState::kActive) active++;
+  }
+  if (active <= 1) {
+    return Status::InvalidArgument("cannot drain the last active memnode");
+  }
+  states_[m]->store(static_cast<uint8_t>(PlacementState::kDraining),
+                    std::memory_order_release);
+  // Reserved-but-unused slabs count against the node's authoritative
+  // occupancy; give them back so the drain can reach zero.
+  return FlushReservation(m);
+}
+
+Status NodeAllocator::CancelDrain(MemnodeId m) {
+  if (m >= n_memnodes() ||
+      placement_state(m) != PlacementState::kDraining) {
+    return Status::InvalidArgument("memnode is not draining");
+  }
+  states_[m]->store(static_cast<uint8_t>(PlacementState::kActive),
+                    std::memory_order_release);
+  return Status::OK();
+}
+
+Status NodeAllocator::Retire(MemnodeId m) {
+  if (m >= n_memnodes() ||
+      placement_state(m) != PlacementState::kDraining) {
+    return Status::InvalidArgument("retire requires a draining memnode");
+  }
+  // Verify-and-zero in one transaction: the occupancy check and the wipe of
+  // the ghost capacity ({bump, free_head, free_count} of a fully drained
+  // node describe only recycled history) commit atomically, so a racing
+  // Free cannot slip a live slab past the check.
+  bool occupied = false;
+  Status st = txn::RunTransaction(
+      coord_, nullptr, {}, 64, [&](txn::DynamicTxn& t) -> Status {
+        occupied = false;
+        auto raw = t.Read(layout_.MetaRef(m));
+        if (!raw.ok()) return raw.status();
+        const Meta meta = ParseMeta(*raw, layout_);
+        const uint64_t bumped =
+            (meta.bump - layout_.slab_base()) / layout_.node_size;
+        if (bumped > meta.free_count) {
+          // Commit read-only: the conclusion "still occupied" validates
+          // against the meta seqnum like any other answer.
+          occupied = true;
+          return Status::OK();
+        }
+        Meta zero;
+        zero.bump = layout_.slab_base();
+        zero.free_head = 0;
+        zero.free_count = 0;
+        return t.Write(layout_.MetaRef(m), SerializeMeta(zero));
+      });
+  MINUET_RETURN_NOT_OK(st);
+  if (occupied) {
+    return Status::Busy("live slabs remain on the draining memnode");
+  }
+  states_[m]->store(static_cast<uint8_t>(PlacementState::kRetired),
+                    std::memory_order_release);
+  live_[m]->store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status NodeAllocator::FlushReservation(MemnodeId m) {
+  Reservation& r = *reserved_[m];
+  std::lock_guard<std::mutex> g(r.mu);
+  if (r.pool.empty()) return Status::OK();
+  const std::vector<std::pair<uint64_t, bool>> pool = std::move(r.pool);
+  r.pool.clear();
+  Status st = txn::RunTransaction(
+      coord_, nullptr, {}, 64, [&](txn::DynamicTxn& t) -> Status {
+        auto meta_raw = t.Read(layout_.MetaRef(m));
+        if (!meta_raw.ok()) return meta_raw.status();
+        Meta meta = ParseMeta(*meta_raw, layout_);
+        for (const auto& [offset, fresh] : pool) {
+          // Same linking discipline as Free: the head pointer goes into the
+          // slab, whose seqnum advance invalidates any cached copy forever.
+          std::string link;
+          PutFixed64(&link, meta.free_head);
+          link.resize(layout_.slab_payload_len(), '\0');
+          const ObjectRef ref = layout_.SlabRef(Addr{m, offset});
+          MINUET_RETURN_NOT_OK(fresh ? t.WriteNew(ref, std::move(link))
+                                     : t.Write(ref, std::move(link)));
+          meta.free_head = offset;
+          meta.free_count++;
+        }
+        return t.Write(layout_.MetaRef(m), SerializeMeta(meta));
+      });
+  if (!st.ok()) {
+    // Nothing committed: put the reservation back so the slabs are not
+    // stranded outside both the pool and the free list.
+    r.pool = pool;
+  }
+  return st;
 }
 
 Result<std::pair<uint64_t, bool>> NodeAllocator::TakeReserved(
@@ -157,6 +284,12 @@ Result<AllocatedSlab> NodeAllocator::Allocate(txn::DynamicTxn& txn,
                                               MemnodeId memnode) {
   if (memnode >= n_memnodes()) {
     return Status::InvalidArgument("allocation on an unregistered memnode");
+  }
+  if (placement_state(memnode) != PlacementState::kActive) {
+    // Drain-only/retired: nothing new may land here, or the drain would
+    // chase a moving target (and a retired id is unreachable anyway).
+    return Status::InvalidArgument(
+        "allocation on a draining or retired memnode");
   }
   allocated_.fetch_add(1, std::memory_order_relaxed);
   live_[memnode]->fetch_add(1, std::memory_order_relaxed);

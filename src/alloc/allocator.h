@@ -23,6 +23,22 @@
 // until the counts even out. The authoritative occupancy — {bump,
 // free_count} in the per-memnode metadata object — is exported for the
 // rebalancer and monitoring via MetaLiveSlabs.
+//
+// Placement follows a per-memnode LIFECYCLE (elastic scale-in, see
+// Cluster::RemoveMemnode and docs/ARCHITECTURE.md):
+//   kActive   — receives placements (the only state NextPlacement returns).
+//   kDraining — entered via BeginDrain: excluded from placement and from
+//               explicit Allocate, outstanding proxy reservations returned
+//               to the free list, but Free and MetaLiveSlabs keep working —
+//               the live counters stay authoritative while the rebalancer
+//               migrates the population off and the GC reclaims the
+//               sources. Reversible with CancelDrain.
+//   kRetired  — entered via Retire once MetaLiveSlabs reaches zero: the
+//               metadata object is zeroed ({bump, free_head, free_count} —
+//               ghost high-water capacity must not skew rebalancer means)
+//               and the memnode drops out of MetaLiveSlabs /
+//               ResyncLiveCounters permanently. Irreversible; the id is
+//               never reused.
 #pragma once
 
 #include <atomic>
@@ -58,14 +74,36 @@ class NodeAllocator {
 
   const Layout& layout() const { return layout_; }
 
-  // Memnodes currently receiving placements. Starts at the layout's
-  // n_memnodes and grows with AddMemnode (never past memnode_capacity).
+  // Registered memnode id space. Starts at the layout's n_memnodes and
+  // grows with AddMemnode (never past memnode_capacity); retired ids stay
+  // inside it but receive no placements.
   uint32_t n_memnodes() const {
     return n_memnodes_.load(std::memory_order_acquire);
   }
   // Open one more memnode for placement (elastic scale-out). The caller
   // must have registered the memnode with the coordinator/fabric first.
   Status AddMemnode();
+
+  // --- Placement lifecycle (elastic scale-in) ------------------------------
+  enum class PlacementState : uint8_t { kActive, kDraining, kRetired };
+  PlacementState placement_state(MemnodeId m) const {
+    return static_cast<PlacementState>(
+        states_[m]->load(std::memory_order_acquire));
+  }
+  // Mark `m` drain-only: no placement, no explicit Allocate; outstanding
+  // proxy reservations are returned to the free list so the metadata
+  // occupancy can reach zero. Idempotent while draining. Refuses to drain
+  // the last active memnode (InvalidArgument).
+  Status BeginDrain(MemnodeId m);
+  // Re-open a draining memnode for placement (an aborted scale-in).
+  Status CancelDrain(MemnodeId m);
+  // Permanently retire a DRAINED memnode: verifies the authoritative
+  // occupancy is zero, zeroes the metadata object ({bump, free_head,
+  // free_count} — the rebalancer's means must not see ghost capacity), and
+  // excludes `m` from MetaLiveSlabs / ResyncLiveCounters from then on.
+  // InvalidArgument unless the node is draining; Busy while live slabs
+  // remain (wait for the GC horizon and retry).
+  Status Retire(MemnodeId m);
 
   // Allocate one slab on `memnode` inside `txn`.
   Result<AllocatedSlab> Allocate(txn::DynamicTxn& txn, MemnodeId memnode);
@@ -119,6 +157,11 @@ class NodeAllocator {
   // slabs are reused), then falls back to the bump pointer.
   Result<std::pair<uint64_t, bool>> TakeReserved(MemnodeId memnode);
 
+  // Return every slab in `m`'s reservation pool to the shared free list
+  // (one standalone transaction). BeginDrain calls this so reserved-but-
+  // unused slabs stop counting against the drained node's occupancy.
+  Status FlushReservation(MemnodeId m);
+
   Layout layout_;
   sinfonia::Coordinator* coord_;
   Options options_;
@@ -136,6 +179,7 @@ class NodeAllocator {
   // exist but receive no placements until AddMemnode opens them.
   std::vector<std::unique_ptr<Reservation>> reserved_;
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> live_;
+  std::vector<std::unique_ptr<std::atomic<uint8_t>>> states_;
 };
 
 }  // namespace minuet::alloc

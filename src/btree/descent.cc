@@ -78,6 +78,113 @@ Status BTree::SettleNodeForSid(DynamicTxn& txn, uint64_t sid,
   return AbortDescent(txn, *at, *visited, "redirect chain did not terminate");
 }
 
+Status BTree::MaybeRetiredAbort(DynamicTxn& txn, Status st,
+                                const std::vector<ObjectRef>& refs,
+                                const std::vector<Addr>& visited) {
+  if (st.IsUnavailable()) {
+    for (const ObjectRef& r : refs) {
+      if (coord_->retired(r.addr.memnode)) {
+        return AbortDescent(txn, r.addr, visited,
+                            "pointer to a retired memnode");
+      }
+    }
+  }
+  return st;
+}
+
+Status BTree::VisitFrontier(DynamicTxn& txn, uint64_t sid, TraverseMode mode,
+                            bool validated_path,
+                            std::vector<FrontierItem> level,
+                            const FrontierCallbacks& cb,
+                            std::vector<Addr>* visited) {
+  auto abort = [&](Addr at, const char* reason) -> Status {
+    return AbortDescent(txn, at, *visited, reason);
+  };
+
+  // Bound the walk defensively, like Traverse (a cyclic corruption would
+  // otherwise hang the proxy).
+  for (int depth = 0; depth < 256 && !level.empty(); depth++) {
+    // Items whose parent said "the child is a leaf" resolve without a
+    // fetch: the frontier never reads leaves (consumers batch-fetch them
+    // with the read discipline their mode requires, and leaves must never
+    // linger in the proxy cache).
+    std::vector<FrontierItem> fetchable;
+    fetchable.reserve(level.size());
+    for (FrontierItem& it : level) {
+      if (it.expected_height == 0) {
+        MINUET_RETURN_NOT_OK(cb.on_leaf(it, nullptr, it.addr));
+      } else {
+        fetchable.push_back(std::move(it));
+      }
+    }
+    if (fetchable.empty()) return Status::OK();
+
+    // ONE batched round fetches every distinct node this level needs.
+    std::vector<ObjectRef> refs;
+    std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
+    for (const FrontierItem& it : fetchable) {
+      if (slot.emplace(it.addr, refs.size()).second) {
+        refs.push_back(validated_path ? layout().SlabRef(it.addr)
+                                      : NodeRef(it.addr, /*internal=*/true));
+      }
+    }
+    auto payloads =
+        validated_path ? txn.ReadCachedBatch(refs) : txn.DirtyReadBatch(refs);
+    if (!payloads.ok()) {
+      return MaybeRetiredAbort(txn, payloads.status(), refs, *visited);
+    }
+
+    std::vector<Node> nodes(refs.size());
+    for (size_t k = 0; k < refs.size(); k++) {
+      const Addr at = refs[k].addr;
+      auto decoded = Node::Decode((*payloads)[k]);
+      if (!decoded.ok()) return abort(at, "undecodable node (stale pointer)");
+      nodes[k] = std::move(decoded).value();
+      visited->push_back(at);
+      if (validated_path && !nodes[k].is_leaf() &&
+          options_.replicate_internal_seqnums) {
+        txn.SetReadValidationMirror(at, layout().SeqSlotFor(at));
+      }
+    }
+
+    // Advance every item through its (shared) decoded node.
+    std::vector<FrontierItem> next;
+    for (FrontierItem& it : fetchable) {
+      const Node* node = &nodes[slot.at(it.addr)];
+      Addr at = it.addr;
+      Node hop;  // content of a followed discretionary copy
+      MINUET_RETURN_NOT_OK(
+          SettleNodeForSid(txn, sid, mode, &node, &hop, &at, visited));
+      if (it.expected_height >= 0 &&
+          node->height != static_cast<uint8_t>(it.expected_height)) {
+        return abort(at, "height mismatch");
+      }
+      if (node->is_leaf()) {
+        // Reached through the internal-read path (root == leaf, or a
+        // redirect): it may now sit in the proxy cache, and leaves must
+        // never be served from there — drop both the batch-fetched entry
+        // address and the settled hop target.
+        if (cache_ != nullptr) {
+          cache_->Invalidate(it.addr);
+          cache_->Invalidate(at);
+        }
+        MINUET_RETURN_NOT_OK(cb.on_leaf(it, node, at));
+        continue;
+      }
+      if (node->entries.empty()) {
+        return abort(at, "internal node without children");
+      }
+      MINUET_RETURN_NOT_OK(cb.on_internal(
+          it, *node, at, static_cast<uint32_t>(depth), &next));
+    }
+    level = std::move(next);
+  }
+  if (!level.empty()) {
+    return abort(level[0].addr, "descent did not terminate");
+  }
+  return Status::OK();
+}
+
 Status BTree::ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
                                 TraverseMode mode,
                                 const std::vector<std::string>& keys,
@@ -90,9 +197,6 @@ Status BTree::ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
   std::vector<Addr> local_visited;
   std::vector<Addr>& visited =
       visited_out != nullptr ? *visited_out : local_visited;
-  auto abort = [&](Addr at, const char* reason) -> Status {
-    return AbortDescent(txn, at, visited, reason);
-  };
 
   std::unordered_map<Addr, size_t, sinfonia::AddrHash> group_of;
   auto join_group = [&](Addr addr, size_t key) {
@@ -101,14 +205,6 @@ Status BTree::ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
     (*groups)[it->second].key_idx.push_back(key);
   };
 
-  // One probe per key: where its descent currently stands.
-  struct Probe {
-    Addr addr;
-    int expected_height;
-    bool resolved;
-  };
-  std::vector<Probe> probes(keys.size(), Probe{root, -1, false});
-
   // In the Aguilera baseline the whole path joins the read set and
   // validates against the replicated seqnum table at commit; level fetches
   // then go through ReadCachedBatch so the batched descent keeps those
@@ -116,91 +212,33 @@ Status BTree::ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
   const bool validated_path =
       mode == TraverseMode::kUpToDate && !options_.dirty_traversals;
 
-  size_t unresolved = keys.size();
-  for (int level = 0; level < 256 && unresolved > 0; level++) {
-    // Keys whose parent said "the child is a leaf" resolve without a
-    // fetch: the frontier never reads leaves (consumers batch-fetch them
-    // with the read discipline their mode requires, and leaves must never
-    // linger in the proxy cache).
-    for (size_t i = 0; i < probes.size(); i++) {
-      Probe& p = probes[i];
-      if (!p.resolved && p.expected_height == 0) {
-        join_group(p.addr, i);
-        p.resolved = true;
-        unresolved--;
-      }
-    }
-    if (unresolved == 0) break;
-
-    // ONE batched round fetches every distinct node this level needs.
-    std::vector<ObjectRef> refs;
-    std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
-    for (const Probe& p : probes) {
-      if (p.resolved) continue;
-      if (slot.emplace(p.addr, refs.size()).second) {
-        refs.push_back(validated_path ? layout().SlabRef(p.addr)
-                                      : NodeRef(p.addr, /*internal=*/true));
-      }
-    }
-    auto payloads =
-        validated_path ? txn.ReadCachedBatch(refs) : txn.DirtyReadBatch(refs);
-    if (!payloads.ok()) return payloads.status();
-
-    std::vector<Node> nodes(refs.size());
-    for (size_t k = 0; k < refs.size(); k++) {
-      const Addr at = refs[k].addr;
-      auto decoded = Node::Decode((*payloads)[k]);
-      if (!decoded.ok()) return abort(at, "undecodable node (stale pointer)");
-      nodes[k] = std::move(decoded).value();
-      visited.push_back(at);
-      if (validated_path && !nodes[k].is_leaf() &&
-          options_.replicate_internal_seqnums) {
-        txn.SetReadValidationMirror(at, layout().SeqSlotFor(at));
-      }
-    }
-
-    // Advance every unresolved key through its (shared) decoded node.
-    for (size_t i = 0; i < probes.size(); i++) {
-      Probe& p = probes[i];
-      if (p.resolved) continue;
-      const Slice key(keys[i]);
-      const Node* node = &nodes[slot.at(p.addr)];
-      Addr at = p.addr;
-      Node hop;  // content of a followed discretionary copy
-      MINUET_RETURN_NOT_OK(
-          SettleNodeForSid(txn, sid, mode, &node, &hop, &at, &visited));
-      if (p.expected_height >= 0 &&
-          node->height != static_cast<uint8_t>(p.expected_height)) {
-        return abort(at, "height mismatch");
-      }
-      if (!node->InFenceRange(key)) {
-        return abort(at, "key outside fence range");
-      }
-      if (node->is_leaf()) {
-        // Reached through the internal-read path (root == leaf, or a
-        // redirect): it may now sit in the proxy cache, and leaves must
-        // never be served from there — drop both the batch-fetched entry
-        // address and the settled hop target. The consumer's batch
-        // refetches it with leaf discipline.
-        if (cache_ != nullptr) {
-          cache_->Invalidate(p.addr);
-          cache_->Invalidate(at);
-        }
-        join_group(at, i);
-        p.resolved = true;
-        unresolved--;
-        continue;
-      }
-      if (node->entries.empty()) {
-        return abort(at, "internal node without children");
-      }
-      const size_t idx = node->ChildIndexFor(key);
-      p.addr = node->entries[idx].child;
-      p.expected_height = node->height - 1;
-    }
+  // One frontier item per key, tagged with the key's index.
+  std::vector<FrontierItem> roots(keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    roots[i] = FrontierItem{root, -1, i};
   }
-  if (unresolved > 0) return abort(root, "descent did not terminate");
-  return Status::OK();
+  FrontierCallbacks cb;
+  cb.on_leaf = [&](const FrontierItem& it, const Node* node,
+                   Addr at) -> Status {
+    if (node != nullptr && !node->InFenceRange(keys[it.tag])) {
+      return AbortDescent(txn, at, visited, "key outside fence range");
+    }
+    join_group(at, it.tag);
+    return Status::OK();
+  };
+  cb.on_internal = [&](const FrontierItem& it, const Node& node, Addr at,
+                       uint32_t, std::vector<FrontierItem>* next) -> Status {
+    const Slice key(keys[it.tag]);
+    if (!node.InFenceRange(key)) {
+      return AbortDescent(txn, at, visited, "key outside fence range");
+    }
+    const size_t idx = node.ChildIndexFor(key);
+    next->push_back(
+        FrontierItem{node.entries[idx].child, node.height - 1, it.tag});
+    return Status::OK();
+  };
+  return VisitFrontier(txn, sid, mode, validated_path, std::move(roots), cb,
+                       &visited);
 }
 
 Status BTree::ApplyWritesInTxn(DynamicTxn& txn,
@@ -238,9 +276,10 @@ Status BTree::ApplyWritesToTip(DynamicTxn& txn,
   // distinct leaves join the read set in ONE round — the commit
   // minitransaction will carry one compare per leaf, not per key.
   std::vector<LeafGroup> groups;
+  std::vector<Addr> visited;
   MINUET_RETURN_NOT_OK(ResolveLeafGroups(txn, tip0->sid, tip0->root,
                                          TraverseMode::kUpToDate, keys,
-                                         &groups, nullptr));
+                                         &groups, &visited));
   {
     std::vector<ObjectRef> refs;
     refs.reserve(groups.size());
@@ -248,7 +287,11 @@ Status BTree::ApplyWritesToTip(DynamicTxn& txn,
       refs.push_back(NodeRef(g.addr, /*internal=*/false));
     }
     auto payloads = txn.ReadBatch(refs);
-    if (!payloads.ok()) return payloads.status();
+    if (!payloads.ok()) {
+      // `visited` lets a retired-pointer abort invalidate the cached
+      // inner path that produced the stale leaf address, like MultiGetAt.
+      return MaybeRetiredAbort(txn, payloads.status(), refs, visited);
+    }
   }
 
   // Apply the ops grouped per leaf: ONE traversal and ONE leaf mutation
@@ -313,90 +356,55 @@ Result<std::vector<BTree::ScanPartition>> BTree::PartitionRange(
   Status st = RunSnapshotOp(snap.sid, [&](DynamicTxn& txn) -> Status {
     parts.clear();
     std::vector<Addr> visited;
-    auto abort = [&](Addr at, const char* reason) -> Status {
-      return AbortDescent(txn, at, visited, reason);
+
+    // The clipped key range each pending subtree is responsible for within
+    // [start, end), indexed by the frontier items' tags (hi exclusive;
+    // "" = unbounded).
+    std::vector<std::pair<std::string, std::string>> ranges;
+    ranges.emplace_back(start, end);
+
+    FrontierCallbacks cb;
+    cb.on_leaf = [&](const FrontierItem& it, const Node*, Addr at) -> Status {
+      // A single-leaf tree (the root only — heights are uniform, so deeper
+      // levels are cut at height 1 below).
+      const auto& [lo, hi] = ranges[it.tag];
+      parts.push_back(ScanPartition{lo, hi, at.memnode});
+      return Status::OK();
     };
-
-    // One pending subtree of the current level: its node plus the clipped
-    // key range it is responsible for within [start, end).
-    struct Sub {
-      Addr addr;
-      std::string lo, hi;  // hi exclusive; "" = unbounded
-      int expected_height;
+    cb.on_internal = [&](const FrontierItem& it, const Node& node, Addr,
+                         uint32_t level,
+                         std::vector<FrontierItem>* next) -> Status {
+      // Expand the children intersecting the subtree's clipped range.
+      // Children of height-1 nodes are leaves — emit partitions instead of
+      // descending further (the frontier never fetches leaves); same when
+      // the level budget is spent.
+      const bool cut = level + 1 >= max_levels || node.height == 1;
+      const auto& entries = node.entries;
+      const std::pair<std::string, std::string> range = ranges[it.tag];
+      for (size_t i = 0; i < entries.size(); i++) {
+        // Child i covers [key_i, key_{i+1}); clip to the subtree's range.
+        std::string lo = entries[i].key;
+        if (lo < range.first) lo = range.first;
+        std::string hi =
+            i + 1 < entries.size() ? entries[i + 1].key : range.second;
+        if (!range.second.empty() && (hi.empty() || hi > range.second)) {
+          hi = range.second;
+        }
+        if (!hi.empty() && lo >= hi) continue;
+        if (cut) {
+          parts.push_back(ScanPartition{lo, hi, entries[i].child.memnode});
+        } else {
+          next->push_back(FrontierItem{entries[i].child, node.height - 1,
+                                       ranges.size()});
+          ranges.emplace_back(std::move(lo), std::move(hi));
+        }
+      }
+      return Status::OK();
     };
-    std::vector<Sub> level;
-    level.push_back(Sub{snap.root, start, end, -1});
-
-    for (uint32_t depth = 0; depth < max_levels && !level.empty(); depth++) {
-      // ONE batched round fetches this whole level of subtree roots.
-      std::vector<ObjectRef> refs;
-      std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
-      for (const Sub& s : level) {
-        if (slot.emplace(s.addr, refs.size()).second) {
-          refs.push_back(NodeRef(s.addr, /*internal=*/true));
-        }
-      }
-      auto payloads = txn.DirtyReadBatch(refs);
-      if (!payloads.ok()) return payloads.status();
-      std::vector<Node> nodes(refs.size());
-      for (size_t k = 0; k < refs.size(); k++) {
-        auto decoded = Node::Decode((*payloads)[k]);
-        if (!decoded.ok()) {
-          return abort(refs[k].addr, "undecodable node (stale pointer)");
-        }
-        nodes[k] = std::move(decoded).value();
-        visited.push_back(refs[k].addr);
-      }
-
-      std::vector<Sub> next_level;
-      for (const Sub& s : level) {
-        const Node* node = &nodes[slot.at(s.addr)];
-        Addr at = s.addr;
-        Node hop;
-        MINUET_RETURN_NOT_OK(SettleNodeForSid(
-            txn, snap.sid, TraverseMode::kSnapshotRead, &node, &hop, &at,
-            &visited));
-        if (s.expected_height >= 0 &&
-            node->height != static_cast<uint8_t>(s.expected_height)) {
-          return abort(at, "height mismatch");
-        }
-        if (node->is_leaf()) {
-          // A single-leaf tree (depth 0 only — heights are uniform). The
-          // frontier cached it; leaves must not linger there.
-          if (cache_ != nullptr) {
-            cache_->Invalidate(s.addr);
-            cache_->Invalidate(at);
-          }
-          parts.push_back(ScanPartition{s.lo, s.hi, at.memnode});
-          continue;
-        }
-        if (node->entries.empty()) {
-          return abort(at, "internal node without children");
-        }
-        // Expand the children intersecting [s.lo, s.hi). Children of
-        // height-1 nodes are leaves — emit partitions instead of
-        // descending further (the frontier never fetches leaves); same
-        // when the level budget is spent.
-        const bool cut = depth + 1 >= max_levels || node->height == 1;
-        const auto& entries = node->entries;
-        for (size_t i = 0; i < entries.size(); i++) {
-          // Child i covers [key_i, key_{i+1}); clip to [s.lo, s.hi).
-          std::string lo = entries[i].key;
-          if (lo < s.lo) lo = s.lo;
-          std::string hi =
-              i + 1 < entries.size() ? entries[i + 1].key : s.hi;
-          if (!s.hi.empty() && (hi.empty() || hi > s.hi)) hi = s.hi;
-          if (!hi.empty() && lo >= hi) continue;
-          if (cut) {
-            parts.push_back(ScanPartition{lo, hi, entries[i].child.memnode});
-          } else {
-            next_level.push_back(
-                Sub{entries[i].child, lo, hi, node->height - 1});
-          }
-        }
-      }
-      level = std::move(next_level);
-    }
+    MINUET_RETURN_NOT_OK(
+        VisitFrontier(txn, snap.sid, TraverseMode::kSnapshotRead,
+                      /*validated_path=*/false,
+                      {FrontierItem{snap.root, -1, 0}}, cb, &visited));
     if (parts.empty()) {
       parts.push_back(ScanPartition{start, end, snap.root.memnode});
     }

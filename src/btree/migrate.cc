@@ -17,10 +17,9 @@
 //     in-flight snapshot or stale proxy pointer can observe a recycled slab
 //     outside the existing seqnum safety net.
 //
-// CollectTipPlacement feeds the rebalancer: a frontier walk of the tip that
-// lists every node with a routing key to re-locate it by.
-#include <unordered_map>
-
+// CollectTipPlacement feeds the rebalancer (both its balance and drain
+// modes): a shared frontier-visitor walk of the tip that lists every node
+// with a routing key to re-locate it by.
 #include "btree/tree.h"
 
 namespace minuet::btree {
@@ -32,93 +31,32 @@ Status BTree::CollectTipPlacement(std::vector<NodePlacement>* out) {
     if (!tip.ok()) return tip.status();
 
     std::vector<Addr> visited;
-    auto abort = [&](Addr at, const char* reason) -> Status {
-      return AbortDescent(txn, at, visited, reason);
+    // A key routing to each pending node (so a later migration can
+    // re-locate it through the parent), indexed by the items' tags.
+    std::vector<std::string> routing;
+    routing.emplace_back("");
+
+    FrontierCallbacks cb;
+    cb.on_leaf = [&](const FrontierItem& it, const Node*, Addr) -> Status {
+      // Leaves are recorded straight from their parent's entry (`it.addr`,
+      // the address the parent holds) — the walk needs no leaf content.
+      out->push_back(
+          NodePlacement{it.addr, std::move(routing[it.tag]), 0});
+      return Status::OK();
     };
-
-    // One pending node of the current level: the address its PARENT holds
-    // (the address a later migration must find in the parent again), a key
-    // routing to it, and the height the parent promised.
-    struct Item {
-      Addr addr;
-      std::string routing_key;
-      int expected_height;
+    cb.on_internal = [&](const FrontierItem& it, const Node& node, Addr,
+                         uint32_t, std::vector<FrontierItem>* next) -> Status {
+      out->push_back(NodePlacement{it.addr, routing[it.tag], node.height});
+      for (size_t e = 0; e < node.entries.size(); e++) {
+        next->push_back(FrontierItem{node.entries[e].child, node.height - 1,
+                                     routing.size()});
+        routing.push_back(e == 0 ? routing[it.tag] : node.entries[e].key);
+      }
+      return Status::OK();
     };
-    std::vector<Item> level;
-    level.push_back(Item{tip->root, "", -1});
-
-    for (int depth = 0; depth < 256 && !level.empty(); depth++) {
-      // Leaves are recorded straight from their parent's entry — the walk
-      // needs no leaf content, and leaves must never enter the proxy cache.
-      std::vector<Item> fetchable;
-      for (Item& it : level) {
-        if (it.expected_height == 0) {
-          out->push_back(NodePlacement{it.addr, std::move(it.routing_key), 0});
-        } else {
-          fetchable.push_back(std::move(it));
-        }
-      }
-      if (fetchable.empty()) break;
-
-      // ONE batched round per level (the frontier-engine discipline).
-      std::vector<ObjectRef> refs;
-      std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
-      for (const Item& it : fetchable) {
-        if (slot.emplace(it.addr, refs.size()).second) {
-          refs.push_back(NodeRef(it.addr, /*internal=*/true));
-        }
-      }
-      auto payloads = txn.DirtyReadBatch(refs);
-      if (!payloads.ok()) return payloads.status();
-      std::vector<Node> nodes(refs.size());
-      for (size_t k = 0; k < refs.size(); k++) {
-        auto decoded = Node::Decode((*payloads)[k]);
-        if (!decoded.ok()) {
-          return abort(refs[k].addr, "undecodable node (stale pointer)");
-        }
-        nodes[k] = std::move(decoded).value();
-        visited.push_back(refs[k].addr);
-      }
-
-      std::vector<Item> next_level;
-      for (Item& it : fetchable) {
-        const Node* node = &nodes[slot.at(it.addr)];
-        Addr at = it.addr;
-        Node hop;
-        MINUET_RETURN_NOT_OK(SettleNodeForSid(txn, tip->sid,
-                                              TraverseMode::kUpToDate, &node,
-                                              &hop, &at, &visited));
-        if (it.expected_height >= 0 &&
-            node->height != static_cast<uint8_t>(it.expected_height)) {
-          return abort(at, "height mismatch");
-        }
-        if (node->is_leaf()) {
-          // Only the root can arrive here with unknown height; it was
-          // batch-fetched through the internal path and must not linger in
-          // the cache.
-          if (cache_ != nullptr) {
-            cache_->Invalidate(it.addr);
-            cache_->Invalidate(at);
-          }
-          out->push_back(
-              NodePlacement{it.addr, std::move(it.routing_key), 0});
-          continue;
-        }
-        if (node->entries.empty()) {
-          return abort(at, "internal node without children");
-        }
-        out->push_back(
-            NodePlacement{it.addr, it.routing_key, node->height});
-        for (size_t e = 0; e < node->entries.size(); e++) {
-          next_level.push_back(Item{
-              node->entries[e].child,
-              e == 0 ? it.routing_key : node->entries[e].key,
-              node->height - 1});
-        }
-      }
-      level = std::move(next_level);
-    }
-    return Status::OK();
+    return VisitFrontier(txn, tip->sid, TraverseMode::kUpToDate,
+                         /*validated_path=*/false,
+                         {FrontierItem{tip->root, -1, 0}}, cb, &visited);
   });
 }
 

@@ -220,7 +220,17 @@ Result<Node> BTree::FetchNode(DynamicTxn& txn, Addr addr, bool as_leaf,
     // fetch with a plain ref and upgrade the validation mirror below.
     raw = txn.ReadCached(layout().SlabRef(addr));
   }
-  if (!raw.ok()) return raw.status();
+  if (!raw.ok()) {
+    if (raw.status().IsUnavailable() && coord_->retired(addr.memnode)) {
+      // A pointer at a RETIRED memnode (elastic scale-in) is stale by
+      // definition — retirement guarantees the node held no live slab.
+      // Surface it as Corruption so every caller's existing stale-pointer
+      // conversion (invalidate the path, abort, retry) applies, instead of
+      // failing the operation with a permanent Unavailable.
+      return Status::Corruption("pointer to a retired memnode");
+    }
+    return raw.status();
+  }
   auto node = Node::Decode(*raw);
   if (!node.ok() && std::getenv("MINUET_DEBUG") != nullptr) {
     std::fprintf(stderr,
@@ -632,7 +642,9 @@ Status BTree::MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
   }
   auto payloads = mode == TraverseMode::kUpToDate ? txn.ReadBatch(refs)
                                                   : txn.FetchFreshBatch(refs);
-  if (!payloads.ok()) return payloads.status();
+  if (!payloads.ok()) {
+    return MaybeRetiredAbort(txn, payloads.status(), refs, visited);
+  }
 
   // -- Phase 3: the leaf-level safety checks Traverse would have run --------
   for (size_t gi = 0; gi < groups.size(); gi++) {

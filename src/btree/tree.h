@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -337,6 +338,58 @@ class BTree {
   Status SettleNodeForSid(DynamicTxn& txn, uint64_t sid, TraverseMode mode,
                           const Node** node, Node* hop, Addr* at,
                           std::vector<Addr>* visited);
+  // --- The shared frontier-visitor (descent.cc) ----------------------------
+  // One pending node of a level-synchronized walk: the address its PARENT
+  // holds (what a later traversal must find in the parent again), the
+  // height the parent promised (-1: unknown, the root), and an opaque
+  // consumer handle — typically an index into consumer-side payload
+  // storage (a key, a routing key, a clipped scan range).
+  struct FrontierItem {
+    Addr addr;
+    int expected_height = -1;
+    size_t tag = 0;
+  };
+  struct FrontierCallbacks {
+    // A leaf. Either promised by the parent's entry (`node == nullptr`,
+    // `at == item.addr` — the frontier never fetches leaves; consumers
+    // refetch them with the read discipline their mode requires) or reached
+    // through the internal-read path (root == leaf, or a redirect): then
+    // `node` is the settled content, `at` its address, and the engine has
+    // already scrubbed it from the proxy cache.
+    std::function<Status(const FrontierItem&, const Node* node, Addr at)>
+        on_leaf;
+    // A settled internal node with at least one child. `level` counts fetch
+    // rounds from the roots (0-based). Push next-level items into `next` —
+    // or none, to cut the walk below this node.
+    std::function<Status(const FrontierItem&, const Node& node, Addr at,
+                         uint32_t level, std::vector<FrontierItem>* next)>
+        on_internal;
+  };
+  // The engine shared by every exhaustive or multi-key walk —
+  // ResolveLeafGroups (per-key descents), PartitionRange (scan
+  // partitioning), CollectTipPlacement (rebalancer/drain placement): the
+  // whole frontier advances one level at a time, each level's distinct
+  // nodes are fetched in ONE batched minitransaction round (DirtyReadBatch
+  // filling the cache — or, with `validated_path`, the Aguilera baseline's
+  // ReadCachedBatch joining the read set with seqnum-table mirrors), each
+  // node is decoded once, and every item settles through the §4.2/§5.2
+  // version checks (SettleNodeForSid) and the promised-height check before
+  // dispatching to the callbacks. Aborts (Status::Aborted) invalidate every
+  // implicated cache entry, exactly like Traverse; `visited` (caller-owned)
+  // collects every address the walk leaned on, so callbacks and the
+  // caller's own later aborts extend the same invalidation discipline.
+  Status VisitFrontier(DynamicTxn& txn, uint64_t sid, TraverseMode mode,
+                       bool validated_path, std::vector<FrontierItem> level,
+                       const FrontierCallbacks& cb,
+                       std::vector<Addr>* visited);
+  // Map a batch-fetch failure onto the abort discipline when it was caused
+  // by a stale pointer to a RETIRED memnode (elastic scale-in): retirement
+  // guarantees the node held no live slab, so any pointer at it is stale by
+  // definition — invalidate and retry, instead of surfacing Unavailable.
+  Status MaybeRetiredAbort(DynamicTxn& txn, Status st,
+                           const std::vector<ObjectRef>& refs,
+                           const std::vector<Addr>& visited);
+
   // Keys that resolved to the same leaf, in key-index order. `addr` is the
   // leaf's content address (after any discretionary hops of the inner
   // descent; leaf-level hops are re-checked by the consumer's fetch).

@@ -64,6 +64,75 @@ Result<uint32_t> Cluster::AddMemnode() {
   return id;
 }
 
+Status Cluster::RemoveMemnode(uint32_t id, RemoveMemnodeOptions opts) {
+  if (id >= coord_->n_memnodes() || coord_->retired(id)) {
+    return Status::InvalidArgument("no such live memnode");
+  }
+  if (!fabric_->IsUp(id)) {
+    return Status::Unavailable(
+        "memnode is down; recover it before draining (its slabs must be "
+        "readable to migrate)");
+  }
+
+  // Allocator-side retirement may already be done if a previous attempt
+  // failed between the two phase-4 steps; skip straight to the membership
+  // shrink then.
+  if (allocator_->placement_state(id) !=
+      alloc::NodeAllocator::PlacementState::kRetired) {
+    // Phase 1 — drain-only. Idempotent, so a RemoveMemnode retried after a
+    // crash or a Busy reclaim phase resumes from wherever the drain stood.
+    MINUET_RETURN_NOT_OK(allocator_->BeginDrain(id));
+
+    // Phase 2 — migrate every tip-reachable slab off the donor.
+    auto drained = rebalancer()->DrainMemnode(id, opts.max_drain_rounds);
+    if (!drained.ok()) return drained.status();
+
+    // Phase 3 — wait for the MVCC GC horizon to reclaim the migrated
+    // sources. Snapshots below the migration sids still read them; the
+    // horizon rule says the node retires only when nothing queryable can
+    // reference it, i.e. its authoritative occupancy is zero.
+    auto remaining = allocator_->MetaLiveSlabs(id);
+    if (!remaining.ok()) return remaining.status();
+    for (uint32_t round = 0; *remaining > 0 && round < opts.max_gc_rounds;
+         round++) {
+      for (uint32_t slot = 0; slot < n_trees(); slot++) {
+        auto handle = OpenTree(slot);
+        if (!handle.ok() || handle->branching()) continue;
+        if (opts.advance_horizon) {
+          // A fresh snapshot pushes the retention window forward (it never
+          // crosses a pinned lease — that is what keeps pre-drain
+          // SnapshotViews readable through all of this).
+          (void)snapshot_services_[slot]->CreateSnapshot();
+        }
+        (void)CollectGarbage(slot);
+      }
+      remaining = allocator_->MetaLiveSlabs(id);
+      if (!remaining.ok()) return remaining.status();
+    }
+    if (*remaining > 0) {
+      // Typically a pinned snapshot holding the horizon, or slabs of a
+      // branching tree (which the rebalancer does not migrate). The node
+      // stays drain-only and KEEPS SERVING those snapshot reads; call
+      // again once the pins are released.
+      return Status::Busy(
+          "drained memnode still holds GC-protected slabs; retry after "
+          "pinned snapshots are released");
+    }
+
+    // Phase 4a — zero the allocator metadata while the node is still
+    // reachable (after the membership shrink its fabric id is rejected).
+    MINUET_RETURN_NOT_OK(allocator_->Retire(id));
+  }
+
+  // Phase 4b — shrink the membership under the coordinator's exclusive
+  // lock (ring rewire, replicated-write expansion, fabric rejection).
+  MINUET_RETURN_NOT_OK(coord_->RetireMemnode(id));
+  // The storage is dead weight now (nothing can address it); release it.
+  // The Memnode object itself stays, keeping the dense id space intact.
+  memnodes_[id]->LoseState();
+  return Status::OK();
+}
+
 rebalance::Rebalancer* Cluster::rebalancer() {
   std::lock_guard<std::mutex> g(rebalancer_mu_);
   if (rebalancer_ == nullptr) {
@@ -129,10 +198,12 @@ Result<mvcc::GarbageCollector::Report> Cluster::CollectGarbage(
 }
 
 void Cluster::CrashMemnode(uint32_t id) {
+  if (coord_->retired(id)) return;  // already permanently gone
   fabric_->SetUp(id, false);
   memnodes_[id]->LoseState();
 }
 
+// No-op for retired ids (the coordinator guards: retirement is permanent).
 void Cluster::RecoverMemnode(uint32_t id) { coord_->Recover(id); }
 
 // ---------------------------------------------------------------------------

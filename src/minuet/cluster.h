@@ -245,18 +245,66 @@ class Cluster {
   uint32_t n_proxies() const {
     return static_cast<uint32_t>(proxies_.size());
   }
+  // Registered memnode ids ([0, n_memnodes()) — retired ids included, they
+  // are never reused); n_live_memnodes() excludes the retired ones.
   uint32_t n_memnodes() const { return coord_->n_memnodes(); }
+  uint32_t n_live_memnodes() const { return coord_->n_live(); }
   uint32_t n_trees() const { return next_tree_; }
 
   // --- Elastic scale-out -----------------------------------------------------
   // Bring one more memnode online while the cluster serves traffic: the
   // node registers with the fabric and coordinator (which seeds its
   // replicated region and rewires the backup ring between in-flight
-  // minitransactions), and the allocator opens it for load-aware placement.
+  // minitransactions — the membership change happens under the
+  // coordinator's exclusive membership lock, never under a running
+  // minitransaction), and the allocator opens it for load-aware placement.
   // Returns the new memnode id. Existing data does NOT move by itself —
   // run the rebalancer to migrate slabs onto the new node. Not safe to call
-  // concurrently with itself or with Crash/RecoverMemnode.
+  // concurrently with itself, RemoveMemnode, or Crash/RecoverMemnode.
   Result<uint32_t> AddMemnode();
+
+  // --- Elastic scale-in ------------------------------------------------------
+  struct RemoveMemnodeOptions {
+    // Round budgets for the two waiting phases (each drain round re-lists
+    // placement; each GC round runs one collection pass per linear tree).
+    uint32_t max_drain_rounds = 64;
+    uint32_t max_gc_rounds = 64;
+    // Create a fresh snapshot per linear tree before each GC round so the
+    // horizon keeps advancing even on an idle cluster. Disable to only
+    // harvest what the workload's own snapshot cadence has already freed.
+    bool advance_horizon = true;
+  };
+  // Take memnode `id` out of a serving cluster: the symmetric inverse of
+  // AddMemnode, executed live (reads, writes and pinned snapshots keep
+  // working throughout). Four phases, matching the node lifecycle
+  // (docs/ARCHITECTURE.md):
+  //   1. DRAIN-ONLY — NodeAllocator::BeginDrain excludes the node from
+  //      placement and returns reserved slabs, so occupancy only falls.
+  //   2. MIGRATE    — Rebalancer::DrainMemnode moves every tip-reachable
+  //      slab of every linear tree onto the remaining active nodes.
+  //   3. RECLAIM    — the migrated sources still serve snapshots below the
+  //      migration sid; GC passes run until the snapshot horizon passes
+  //      them and the node's authoritative occupancy reaches ZERO. The
+  //      horizon never crosses a pinned snapshot, so a held SnapshotView
+  //      makes this phase return Busy — the node stays drain-only (still
+  //      serving those snapshot reads!) and RemoveMemnode can be called
+  //      again after the pin is released. THE GC-HORIZON RULE: a memnode
+  //      is retired only once nothing queryable can reference it.
+  //   4. RETIRE     — under the coordinator's exclusive membership lock:
+  //      allocator metadata zeroed, backup ring rewired around the gap,
+  //      replicated-write expansion shrunk, fabric id rejected forever.
+  //      The id is never reused; n_memnodes() keeps counting it,
+  //      n_live_memnodes() does not.
+  // A crash mid-drain fails the call cleanly (Unavailable); recover the
+  // node and call RemoveMemnode again — BeginDrain is idempotent and the
+  // drain resumes where it left off. Branching version trees are not
+  // rebalanced (matching the GC's scope): their slabs on `id` keep the
+  // reclaim phase at Busy. Not safe to call concurrently with itself,
+  // AddMemnode, or Crash/RecoverMemnode.
+  Status RemoveMemnode(uint32_t id, RemoveMemnodeOptions opts);
+  Status RemoveMemnode(uint32_t id) {
+    return RemoveMemnode(id, RemoveMemnodeOptions());
+  }
 
   // The cluster's rebalancer (created on first use; see
   // rebalance::Rebalancer for RunOnce/Start/Stop). Tests and benchmarks

@@ -83,6 +83,9 @@ Result<GarbageCollector::Report> GarbageCollector::CollectOnce(
   MINUET_RETURN_NOT_OK(pub);
 
   for (uint32_t m = 0; m < coord->n_memnodes(); m++) {
+    // Retired ids (elastic scale-in) are permanent holes in the id space:
+    // nothing lives there and the fabric rejects their messages.
+    if (coord->retired(m)) continue;
     const uint64_t extent = coord->memnode(m)->Extent();
     // A slab counts as touched once ANY of its bytes is under the
     // high-water mark: the last node written on a memnode rarely fills its

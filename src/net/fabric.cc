@@ -14,11 +14,13 @@ Fabric::Fabric(uint32_t n_nodes, uint32_t max_nodes)
     : n_nodes_(n_nodes),
       max_nodes_(max_nodes < n_nodes ? n_nodes : max_nodes),
       up_(new std::atomic<bool>[max_nodes_]),
+      retired_(new std::atomic<bool>[max_nodes_]),
       node_msgs_(new std::atomic<uint64_t>[max_nodes_]) {
   for (uint32_t i = 0; i < max_nodes_; i++) {
     // Not-yet-registered slots are pre-marked up so RegisterNode is just a
     // count bump; the bounds check against n_nodes_ keeps them unreachable.
     up_[i].store(true, std::memory_order_relaxed);
+    retired_[i].store(false, std::memory_order_relaxed);
     node_msgs_[i].store(0, std::memory_order_relaxed);
   }
 }
@@ -34,7 +36,18 @@ Result<NodeId> Fabric::RegisterNode() {
   return id;
 }
 
+void Fabric::Deregister(NodeId id) {
+  if (id >= n_nodes()) return;
+  retired_[id].store(true, std::memory_order_release);
+  up_[id].store(false, std::memory_order_release);
+}
+
 Status Fabric::Charge(NodeId to, bool on_critical_path) {
+  if (IsRetired(to)) {
+    // Distinct from a crash: retirement is permanent, so callers (and their
+    // retry loops) can tell a stale pointer from a transient outage.
+    return Status::Unavailable("memnode retired");
+  }
   if (to >= n_nodes() || !IsUp(to)) {
     return Status::Unavailable("memnode down");
   }

@@ -62,11 +62,26 @@ class Fabric {
   // state BEFORE any traffic can name it. Fails with NoSpace at capacity.
   Result<NodeId> RegisterNode();
 
+  // Take a node out of the fabric permanently (elastic scale-in). The id is
+  // NOT reused — addresses embed memnode ids, so a recycled id could
+  // resurrect stale pointers — and every later message to it is rejected
+  // with Unavailable("memnode retired"). Unlike a crash, retirement cannot
+  // be undone by SetUp/recovery. The caller (the coordinator's membership
+  // change) must have drained the node first.
+  void Deregister(NodeId id);
+  // Bounds-checked: the stale-pointer recovery paths probe this with ids
+  // decoded from recycled slab bytes, which can be arbitrary garbage.
+  bool IsRetired(NodeId id) const {
+    return id < max_nodes_ && retired_[id].load(std::memory_order_acquire);
+  }
+
   // --- Failure injection -------------------------------------------------
   bool IsUp(NodeId id) const {
     return up_[id].load(std::memory_order_acquire);
   }
+  // No-op on a retired node: retirement is permanent, not a crash state.
   void SetUp(NodeId id, bool up) {
+    if (up && IsRetired(id)) return;
     up_[id].store(up, std::memory_order_release);
   }
 
@@ -106,6 +121,7 @@ class Fabric {
   std::atomic<uint32_t> n_nodes_;
   uint32_t max_nodes_;
   std::unique_ptr<std::atomic<bool>[]> up_;
+  std::unique_ptr<std::atomic<bool>[]> retired_;
   std::unique_ptr<std::atomic<uint64_t>[]> node_msgs_;
 };
 

@@ -43,6 +43,7 @@ TreePlan CountPlacement(const std::vector<BTree::NodePlacement>& placement,
 }  // namespace
 
 Result<Rebalancer::RoundReport> Rebalancer::RunOnce() {
+  using PlacementState = alloc::NodeAllocator::PlacementState;
   RoundReport report;
   report.balanced = true;
   const uint32_t n = cluster_->coordinator()->n_memnodes();
@@ -52,6 +53,17 @@ Result<Rebalancer::RoundReport> Rebalancer::RunOnce() {
   // authoritative metadata; best-effort (a down memnode fails the read,
   // and migration onto it would fail anyway).
   (void)cluster_->allocator()->ResyncLiveCounters();
+
+  // Node lifecycle masks: only ACTIVE memnodes may receive; DRAINING
+  // memnodes are unconditional donors (drain-to-zero, no balance band);
+  // retired ids are holes and play no role.
+  std::vector<PlacementState> state(n);
+  uint32_t n_active = 0;
+  for (uint32_t m = 0; m < n; m++) {
+    state[m] = cluster_->allocator()->placement_state(m);
+    if (state[m] == PlacementState::kActive) n_active++;
+  }
+  if (n_active == 0) return report;
 
   uint64_t budget = options_.max_moves_per_round;
   for (uint32_t slot = 0; slot < cluster_->n_trees(); slot++) {
@@ -64,8 +76,10 @@ Result<Rebalancer::RoundReport> Rebalancer::RunOnce() {
     std::vector<BTree::NodePlacement> placement;
     MINUET_RETURN_NOT_OK(tree->CollectTipPlacement(&placement));
     TreePlan plan = CountPlacement(placement, n);
+    // The mean is over the nodes that will CARRY the population (active
+    // only): a draining or retired node must not dilute the target share.
     const double mean =
-        static_cast<double>(placement.size()) / static_cast<double>(n);
+        static_cast<double>(placement.size()) / static_cast<double>(n_active);
     // Imbalance is judged from both ends: a donor above hi_water must
     // shed, AND a receiver below lo_water must be filled (a freshly added
     // empty memnode is the canonical case — the heaviest node may sit
@@ -74,19 +88,38 @@ Result<Rebalancer::RoundReport> Rebalancer::RunOnce() {
     const double lo_water = mean / options_.imbalance_ratio;
 
     while (budget > 0) {
-      const auto max_it =
-          std::max_element(plan.counts.begin(), plan.counts.end());
-      const auto min_it =
-          std::min_element(plan.counts.begin(), plan.counts.end());
-      const uint32_t donor =
-          static_cast<uint32_t>(max_it - plan.counts.begin());
-      const uint32_t receiver =
-          static_cast<uint32_t>(min_it - plan.counts.begin());
-      const bool over = static_cast<double>(*max_it) > hi_water;
-      const bool under = static_cast<double>(*min_it) < lo_water;
-      // The +2 slack stops tiny trees (and the last slab of a nearly even
-      // split) from ping-ponging between equally loaded nodes forever.
-      if ((!over && !under) || *max_it < *min_it + 2) break;
+      // Donor: any draining node still holding slabs outranks the balance
+      // band; otherwise the heaviest active node. Receiver: the lightest
+      // ACTIVE node.
+      uint32_t donor = n, receiver = n;
+      bool forced = false;
+      for (uint32_t m = 0; m < n; m++) {
+        if (state[m] == PlacementState::kDraining && plan.counts[m] > 0 &&
+            (!forced || plan.counts[m] > plan.counts[donor])) {
+          donor = m;
+          forced = true;
+        }
+      }
+      for (uint32_t m = 0; m < n; m++) {
+        if (state[m] != PlacementState::kActive) continue;
+        if (!forced && (donor == n || plan.counts[m] > plan.counts[donor])) {
+          donor = m;
+        }
+        if (receiver == n || plan.counts[m] < plan.counts[receiver]) {
+          receiver = m;
+        }
+      }
+      if (donor == n || receiver == n || donor == receiver) break;
+      const uint64_t mx = plan.counts[donor];
+      const uint64_t mn = plan.counts[receiver];
+      if (!forced) {
+        const bool over = static_cast<double>(mx) > hi_water;
+        const bool under = static_cast<double>(mn) < lo_water;
+        // The +2 slack stops tiny trees (and the last slab of a nearly
+        // even split) from ping-ponging between equally loaded nodes
+        // forever. (Forced drains are exempt: they must reach zero.)
+        if ((!over && !under) || mx < mn + 2) break;
+      }
       auto& pool = plan.candidates[donor];
       if (pool.empty()) {
         // Every slab we knew about on this donor was tried; re-listing
@@ -120,13 +153,22 @@ Result<Rebalancer::RoundReport> Rebalancer::RunOnce() {
       }
     }
 
-    const uint64_t mx =
-        *std::max_element(plan.counts.begin(), plan.counts.end());
-    const uint64_t mn =
-        *std::min_element(plan.counts.begin(), plan.counts.end());
+    uint64_t mx = 0, mn = ~0ULL;
+    bool draining_occupied = false;
+    for (uint32_t m = 0; m < n; m++) {
+      if (state[m] == PlacementState::kActive) {
+        mx = std::max<uint64_t>(mx, plan.counts[m]);
+        mn = std::min<uint64_t>(mn, plan.counts[m]);
+      } else if (state[m] == PlacementState::kDraining &&
+                 plan.counts[m] > 0) {
+        draining_occupied = true;
+      }
+    }
     const bool still_skewed = static_cast<double>(mx) > hi_water ||
                               static_cast<double>(mn) < lo_water;
-    if (still_skewed && mx >= mn + 2) report.balanced = false;
+    if (draining_occupied || (still_skewed && mx >= mn + 2)) {
+      report.balanced = false;
+    }
   }
 
   if (report.migrated > 0 && options_.collect_garbage) {
@@ -151,6 +193,80 @@ Result<uint64_t> Rebalancer::RunUntilBalanced(uint32_t max_rounds) {
     if (report->balanced && report->migrated == 0) return migrated;
   }
   return Status::Aborted("rebalance did not converge within max_rounds");
+}
+
+Result<Rebalancer::DrainReport> Rebalancer::DrainMemnode(uint32_t donor,
+                                                         uint32_t max_rounds) {
+  using PlacementState = alloc::NodeAllocator::PlacementState;
+  alloc::NodeAllocator* allocator = cluster_->allocator();
+  if (donor >= cluster_->coordinator()->n_memnodes()) {
+    return Status::InvalidArgument("no such memnode");
+  }
+  if (allocator->placement_state(donor) != PlacementState::kDraining) {
+    // Placement exclusion is the convergence guarantee: without it, new
+    // CoW copies keep landing on the donor while we shovel.
+    return Status::InvalidArgument(
+        "memnode is not draining (call NodeAllocator::BeginDrain first)");
+  }
+
+  DrainReport report;
+  for (uint32_t round = 0; round < max_rounds; round++) {
+    report.rounds++;
+    // Receivers come from the load-aware counters; re-anchor them so this
+    // round's choices reflect what previous rounds (and the GC) really did.
+    (void)allocator->ResyncLiveCounters();
+    std::vector<uint64_t> load = allocator->ApproxLiveSlabsAll();
+    uint64_t found = 0;
+    for (uint32_t slot = 0; slot < cluster_->n_trees(); slot++) {
+      auto handle = cluster_->OpenTree(slot);
+      if (!handle.ok() || handle->branching()) continue;
+      BTree* tree = cluster_->proxy(0).tree(slot);
+      std::vector<BTree::NodePlacement> placement;
+      MINUET_RETURN_NOT_OK(tree->CollectTipPlacement(&placement));
+      for (const BTree::NodePlacement& victim : placement) {
+        if (victim.addr.memnode != donor) continue;
+        found++;
+        // The least-loaded ACTIVE memnode takes this slab.
+        uint32_t receiver = static_cast<uint32_t>(load.size());
+        for (uint32_t m = 0; m < load.size(); m++) {
+          if (allocator->placement_state(m) != PlacementState::kActive) {
+            continue;
+          }
+          if (receiver == load.size() || load[m] < load[receiver]) {
+            receiver = m;
+          }
+        }
+        if (receiver == load.size()) {
+          return Status::InvalidArgument("no active receiver memnode");
+        }
+        report.planned++;
+        bool migrated = false;
+        Status st = tree->MigrateNode(victim, receiver, &migrated);
+        if (!st.ok()) {
+          // Same discipline as the balance pass: retryable aborts are
+          // re-listed next round; hard failures stop the drain (the node
+          // stays drain-only and a later DrainMemnode resumes).
+          if (!st.IsRetryable()) return st;
+          report.skipped++;
+          continue;
+        }
+        if (migrated) {
+          report.migrated++;
+          total_migrated_.fetch_add(1, std::memory_order_relaxed);
+          load[receiver]++;
+        } else {
+          report.skipped++;  // stale placement: already moved or copied
+        }
+      }
+    }
+    if (found == 0) {
+      // A full listing pass saw nothing homed on the donor — and placement
+      // exclusion means nothing new can land there.
+      report.drained = true;
+      return report;
+    }
+  }
+  return Status::Aborted("drain did not converge within max_rounds");
 }
 
 void Rebalancer::Start() {

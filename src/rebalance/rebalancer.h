@@ -20,9 +20,18 @@
 //   3. It optionally drives a GC pass afterwards so reclaimed sources
 //      return to the allocator free lists promptly.
 //
+// It is also the muscle of elastic scale-IN: DrainMemnode migrates EVERY
+// tip-reachable node off a memnode that NodeAllocator::BeginDrain marked
+// drain-only, which is step two of the add → rebalance → drain → retire
+// lifecycle (Cluster::RemoveMemnode orchestrates the whole sequence; see
+// docs/ARCHITECTURE.md). The balance pass itself is lifecycle-aware:
+// draining memnodes are unconditional donors, and only ACTIVE memnodes are
+// eligible receivers — so a background rebalancer running concurrently with
+// a drain helps it along instead of fighting it.
+//
 // Run it as a per-cluster background thread (Start/Stop, like a GC
-// daemon), or synchronously (RunOnce / RunUntilBalanced) from tests and
-// benchmarks.
+// daemon), or synchronously (RunOnce / RunUntilBalanced / DrainMemnode)
+// from tests and benchmarks.
 #pragma once
 
 #include <atomic>
@@ -80,6 +89,26 @@ class Rebalancer {
   // Run rounds until one reports balanced (returns the number of slabs
   // migrated overall) or the round budget runs out (Aborted).
   Result<uint64_t> RunUntilBalanced(uint32_t max_rounds = 64);
+
+  // --- Drain mode (elastic scale-in) ---------------------------------------
+  struct DrainReport {
+    uint64_t rounds = 0;
+    uint64_t planned = 0;   // donor-homed placements the rounds saw
+    uint64_t migrated = 0;  // moves that committed
+    uint64_t skipped = 0;   // stale placements / retryable aborts
+    bool drained = false;   // a full listing pass found the donor empty
+  };
+  // Migrate every tip-reachable node of every linear tree off `donor`,
+  // which must already be drain-only (NodeAllocator::BeginDrain — placement
+  // exclusion is what guarantees the drain converges instead of chasing new
+  // allocations). Receivers are the least-loaded ACTIVE memnodes. Rounds
+  // repeat until a full placement listing finds nothing homed on the donor
+  // (stale placements and concurrent writers are re-listed and retried,
+  // exactly like the balance pass); Aborted if `max_rounds` pass without
+  // that. Leaves the donor's MIGRATED SOURCES in place — they serve
+  // snapshots below the migration sid until the MVCC GC reclaims them past
+  // the horizon (Cluster::RemoveMemnode drives that wait).
+  Result<DrainReport> DrainMemnode(uint32_t donor, uint32_t max_rounds = 64);
 
   // Background mode. Start is idempotent; Stop joins the thread.
   void Start();

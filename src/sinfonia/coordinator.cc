@@ -10,11 +10,30 @@ Coordinator::Coordinator(net::Fabric* fabric, std::vector<Memnode*> memnodes,
     : fabric_(fabric),
       memnodes_(std::move(memnodes)),
       n_memnodes_(static_cast<uint32_t>(memnodes_.size())),
+      n_live_(static_cast<uint32_t>(memnodes_.size())),
       options_(options) {
   // Indexed reads of memnodes_ run without the membership lock; reserving
   // the fabric's capacity up front means AddMemnode's push_back never
   // reallocates under them.
   memnodes_.reserve(fabric_->max_nodes());
+}
+
+MemnodeId Coordinator::NextLive(MemnodeId id) const {
+  const uint32_t n = n_memnodes();
+  MemnodeId m = static_cast<MemnodeId>((id + 1) % n);
+  for (uint32_t i = 0; i + 1 < n; i++, m = (m + 1) % n) {
+    if (!retired(m)) return m;
+  }
+  return id;
+}
+
+MemnodeId Coordinator::PrevLive(MemnodeId id) const {
+  const uint32_t n = n_memnodes();
+  MemnodeId m = static_cast<MemnodeId>((id + n - 1) % n);
+  for (uint32_t i = 0; i + 1 < n; i++, m = (m + n - 1) % n) {
+    if (!retired(m)) return m;
+  }
+  return id;
 }
 
 std::vector<Coordinator::PerNode> Coordinator::Partition(
@@ -40,9 +59,11 @@ std::vector<Coordinator::PerNode> Coordinator::Partition(
   const uint32_t n = n_memnodes();
   for (const auto& w : mtx.writes) {
     if (w.all_nodes) {
-      // Replicated object: one write per memnode, expanded against the
-      // membership in force for this execution.
+      // Replicated object: one write per LIVE memnode, expanded against the
+      // membership in force for this execution (retired ids left the
+      // replication group permanently).
       for (MemnodeId m = 0; m < n; m++) {
+        if (retired(m)) continue;
         find(m).writes.push_back(
             MiniTxn::WriteItem{Addr{m, w.addr.offset}, w.data, false});
       }
@@ -228,6 +249,7 @@ void Coordinator::ReplicateWrites(const PerNode& pn) {
 
 void Coordinator::Recover(MemnodeId id) {
   std::shared_lock<std::shared_mutex> membership(membership_mu_);
+  if (retired(id)) return;  // retirement is permanent, not a crash state
   const MemnodeId backup = BackupOf(id);
   if (backup == id) return;
   memnodes_[id]->RestoreFrom(*memnodes_[backup]);
@@ -247,39 +269,83 @@ Status Coordinator::AddMemnode(Memnode* node, uint64_t replicated_bytes) {
   if (node->id() != n) {
     return Status::InvalidArgument("memnode id must be the next free id");
   }
-  if (n == 0) {
+  if (n_live_.load(std::memory_order_relaxed) == 0) {
     return Status::InvalidArgument("cannot grow an empty memnode set");
   }
+  // The ring neighbors over LIVE nodes: the new node slots in between the
+  // highest live id (`last`) and the lowest (`first`) — retired ids are
+  // holes the ring already closes around.
+  const MemnodeId first = NextLive(static_cast<MemnodeId>(n - 1));
+  const MemnodeId last = PrevLive(0);
   // Both seeding sources must be alive: cloning a crashed (wiped) peer
   // would install zeros as the new node's replicated region — and, worse,
   // the ring rewire below would REPLACE the last good backup image of
-  // n-1 with a clone of its wiped primary. Grow the cluster after
+  // `last` with a clone of its wiped primary. Grow the cluster after
   // recovery, not during an outage.
-  if (!fabric_->IsUp(0) || !fabric_->IsUp(n - 1)) {
+  if (!fabric_->IsUp(first) || !fabric_->IsUp(last)) {
     return Status::Unavailable("a seeding peer memnode is down");
   }
 
   // Seed the replicated region (and seqnum-table mirrors): replicated
   // objects live at the SAME offset on every memnode, so the new node's
   // image is a byte copy of any seeded peer's prefix.
-  node->ClonePrimaryRegion(*memnodes_[0], replicated_bytes);
+  node->ClonePrimaryRegion(*memnodes_[first], replicated_bytes);
 
-  if (options_.replication && n >= 1) {
-    // The backup ring rewires from (n-1 → 0) to (n-1 → n → 0): the new
-    // node takes over hosting n-1's image (seeded from n-1's live primary —
-    // consistent, as no writes run under the exclusive lock), and node 0
-    // hosts the new node's image — seeded from the region copy above, so a
-    // crash BEFORE the node's first replicated write still recovers the
-    // pre-join history.
-    node->SeedBackupFrom(n - 1, *memnodes_[n - 1]);
-    memnodes_[0]->SeedBackupFrom(n, *node);
-    memnodes_[0]->DropBackup(n - 1);
+  if (options_.replication) {
+    // The backup ring rewires from (last → first) to (last → n → first):
+    // the new node takes over hosting last's image (seeded from last's live
+    // primary — consistent, as no writes run under the exclusive lock), and
+    // `first` hosts the new node's image — seeded from the region copy
+    // above, so a crash BEFORE the node's first replicated write still
+    // recovers the pre-join history.
+    node->SeedBackupFrom(last, *memnodes_[last]);
+    memnodes_[first]->SeedBackupFrom(n, *node);
+    if (last != first) memnodes_[first]->DropBackup(last);
   }
 
   auto id = fabric_->RegisterNode();
   if (!id.ok()) return id.status();
   memnodes_.push_back(node);
   n_memnodes_.store(n + 1, std::memory_order_release);
+  n_live_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Coordinator::RetireMemnode(MemnodeId id) {
+  // Exclusive: every in-flight minitransaction drains first, so no
+  // execution can observe a half-rewired ring or a half-expanded
+  // replicated write set.
+  std::unique_lock<std::shared_mutex> membership(membership_mu_);
+  const uint32_t n = n_memnodes_.load(std::memory_order_relaxed);
+  if (id >= n || retired(id)) {
+    return Status::InvalidArgument("no such live memnode");
+  }
+  if (n_live_.load(std::memory_order_relaxed) <= 1) {
+    return Status::InvalidArgument("cannot retire the last memnode");
+  }
+  const MemnodeId prev = PrevLive(id);
+  const MemnodeId next = NextLive(id);
+  if (options_.replication) {
+    // The ring rewires from (prev → id → next) to (prev → next): `next`
+    // takes over hosting prev's backup image, seeded from prev's live
+    // primary — consistent, as no writes run under the exclusive lock. A
+    // crashed neighbor would make that seed (or the image we are about to
+    // drop the last copy of) a wipe: refuse, recover first.
+    if (!fabric_->IsUp(prev) || !fabric_->IsUp(next)) {
+      return Status::Unavailable("a ring-neighbor memnode is down");
+    }
+    if (prev != next) {
+      // With exactly two live nodes prev == next == the survivor, which
+      // backs itself (a no-op ring); only the orphaned image is dropped.
+      memnodes_[next]->SeedBackupFrom(prev, *memnodes_[prev]);
+    }
+    memnodes_[next]->DropBackup(id);
+  }
+  // The fabric registry is the single retirement record: deregistering
+  // flips retired(id) for every layer at once (all under this exclusive
+  // lock, so no execution sees a half-applied retirement).
+  fabric_->Deregister(id);
+  n_live_.fetch_sub(1, std::memory_order_release);
   return Status::OK();
 }
 

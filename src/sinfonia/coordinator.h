@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <vector>
 
@@ -43,18 +44,36 @@ class Coordinator {
   // including the expansion of all-node writes — is stable per execution.
   Status Execute(const MiniTxn& mtx, MiniResult* result);
 
+  // Memnode ids ever registered: the id space is [0, n_memnodes()), dense
+  // and append-only. Retired ids stay inside it (addresses embed memnode
+  // ids, so ids are never compacted or reused); check retired() before
+  // treating an id as a live participant.
   uint32_t n_memnodes() const {
     return n_memnodes_.load(std::memory_order_acquire);
   }
+  // Memnodes currently serving (registered minus retired).
+  uint32_t n_live() const { return n_live_.load(std::memory_order_acquire); }
+  // The fabric's registry is the single source of truth for retirement
+  // (set under the exclusive membership lock in RetireMemnode).
+  bool retired(MemnodeId id) const { return fabric_->IsRetired(id); }
   Memnode* memnode(MemnodeId id) { return memnodes_[id]; }
   net::Fabric* fabric() { return fabric_; }
   const Options& options() const { return options_; }
 
-  MemnodeId BackupOf(MemnodeId id) const {
-    return static_cast<MemnodeId>((id + 1) % n_memnodes());
+  // The live node hosting `id`'s backup image: the next live node on the
+  // ring (retired ids are skipped — the ring closes around the gap).
+  MemnodeId BackupOf(MemnodeId id) const { return NextLive(id); }
+
+  // A live memnode to serve a replicated-object read from. `hint` spreads
+  // the choice; the result is `hint % n_memnodes()` unless that node has
+  // been retired, in which case the next live id is returned.
+  MemnodeId ReplicaHome(MemnodeId hint) const {
+    return NextLive(static_cast<MemnodeId>((hint + n_memnodes() - 1) %
+                                           n_memnodes()));
   }
 
-  // Restore a recovered memnode's state from its backup peer.
+  // Restore a recovered memnode's state from its backup peer. No-op for a
+  // retired id (retirement is permanent).
   void Recover(MemnodeId id);
 
   // --- Elastic membership (online scale-out) ------------------------------
@@ -68,7 +87,30 @@ class Coordinator {
   // `node` stays with the caller, exactly as for the constructor's set.
   Status AddMemnode(Memnode* node, uint64_t replicated_bytes);
 
+  // --- Elastic membership (online scale-in) -------------------------------
+  // Retire memnode `id` while NO minitransaction is in flight: takes the
+  // membership lock exclusively, re-homes the backup image of `id`'s ring
+  // predecessor onto its ring successor (seeded from the predecessor's live
+  // primary — consistent, as no writes run under the exclusive lock), drops
+  // the successor's now-orphaned image of `id`, marks the id retired (so
+  // all-node replicated writes stop expanding to it and BackupOf/ReplicaHome
+  // route around the gap), and deregisters it from the fabric so every later
+  // message to the id is rejected. The id is never reused.
+  //
+  // The caller must have DRAINED the node first (zero live slabs: the
+  // rebalancer's drain pass plus the MVCC GC past the horizon — see
+  // Cluster::RemoveMemnode); the coordinator only performs the membership
+  // mechanics. Refuses to retire the last live memnode, and — when
+  // replication is on — requires both ring neighbors up (re-homing from a
+  // crashed peer would install a wiped image as the last good backup).
+  Status RetireMemnode(MemnodeId id);
+
  private:
+  // Next/previous live (non-retired) id on the ring, cyclic over the
+  // registered id space, excluding `id` itself. Returns `id` when it is the
+  // only live node.
+  MemnodeId NextLive(MemnodeId id) const;
+  MemnodeId PrevLive(MemnodeId id) const;
   struct PerNode {
     MemnodeId node;
     std::vector<MiniTxn::CompareItem> compares;
@@ -93,6 +135,7 @@ class Coordinator {
   // indexed reads never race a reallocation; only [0, n_memnodes_) is live.
   std::vector<Memnode*> memnodes_;
   std::atomic<uint32_t> n_memnodes_;
+  std::atomic<uint32_t> n_live_;
   Options options_;
   std::atomic<TxId> next_tx_{1};
   // Held shared by Execute, exclusively by AddMemnode: a membership change

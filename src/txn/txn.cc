@@ -22,7 +22,9 @@ MemnodeId DynamicTxn::ReadHome(const ObjectRef& ref) const {
   for (const ReadRecord& r : reads_) {
     if (!r.ref.replicated_data) return r.ref.addr.memnode;
   }
-  return ref.addr.memnode % coord_->n_memnodes();
+  // The coordinator routes the placement hint around retired ids, so
+  // replicated reads keep working after a scale-in.
+  return coord_->ReplicaHome(ref.addr.memnode);
 }
 
 void DynamicTxn::AddSeqCompare(MiniTxn* mtx, const ReadRecord& rec,
@@ -340,8 +342,10 @@ Status DynamicTxn::Commit() {
   }
 
   // Choose the memnode where replicated objects validate: the one the
-  // plain-object part of the commit already engages, if any.
-  MemnodeId at = 0;
+  // plain-object part of the commit already engages, if any; an
+  // all-replicated commit (e.g. the GC horizon publish) validates at a
+  // LIVE node — the coordinator routes around retired ids (scale-in).
+  MemnodeId at = coord_->ReplicaHome(0);
   bool found = false;
   for (const WriteRecord& w : writes_) {
     if (!w.ref.replicated_data) {

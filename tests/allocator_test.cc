@@ -220,5 +220,90 @@ TEST_F(AllocatorTest, AllocatedCountTracks) {
   EXPECT_EQ(alloc.allocated_count(), 5u);
 }
 
+// --- Placement lifecycle (elastic scale-in) ---------------------------------
+
+TEST_F(AllocatorTest, DrainExcludesPlacementAndFlushesReservations) {
+  NodeAllocator alloc = MakeAllocator(4);
+  {
+    // One allocation on node 1 reserves a batch of 4: 1 handed out, 3
+    // pooled — all 4 count against the authoritative occupancy.
+    txn::DynamicTxn t(coord_.get(), nullptr);
+    auto slab = alloc.Allocate(t, 1);
+    ASSERT_TRUE(slab.ok());
+    ASSERT_TRUE(t.WriteNew(slab->ref, "x").ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  auto before = alloc.MetaLiveSlabs(1);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(*before, 4u);
+
+  ASSERT_TRUE(alloc.BeginDrain(1).ok());
+  EXPECT_EQ(alloc.placement_state(1),
+            NodeAllocator::PlacementState::kDraining);
+  // The three pooled slabs went back to the free list; only the handed-out
+  // one still counts.
+  auto after = alloc.MetaLiveSlabs(1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, 1u);
+
+  // No placement lands on the draining node; explicit allocation refused.
+  for (int i = 0; i < 30; i++) {
+    EXPECT_NE(alloc.NextPlacement(), 1u);
+  }
+  txn::DynamicTxn t(coord_.get(), nullptr);
+  auto refused = alloc.Allocate(t, 1);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsInvalidArgument());
+
+  // BeginDrain is idempotent; CancelDrain re-opens placement.
+  EXPECT_TRUE(alloc.BeginDrain(1).ok());
+  ASSERT_TRUE(alloc.CancelDrain(1).ok());
+  EXPECT_EQ(alloc.placement_state(1), NodeAllocator::PlacementState::kActive);
+}
+
+TEST_F(AllocatorTest, RetireRequiresZeroOccupancyAndZeroesMeta) {
+  NodeAllocator alloc = MakeAllocator(0);  // unbatched: exact occupancy
+  Addr slab_addr;
+  {
+    txn::DynamicTxn t(coord_.get(), nullptr);
+    auto slab = alloc.Allocate(t, 2);
+    ASSERT_TRUE(slab.ok());
+    slab_addr = slab->ref.addr;
+    ASSERT_TRUE(t.WriteNew(slab->ref, "x").ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  EXPECT_TRUE(alloc.Retire(2).IsInvalidArgument()) << "must drain first";
+  ASSERT_TRUE(alloc.BeginDrain(2).ok());
+  EXPECT_TRUE(alloc.Retire(2).IsBusy()) << "a live slab remains";
+
+  {
+    txn::DynamicTxn t(coord_.get(), nullptr);
+    ASSERT_TRUE(alloc.Free(t, slab_addr).ok());
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  ASSERT_TRUE(alloc.Retire(2).ok());
+  EXPECT_EQ(alloc.placement_state(2), NodeAllocator::PlacementState::kRetired);
+  // Retired nodes report zero occupancy (no ghost bump/free capacity) and
+  // never rejoin the lifecycle.
+  auto live = alloc.MetaLiveSlabs(2);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, 0u);
+  EXPECT_EQ(alloc.ApproxLiveSlabs(2), 0u);
+  EXPECT_TRUE(alloc.BeginDrain(2).IsInvalidArgument());
+  EXPECT_TRUE(alloc.CancelDrain(2).IsInvalidArgument());
+  for (int i = 0; i < 30; i++) {
+    EXPECT_NE(alloc.NextPlacement(), 2u);
+  }
+}
+
+TEST_F(AllocatorTest, CannotDrainLastActiveMemnode) {
+  NodeAllocator alloc = MakeAllocator(0);
+  ASSERT_TRUE(alloc.BeginDrain(0).ok());
+  ASSERT_TRUE(alloc.BeginDrain(1).ok());
+  EXPECT_TRUE(alloc.BeginDrain(2).IsInvalidArgument());
+  ASSERT_TRUE(alloc.CancelDrain(0).ok());
+  EXPECT_TRUE(alloc.BeginDrain(2).ok());
+}
+
 }  // namespace
 }  // namespace minuet::alloc

@@ -362,6 +362,304 @@ TEST(RebalanceTest, ConcurrentTrafficDuringRebalanceStaysLinearizable) {
   EXPECT_EQ(all.size(), static_cast<size_t>(kKeys));
 }
 
+// --- Elastic scale-IN: drain + retire ---------------------------------------
+
+// The acceptance bar: on a loaded 4-node cluster, RemoveMemnode leaves the
+// drained node with zero live slabs, its id rejected by fabric and
+// coordinator, and every key readable/writable through every proxy
+// (including proxies holding stale cached pointers at the retired node).
+TEST(ScaleInTest, RemoveMemnodeDrainsRetiresAndKeepsServing) {
+  ClusterOptions opts = SmallOpts(4);
+  opts.retain_snapshots = 2;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  constexpr int kKeys = 1000;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  // Warm every proxy's cache so the post-retire reads below exercise the
+  // stale-pointer-to-retired-memnode abort path.
+  std::string value;
+  for (uint32_t px = 0; px < cluster.n_proxies(); px++) {
+    for (int i = 0; i < kKeys; i += 97) {
+      ASSERT_TRUE(cluster.proxy(px).Get(*tree, EncodeUserKey(i), &value).ok());
+    }
+  }
+  ASSERT_GT(TipCounts(cluster, *tree)[3], 0u) << "node 3 must hold data";
+
+  ASSERT_TRUE(cluster.RemoveMemnode(3).ok());
+
+  // Membership: the id space keeps counting the retired id, liveness not.
+  EXPECT_EQ(cluster.n_memnodes(), 4u);
+  EXPECT_EQ(cluster.n_live_memnodes(), 3u);
+  EXPECT_TRUE(cluster.coordinator()->retired(3));
+
+  // Zero live slabs on the drained node (tip walk AND authoritative meta).
+  auto counts = TipCounts(cluster, *tree);
+  EXPECT_EQ(counts[3], 0u);
+  auto meta = cluster.allocator()->MetaLiveSlabs(3);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(*meta, 0u);
+
+  // The retired id is rejected by the fabric...
+  EXPECT_TRUE(cluster.fabric()->IsRetired(3));
+  EXPECT_FALSE(cluster.fabric()->IsUp(3));
+  Status charge = cluster.fabric()->ChargeMessage(3);
+  EXPECT_TRUE(charge.IsUnavailable()) << charge.ToString();
+  // ... and by the coordinator (a minitransaction naming it fails), and
+  // recovery cannot resurrect it.
+  txn::DynamicTxn probe(cluster.coordinator(), nullptr);
+  auto read = probe.Read(cluster.layout().SlabRef(
+      sinfonia::Addr{3, cluster.layout().slab_base()}));
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsUnavailable());
+  cluster.RecoverMemnode(3);
+  EXPECT_FALSE(cluster.fabric()->IsUp(3));
+
+  // Every key remains readable through EVERY proxy, and the tree is
+  // writable; a full scan sees the complete population.
+  for (uint32_t px = 0; px < cluster.n_proxies(); px++) {
+    for (int i = 0; i < kKeys; i += 7) {
+      ASSERT_TRUE(cluster.proxy(px).Get(*tree, EncodeUserKey(i), &value).ok())
+          << "proxy " << px << " key " << i;
+      EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
+    }
+  }
+  for (int i = 0; i < kKeys; i += 11) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i + 5000)).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> all;
+  ASSERT_TRUE(cluster.proxy(1).Scan(*tree, "", kKeys + 1, &all).ok());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kKeys));
+
+  // Removing it again is an error; growing again hands out a FRESH id.
+  EXPECT_TRUE(cluster.RemoveMemnode(3).IsInvalidArgument());
+  auto added = cluster.AddMemnode();
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 4u);
+  EXPECT_EQ(cluster.n_live_memnodes(), 4u);
+  ASSERT_TRUE(p.Put(*tree, EncodeUserKey(kKeys), EncodeValue(kKeys)).ok());
+  ASSERT_TRUE(p.Get(*tree, EncodeUserKey(kKeys), &value).ok());
+}
+
+// Memnode 0 is the default home for replicated-object reads AND for the
+// commit-time validation of all-replicated transactions (the GC's horizon
+// publish reads/writes only LowestSidRef). Retiring it must leave both
+// routing around the hole.
+TEST(ScaleInTest, RemovingMemnodeZeroKeepsReplicatedPathsWorking) {
+  ClusterOptions opts = SmallOpts(3);
+  opts.retain_snapshots = 2;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  constexpr int kKeys = 300;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+
+  ASSERT_TRUE(cluster.RemoveMemnode(0).ok());
+  EXPECT_TRUE(cluster.fabric()->IsRetired(0));
+
+  // The horizon publish is a replicated-only commit: it must validate at
+  // a live node, not the retired default.
+  auto gc = cluster.CollectGarbage(*tree);
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+  // Snapshot creation (replicated tip update) and reads keep working too.
+  auto snap = p.Snapshot(*tree);
+  ASSERT_TRUE(snap.ok());
+  std::string value;
+  for (int i = 0; i < kKeys; i += 9) {
+    ASSERT_TRUE(snap->Get(EncodeUserKey(i), &value).ok()) << i;
+    EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
+    ASSERT_TRUE(cluster.proxy(1).Get(*tree, EncodeUserKey(i), &value).ok());
+  }
+  ASSERT_TRUE(p.Put(*tree, EncodeUserKey(0), EncodeValue(42)).ok());
+}
+
+TEST(ScaleInTest, DrainUnderConcurrentTrafficStaysLinearizable) {
+  ClusterOptions opts = SmallOpts(4);
+  opts.retain_snapshots = 2;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  constexpr int kKeys = 400;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(cluster.proxy(0)
+                    .Put(*tree, EncodeUserKey(i), EncodeValue(0))
+                    .ok());
+  }
+
+  // Writers (single Puts and WriteBatches) race the whole drain + retire.
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::map<std::string, uint64_t> committed;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; w++) {
+    writers.emplace_back([&, w] {
+      Rng rng(w + 11);
+      Proxy& proxy = cluster.proxy(w % cluster.n_proxies());
+      while (!stop) {
+        if (rng.Uniform(4) == 0) {
+          WriteBatch batch;
+          std::vector<std::pair<std::string, uint64_t>> pending;
+          for (int k = 0; k < 4; k++) {
+            const std::string key = EncodeUserKey(rng.Uniform(kKeys));
+            const uint64_t v = rng.Next();
+            batch.Put(*tree, key, EncodeValue(v));
+            pending.emplace_back(key, v);
+          }
+          if (proxy.Apply(batch).ok()) {
+            std::lock_guard<std::mutex> g(mu);
+            for (auto& [key, v] : pending) committed[key] = v;
+          }
+        } else {
+          const std::string key = EncodeUserKey(rng.Uniform(kKeys));
+          const uint64_t v = rng.Next();
+          if (proxy.Put(*tree, key, EncodeValue(v)).ok()) {
+            std::lock_guard<std::mutex> g(mu);
+            committed[key] = v;
+          }
+        }
+      }
+    });
+  }
+
+  // Let traffic build up before, and keep flowing after, the removal.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Status removed = cluster.RemoveMemnode(3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop = true;
+  for (auto& t : writers) t.join();
+  ASSERT_TRUE(removed.ok()) << removed.ToString();
+  EXPECT_TRUE(cluster.fabric()->IsRetired(3));
+  EXPECT_GT(cluster.rebalancer()->total_migrated(), 0u);
+  EXPECT_EQ(TipCounts(cluster, *tree)[3], 0u);
+
+  // Every key a writer reported committed is durable and readable; a full
+  // scan confirms structural integrity.
+  std::string value;
+  for (const auto& [key, v] : committed) {
+    ASSERT_TRUE(cluster.proxy(1).Get(*tree, key, &value).ok()) << key;
+  }
+  std::vector<std::pair<std::string, std::string>> all;
+  ASSERT_TRUE(cluster.proxy(2).Scan(*tree, "", kKeys + 1, &all).ok());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kKeys));
+}
+
+// The GC-horizon rule: a pinned pre-drain snapshot keeps the drained
+// node's migrated sources alive — RemoveMemnode drains but reports Busy
+// instead of retiring, the snapshot stays fully readable mid-drain, and
+// releasing the pin lets a second RemoveMemnode finish the retirement.
+TEST(ScaleInTest, PinnedSnapshotBlocksRetireButStaysReadableMidDrain) {
+  ClusterOptions opts = SmallOpts(4);
+  opts.retain_snapshots = 2;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  constexpr int kKeys = 400;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+
+  {
+    auto snap = p.Snapshot(*tree);  // pinned for this scope
+    ASSERT_TRUE(snap.ok());
+    // Overwrite half AFTER the snapshot so it has version deltas on the
+    // node being drained.
+    for (int i = 0; i < kKeys; i += 2) {
+      ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i + 9000)).ok());
+    }
+
+    Cluster::RemoveMemnodeOptions ropts;
+    ropts.max_gc_rounds = 6;
+    Status st = cluster.RemoveMemnode(3, ropts);
+    ASSERT_TRUE(st.IsBusy()) << st.ToString();
+
+    // Drained but NOT retired: the node stays drain-only and keeps serving
+    // the pinned snapshot's reads.
+    EXPECT_FALSE(cluster.fabric()->IsRetired(3));
+    EXPECT_TRUE(cluster.fabric()->IsUp(3));
+    EXPECT_EQ(cluster.allocator()->placement_state(3),
+              alloc::NodeAllocator::PlacementState::kDraining);
+    EXPECT_EQ(TipCounts(cluster, *tree)[3], 0u) << "tip slabs must be gone";
+
+    std::string value;
+    for (int i = 0; i < kKeys; i += 3) {
+      ASSERT_TRUE(snap->Get(EncodeUserKey(i), &value).ok()) << i;
+      EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i))
+          << "pre-drain snapshot must serve its frozen image";
+    }
+  }  // the view's lease releases here — the horizon may advance now
+
+  ASSERT_TRUE(cluster.RemoveMemnode(3).ok());
+  EXPECT_TRUE(cluster.fabric()->IsRetired(3));
+  auto meta = cluster.allocator()->MetaLiveSlabs(3);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(*meta, 0u);
+  std::string value;
+  for (int i = 0; i < kKeys; i += 5) {
+    ASSERT_TRUE(p.Get(*tree, EncodeUserKey(i), &value).ok()) << i;
+    EXPECT_EQ(DecodeValue(value),
+              static_cast<uint64_t>(i % 2 == 0 ? i + 9000 : i));
+  }
+}
+
+// A crash mid-drain fails the drain cleanly (nothing retired, nothing
+// lost); after recovery the same node drains again to completion.
+TEST(ScaleInTest, CrashMidDrainAbortsCleanlyAndRedrains) {
+  ClusterOptions opts = SmallOpts(3);
+  opts.retain_snapshots = 2;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(0);
+  constexpr int kKeys = 400;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+
+  // Begin the drain and move PART of the population off node 2.
+  ASSERT_TRUE(cluster.allocator()->BeginDrain(2).ok());
+  btree::BTree* t = p.tree(tree->slot());
+  std::vector<btree::BTree::NodePlacement> placement;
+  ASSERT_TRUE(t->CollectTipPlacement(&placement).ok());
+  uint64_t moved = 0;
+  for (const auto& entry : placement) {
+    if (entry.addr.memnode != 2 || moved >= 3) continue;
+    bool migrated = false;
+    ASSERT_TRUE(t->MigrateNode(entry, 0, &migrated).ok());
+    moved += migrated ? 1 : 0;
+  }
+
+  // Crash the donor mid-drain: the drain aborts cleanly — no retirement,
+  // no membership change — and RemoveMemnode refuses while the node is
+  // down (its remaining slabs must be readable to migrate).
+  cluster.CrashMemnode(2);
+  auto report = cluster.rebalancer()->DrainMemnode(2, /*max_rounds=*/8);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsUnavailable()) << report.status().ToString();
+  EXPECT_FALSE(cluster.fabric()->IsRetired(2));
+  EXPECT_TRUE(cluster.RemoveMemnode(2).IsUnavailable());
+  EXPECT_EQ(cluster.n_live_memnodes(), 3u);
+
+  // Recover and re-drain: BeginDrain is idempotent, the drain resumes, and
+  // the retirement completes with every key intact.
+  cluster.RecoverMemnode(2);
+  ASSERT_TRUE(cluster.RemoveMemnode(2).ok());
+  EXPECT_TRUE(cluster.fabric()->IsRetired(2));
+  EXPECT_EQ(cluster.n_live_memnodes(), 2u);
+  std::string value;
+  for (int i = 0; i < kKeys; i += 7) {
+    ASSERT_TRUE(cluster.proxy(1).Get(*tree, EncodeUserKey(i), &value).ok())
+        << i;
+    EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
+  }
+}
+
 TEST(RebalanceTest, BackgroundRebalancerViaClusterAccessor) {
   Cluster cluster(SmallOpts(2));
   auto tree = cluster.CreateTree();

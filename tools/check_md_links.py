@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in markdown files.
+
+Usage: check_md_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Scans every given markdown file (directories are walked for *.md) for
+inline links/images `[text](target)` and reference definitions
+`[label]: target`, and verifies that each RELATIVE target exists on disk,
+resolved against the file's own directory. External schemes (http:, https:,
+mailto:) and pure in-page anchors (#...) are skipped; a `path#anchor`
+target is checked for the path part only.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (each broken
+link is printed as `file: target`).
+"""
+import os
+import re
+import sys
+
+# Inline [text](target) — target taken up to the first unescaped ')' or a
+# space (markdown allows an optional "title" after whitespace).
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [label]: target
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+
+def markdown_files(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def strip_code(text):
+    # Links inside fenced code blocks or inline code spans are examples,
+    # not navigation; blank them out (line structure preserved).
+    text = re.sub(
+        r"```.*?```", lambda m: "\n" * m.group(0).count("\n"), text,
+        flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    checked = 0
+    for md in markdown_files(argv[1:]):
+        with open(md, encoding="utf-8") as f:
+            text = strip_code(f.read())
+        targets = INLINE.findall(text) + REFDEF.findall(text)
+        for target in targets:
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            path = target.split("#", 1)[0]
+            if not path:
+                continue  # pure in-page anchor
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md) or ".", path))
+            if not os.path.exists(resolved):
+                broken.append(f"{md}: {target}")
+    if broken:
+        print("broken relative links:")
+        for line in broken:
+            print("  " + line)
+        return 1
+    print(f"ok: {checked} relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
