@@ -48,7 +48,7 @@ inline void Preload(Cluster& cluster, const TreeHandle& tree, uint64_t n,
 
 inline void PreloadCdb(cdb::CdbCluster& cdb, uint32_t table, uint64_t n) {
   for (uint64_t i = 0; i < n; i++) {
-    (void)cdb.Insert(table, EncodeUserKey(i), EncodeValue(i));
+    IgnoreStatus(cdb.Insert(table, EncodeUserKey(i), EncodeValue(i)));
   }
 }
 

@@ -59,12 +59,12 @@ void BM_MiniTxnSingleNode(benchmark::State& state) {
   sinfonia::MiniTxn seed;
   seed.AddWrite(sinfonia::Addr{0, 64}, "12345678");
   sinfonia::MiniResult r;
-  (void)coord.Execute(seed, &r);
+  IgnoreStatus(coord.Execute(seed, &r));
   for (auto _ : state) {
     sinfonia::MiniTxn t;
     t.AddCompare(sinfonia::Addr{0, 64}, "12345678");
     t.AddRead(sinfonia::Addr{0, 64}, 8);
-    (void)coord.Execute(t, &r);
+    IgnoreStatus(coord.Execute(t, &r));
     benchmark::DoNotOptimize(r);
   }
 }
@@ -79,13 +79,13 @@ void BM_DynamicTxnReadCommit(benchmark::State& state) {
   ref.payload_len = 64;
   {
     txn::DynamicTxn t(&coord, nullptr);
-    (void)t.WriteNew(ref, std::string(64, 'x'));
-    (void)t.Commit();
+    IgnoreStatus(t.WriteNew(ref, std::string(64, 'x')));
+    IgnoreStatus(t.Commit());
   }
   for (auto _ : state) {
     txn::DynamicTxn t(&coord, nullptr);
     benchmark::DoNotOptimize(t.Read(ref));
-    (void)t.Commit();
+    IgnoreStatus(t.Commit());
   }
 }
 BENCHMARK(BM_DynamicTxnReadCommit);

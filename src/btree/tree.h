@@ -523,6 +523,9 @@ Status BTree::RunOp(Body&& body) {
     // Persistent conflicts on an oversubscribed host: let the conflicting
     // writer actually run before retrying (see Coordinator::Execute).
     if (attempt >= 3) {
+      // lint:allow(sleep-in-src): bounded contention backoff inside the
+      // retry loop; there is no event to wait on, only a conflicting
+      // writer that needs CPU time to finish.
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
@@ -544,6 +547,9 @@ Status BTree::RunSnapshotOp(uint64_t sid, Body&& body) {
     stats_.op_aborts.fetch_add(1, std::memory_order_relaxed);
     if (attempt % 64 == 5) MINUET_RETURN_NOT_OK(CheckGcHorizon(sid));
     if (attempt >= 3) {
+      // lint:allow(sleep-in-src): bounded contention backoff inside the
+      // retry loop; there is no event to wait on, only a conflicting
+      // writer that needs CPU time to finish.
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }

@@ -45,7 +45,7 @@ void CdbCluster::Replicate(uint32_t partition, uint32_t table,
                            WriteKind kind) {
   if (!options_.replication || options_.n_partitions < 2) return;
   const uint32_t backup = (partition + 1) % options_.n_partitions;
-  (void)fabric_->ChargeMessage(backup);
+  IgnoreStatus(fabric_->ChargeMessage(backup));
   Partition& b = *partitions_[backup];
   std::lock_guard<std::mutex> g(b.lane);
   auto& t = b.backup[table];

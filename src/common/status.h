@@ -11,7 +11,7 @@
 
 namespace minuet {
 
-class Status {
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -130,7 +130,7 @@ class Status {
 
 // Result<T> carries either a value or a non-OK Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : v_(std::move(status)) {  // NOLINT
@@ -163,6 +163,14 @@ class Result {
  private:
   std::variant<T, Status> v_;
 };
+
+// Deliberately discard a Status/Result. Status is [[nodiscard]] everywhere,
+// so a call site that really can ignore its outcome must say so explicitly —
+// and the reviewer sees the reasoning next to the call:
+//   IgnoreStatus(view.Put(k, v));  // churn traffic; aborts are expected
+inline void IgnoreStatus(const Status&) {}
+template <typename T>
+inline void IgnoreStatus(const Result<T>&) {}
 
 // Propagate a non-OK status to the caller.
 #define MINUET_RETURN_NOT_OK(expr)              \

@@ -102,9 +102,9 @@ Status Cluster::RemoveMemnode(uint32_t id, RemoveMemnodeOptions opts) {
           // A fresh snapshot pushes the retention window forward (it never
           // crosses a pinned lease — that is what keeps pre-drain
           // SnapshotViews readable through all of this).
-          (void)snapshot_services_[slot]->CreateSnapshot();
+          IgnoreStatus(snapshot_services_[slot]->CreateSnapshot());
         }
-        (void)CollectGarbage(slot);
+        IgnoreStatus(CollectGarbage(slot));
       }
       remaining = allocator_->MetaLiveSlabs(id);
       if (!remaining.ok()) return remaining.status();
@@ -197,11 +197,7 @@ Result<mvcc::GarbageCollector::Report> Cluster::CollectGarbage(
   return gcs_[tree]->CollectOnce(snapshot_services_[tree]->LowestRetained());
 }
 
-void Cluster::CrashMemnode(uint32_t id) {
-  if (coord_->retired(id)) return;  // already permanently gone
-  fabric_->SetUp(id, false);
-  memnodes_[id]->LoseState();
-}
+void Cluster::CrashMemnode(uint32_t id) { coord_->Crash(id); }
 
 // No-op for retired ids (the coordinator guards: retirement is permanent).
 void Cluster::RecoverMemnode(uint32_t id) { coord_->Recover(id); }

@@ -354,7 +354,7 @@ Status FanoutScan(btree::BTree* tree, const btree::SnapshotRef& snap,
     std::vector<std::string> starts;
     starts.reserve(parts->size());
     for (const auto& p : *parts) starts.push_back(p.start);
-    (void)tree->PrewarmSnapshotPaths(snap, starts);
+    IgnoreStatus(tree->PrewarmSnapshotPaths(snap, starts));
   }
 
   std::map<sinfonia::MemnodeId, std::vector<size_t>> by_node;

@@ -52,7 +52,7 @@ Result<Rebalancer::RoundReport> Rebalancer::RunOnce() {
   // Re-anchor the allocator's load-aware placement counters to the
   // authoritative metadata; best-effort (a down memnode fails the read,
   // and migration onto it would fail anyway).
-  (void)cluster_->allocator()->ResyncLiveCounters();
+  IgnoreStatus(cluster_->allocator()->ResyncLiveCounters());
 
   // Node lifecycle masks: only ACTIVE memnodes may receive; DRAINING
   // memnodes are unconditional donors (drain-to-zero, no balance band);
@@ -214,7 +214,7 @@ Result<Rebalancer::DrainReport> Rebalancer::DrainMemnode(uint32_t donor,
     report.rounds++;
     // Receivers come from the load-aware counters; re-anchor them so this
     // round's choices reflect what previous rounds (and the GC) really did.
-    (void)allocator->ResyncLiveCounters();
+    IgnoreStatus(allocator->ResyncLiveCounters());
     std::vector<uint64_t> load = allocator->ApproxLiveSlabsAll();
     uint64_t found = 0;
     for (uint32_t slot = 0; slot < cluster_->n_trees(); slot++) {
@@ -272,29 +272,36 @@ Result<Rebalancer::DrainReport> Rebalancer::DrainMemnode(uint32_t donor,
 void Rebalancer::Start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
-  stop_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(stop_mu_);
+    stop_ = false;
+  }
   thread_ = std::thread([this] { Loop(); });
 }
 
 void Rebalancer::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
-  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   running_.store(false, std::memory_order_release);
 }
 
 void Rebalancer::Loop() {
-  while (!stop_.load(std::memory_order_acquire)) {
+  std::unique_lock<std::mutex> lk(stop_mu_);
+  while (!stop_) {
+    lk.unlock();
     // Failures (e.g. a crashed memnode mid-round) are transient here: the
     // next round re-lists placement and retries what still applies.
-    (void)RunOnce();
-    auto remaining = options_.interval;
-    constexpr auto kSlice = std::chrono::milliseconds(10);
-    while (remaining.count() > 0 && !stop_.load(std::memory_order_acquire)) {
-      const auto nap = remaining < kSlice ? remaining : kSlice;
-      std::this_thread::sleep_for(nap);
-      remaining -= nap;
-    }
+    IgnoreStatus(RunOnce());
+    lk.lock();
+    // Interruptible nap: Stop() wakes the daemon immediately instead of
+    // waiting out the cadence interval (and the spurious-wakeup-proof
+    // predicate doubles as the loop condition re-check).
+    stop_cv_.wait_for(lk, options_.interval, [this] { return stop_; });
   }
 }
 

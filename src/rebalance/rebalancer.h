@@ -36,7 +36,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 
 #include "common/status.h"
@@ -126,7 +128,11 @@ class Rebalancer {
   Cluster* cluster_;
   Options options_;
   std::atomic<bool> running_{false};
-  std::atomic<bool> stop_{false};
+  // The daemon naps on stop_cv_ between rounds, so Stop() interrupts the
+  // cadence wait instead of polling (see the sleep-in-src invariant).
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;  // guarded by stop_mu_
   std::thread thread_;
   std::atomic<uint64_t> total_migrated_{0};
 };

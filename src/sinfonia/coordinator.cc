@@ -111,6 +111,9 @@ Status Coordinator::Execute(const MiniTxn& mtx, MiniResult* result) {
       if (attempt < 4) {
         std::this_thread::yield();
       } else {
+        // lint:allow(sleep-in-src): bounded backoff standing in for the
+        // lock-hold time of the blocking minitransaction's conflicting
+        // holder; there is no local event to wait on.
         std::this_thread::sleep_for(std::chrono::microseconds(100));
       }
     }
@@ -132,15 +135,24 @@ Status Coordinator::Execute(const MiniTxn& mtx, MiniResult* result) {
 Status Coordinator::ExecuteSingle(TxId tx, const PerNode& pn, bool blocking,
                                   MiniResult* result) {
   MINUET_RETURN_NOT_OK(fabric_->ChargeMessage(pn.node));
+  // Replication must happen inside the primary's lock window, or two
+  // conflicting commits could reach the backup image concurrently and out
+  // of commit order — so a committed execution keeps its range locks until
+  // the backup write lands.
+  const bool replicate = options_.replication && !pn.writes.empty();
   MiniResult local;
   MINUET_RETURN_NOT_OK(memnodes_[pn.node]->ExecuteLocal(
-      tx, pn.compares, pn.reads, pn.writes, blocking, &local));
+      tx, pn.compares, pn.reads, pn.writes, blocking, &local,
+      /*hold_locks_on_commit=*/replicate));
   result->committed = local.committed;
   if (local.committed) {
     for (uint32_t i = 0; i < local.read_results.size(); i++) {
       result->read_results[pn.read_index[i]] = std::move(local.read_results[i]);
     }
-    if (options_.replication && !pn.writes.empty()) ReplicateWrites(pn);
+    if (replicate) {
+      ReplicateWrites(pn);
+      memnodes_[pn.node]->Release(tx);
+    }
   } else {
     for (uint32_t idx : local.failed_compares) {
       result->failed_compares.push_back(pn.compare_index[idx]);
@@ -205,7 +217,7 @@ Status Coordinator::ExecuteTwoPhase(TxId tx,
     for (const PerNode* pn : prepared) {
       Status st = decided_read_only ? fabric_->ChargeMessageAsync(pn->node)
                                     : fabric_->ChargeMessage(pn->node);
-      (void)st;  // local cleanup even if "down"
+      IgnoreStatus(st);  // local cleanup even if "down"
       memnodes_[pn->node]->Abort(tx);
     }
     if (!failure.ok()) return failure;  // Busy/TimedOut/Unavailable: retry?
@@ -227,12 +239,15 @@ Status Coordinator::ExecuteTwoPhase(TxId tx,
       // A participant that crashed between prepare and commit does not stop
       // the transaction: Sinfonia's recovery would replay from the backup.
       if (read_only) {
-        (void)fabric_->ChargeMessageAsync(pn->node);
+        IgnoreStatus(fabric_->ChargeMessageAsync(pn->node));
       } else {
-        (void)fabric_->ChargeMessage(pn->node);
+        IgnoreStatus(fabric_->ChargeMessage(pn->node));
       }
-      memnodes_[pn->node]->Commit(tx, pn->writes);
+      // Replicate BEFORE Commit releases the prepare locks: conflicting
+      // write sets must reach the backup image in commit order (and never
+      // concurrently).
       if (options_.replication && !pn->writes.empty()) ReplicateWrites(*pn);
+      memnodes_[pn->node]->Commit(tx, pn->writes);
     }
   }
   result->committed = true;
@@ -243,8 +258,21 @@ Status Coordinator::ExecuteTwoPhase(TxId tx,
 void Coordinator::ReplicateWrites(const PerNode& pn) {
   const MemnodeId backup = BackupOf(pn.node);
   if (backup == pn.node) return;  // single-memnode cluster: no peer
-  (void)fabric_->ChargeMessage(backup);
+  IgnoreStatus(fabric_->ChargeMessage(backup));
   memnodes_[backup]->ApplyBackupWrites(pn.node, pn.writes);
+}
+
+void Coordinator::Crash(MemnodeId id) {
+  // Exclusive: the wipe lands at a quiescent instant. An in-memory fault
+  // injection cannot model a crash racing a half-applied memcpy without
+  // undefined behavior (ByteSpace::Reset would free chunks under an
+  // in-flight writer), so executions that already charged their messages
+  // drain first and the crash takes effect between minitransactions —
+  // which is also Sinfonia's recovery-visible granularity.
+  std::unique_lock<std::shared_mutex> membership(membership_mu_);
+  if (retired(id)) return;  // already permanently gone
+  fabric_->SetUp(id, false);
+  memnodes_[id]->LoseState();
 }
 
 void Coordinator::Recover(MemnodeId id) {

@@ -72,6 +72,11 @@ class Coordinator {
                                            n_memnodes()));
   }
 
+  // Crash-inject `id`: mark it down on the fabric and wipe its primary
+  // space. Takes the membership lock exclusively so in-flight executions
+  // drain first — the wipe lands between minitransactions, never under a
+  // half-applied write. No-op for a retired id.
+  void Crash(MemnodeId id);
   // Restore a recovered memnode's state from its backup peer. No-op for a
   // retired id (retirement is permanent).
   void Recover(MemnodeId id);

@@ -123,7 +123,8 @@ Status Memnode::ExecuteLocal(TxId tx,
                              const std::vector<MiniTxn::CompareItem>& compares,
                              const std::vector<MiniTxn::ReadItem>& reads,
                              const std::vector<MiniTxn::WriteItem>& writes,
-                             bool blocking, MiniResult* result) {
+                             bool blocking, MiniResult* result,
+                             bool hold_locks_on_commit) {
   const auto wait = blocking ? options_.blocking_wait
                              : std::chrono::microseconds(0);
   MINUET_RETURN_NOT_OK(locks_.Lock(tx, TouchedRanges(compares, reads, writes),
@@ -135,9 +136,13 @@ Status Memnode::ExecuteLocal(TxId tx,
   if (ok) ApplyWrites(writes);
   result->committed = ok;
   if (!ok) result->read_results.clear();
-  locks_.Unlock(tx);
+  // A committed execution may keep its locks so the coordinator can
+  // replicate the write set inside the lock window (see the header).
+  if (!(ok && hold_locks_on_commit)) locks_.Unlock(tx);
   return Status::OK();
 }
+
+void Memnode::Release(TxId tx) { locks_.Unlock(tx); }
 
 Status Memnode::Prepare(TxId tx,
                         const std::vector<MiniTxn::CompareItem>& compares,
@@ -168,16 +173,17 @@ void Memnode::Abort(TxId tx) { locks_.Unlock(tx); }
 
 void Memnode::ApplyBackupWrites(MemnodeId primary,
                                 const std::vector<MiniTxn::WriteItem>& writes) {
-  ByteSpace* image = nullptr;
-  {
-    std::lock_guard<std::mutex> g(backup_mu_);
-    auto& slot = backups_[primary];
-    if (slot == nullptr) slot = std::make_unique<ByteSpace>();
-    image = slot.get();
-  }
+  // backup_mu_ is held across the WHOLE batch, not just the map lookup:
+  // a transaction's backup writes must be atomic against RestoreFrom
+  // streaming the image back into a recovering primary. (Conflicting
+  // batches are already serialized by the primary's range locks — the
+  // coordinator replicates before releasing them.)
+  std::lock_guard<std::mutex> g(backup_mu_);
+  auto& slot = backups_[primary];
+  if (slot == nullptr) slot = std::make_unique<ByteSpace>();
   for (const auto& w : writes) {
-    image->Write(w.addr.offset, w.data.data(),
-                 static_cast<uint32_t>(w.data.size()));
+    slot->Write(w.addr.offset, w.data.data(),
+                static_cast<uint32_t>(w.data.size()));
   }
 }
 
@@ -232,13 +238,14 @@ void Memnode::DropBackup(MemnodeId primary) {
 }
 
 void Memnode::RestoreFrom(const Memnode& peer) {
-  const ByteSpace* image = nullptr;
-  {
-    std::lock_guard<std::mutex> g(peer.backup_mu_);
-    auto it = peer.backups_.find(id_);
-    if (it != peer.backups_.end()) image = it->second.get();
-  }
-  if (image == nullptr) return;
+  // peer.backup_mu_ is held across the whole streamed read: a straggler
+  // transaction that charged its message before the crash may still be
+  // replicating into this image, and ApplyBackupWrites batches are atomic
+  // under the same mutex.
+  std::lock_guard<std::mutex> g(peer.backup_mu_);
+  auto it = peer.backups_.find(id_);
+  if (it == peer.backups_.end()) return;
+  const ByteSpace* image = it->second.get();
   const uint64_t extent = image->Extent();
   std::string data;
   constexpr uint32_t kBlock = 1 << 16;

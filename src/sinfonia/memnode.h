@@ -65,11 +65,18 @@ class Memnode {
   // Locks every touched range, evaluates compares, performs reads, applies
   // writes if all compares match, and unlocks. Returns Busy/TimedOut if
   // locks could not be acquired; `result->committed` reports compare
-  // outcome.
+  // outcome. With `hold_locks_on_commit` the locks stay held after a
+  // COMMITTED execution (abort paths always release) so the coordinator
+  // can replicate the write set to the backup image inside the lock
+  // window — conflicting transactions then reach the backup in commit
+  // order. The caller must follow up with Release(tx).
   Status ExecuteLocal(TxId tx, const std::vector<MiniTxn::CompareItem>& compares,
                       const std::vector<MiniTxn::ReadItem>& reads,
                       const std::vector<MiniTxn::WriteItem>& writes,
-                      bool blocking, MiniResult* result);
+                      bool blocking, MiniResult* result,
+                      bool hold_locks_on_commit = false);
+  // Release the range locks a hold_locks_on_commit execution kept.
+  void Release(TxId tx);
 
   // ---- Two-phase protocol ----------------------------------------------
   // Phase one: acquire locks, evaluate compares, perform reads. On success
@@ -87,8 +94,11 @@ class Memnode {
 
   // ---- Replication & fault injection ------------------------------------
   // Apply `writes` (addressed at `primary`) to this node's backup image of
-  // that primary. Called by the coordinator after a successful commit when
-  // replication is on.
+  // that primary. Called by the coordinator during commit, while the
+  // primary still holds the transaction's range locks — conflicting write
+  // sets therefore arrive here already serialized, in commit order. The
+  // whole batch runs under backup_mu_ so it is also atomic against
+  // RestoreFrom reading the image.
   void ApplyBackupWrites(MemnodeId primary,
                          const std::vector<MiniTxn::WriteItem>& writes);
 

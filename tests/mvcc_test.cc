@@ -152,8 +152,8 @@ TEST_F(MvccTest, SnapshotScanUnaffectedByConcurrentUpdates) {
   std::thread updater([&] {
     Rng rng(3);
     while (!stop) {
-      (void)tree(1).Put(EncodeUserKey(rng.Uniform(kKeys)),
-                        EncodeValue(rng.Next()));
+      IgnoreStatus(tree(1).Put(EncodeUserKey(rng.Uniform(kKeys)),
+                               EncodeValue(rng.Next())));
     }
   });
   for (int round = 0; round < 10; round++) {

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/key_codec.h"
+#include "test_seed.h"
 #include "common/random.h"
 #include "minuet/cluster.h"
 
@@ -52,7 +53,9 @@ TEST_P(PropertyTest, RandomOpsMatchReferenceMap) {
   TreeHandle tree;
   auto cluster = MakeCluster(false, &tree);
   std::map<std::string, std::string> model;
-  Rng rng(GetParam().machines * 131 + GetParam().node_size);
+  Rng rng(testing::SuiteSeed("RandomOpsMatchReferenceMap",
+                             GetParam().machines * 131 +
+                                 GetParam().node_size));
 
   for (int step = 0; step < 900; step++) {
     Proxy& p = cluster->proxy(rng.Uniform(cluster->n_proxies()));
@@ -96,7 +99,7 @@ TEST_P(PropertyTest, SnapshotsPinEveryEpochExactly) {
   TreeHandle tree;
   auto cluster = MakeCluster(false, &tree);
   Proxy& p = cluster->proxy(0);
-  Rng rng(7);
+  Rng rng(testing::SuiteSeed("SnapshotsPinEveryEpochExactly", 7));
 
   std::map<std::string, std::string> model;
   std::vector<std::pair<SnapshotView,
@@ -134,7 +137,7 @@ TEST_P(PropertyTest, ScanWindowsAreConsistentSlices) {
   }
   auto snap = p.Snapshot(tree);
   ASSERT_TRUE(snap.ok());
-  Rng rng(13);
+  Rng rng(testing::SuiteSeed("ScanWindowsAreConsistentSlices", 13));
   for (int trial = 0; trial < 20; trial++) {
     const uint64_t start = rng.Uniform(1200);
     const size_t limit = 1 + rng.Uniform(60);
@@ -161,7 +164,8 @@ TEST_P(PropertyTest, BranchForestMatchesPerBranchModels) {
   TreeHandle tree;
   auto cluster = MakeCluster(/*branching=*/true, &tree);
   Proxy& p = cluster->proxy(0);
-  Rng rng(GetParam().beta * 17 + 1);
+  Rng rng(testing::SuiteSeed("BranchForestMatchesPerBranchModels",
+                             GetParam().beta * 17 + 1));
 
   std::map<uint64_t, std::map<std::string, std::string>> models;
   std::vector<uint64_t> writable = {0};
@@ -207,7 +211,7 @@ TEST_P(PropertyTest, VariableLengthKeysAndValues) {
   TreeHandle tree;
   auto cluster = MakeCluster(false, &tree);
   Proxy& p = cluster->proxy(0);
-  Rng rng(21);
+  Rng rng(testing::SuiteSeed("VariableLengthKeysAndValues", 21));
   std::map<std::string, std::string> model;
   const size_t max_entry = btree::MaxEntryBytes(GetParam().node_size - 8);
   for (int i = 0; i < 300; i++) {

@@ -1,0 +1,31 @@
+// Replayable randomness for the randomized suites (property_test,
+// stress_test): every Rng seed flows through SuiteSeed, which logs the
+// effective value on use and honors MINUET_TEST_SEED — so a sanitizer-CI
+// failure line like
+//   [    SEED  ] RandomOpsMatchReferenceMap seed=0x2b992ddfa23249d6
+// replays locally with
+//   MINUET_TEST_SEED=0x2b992ddfa23249d6 ./stress_test --gtest_filter=...
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace minuet::testing {
+
+// Returns `preferred` (the test's deterministic default), unless the
+// MINUET_TEST_SEED environment variable overrides it for replay or
+// exploration. Logged either way, in the gtest bracket style so the line
+// lands next to the failing test in CI output.
+inline uint64_t SuiteSeed(const char* test_name, uint64_t preferred) {
+  uint64_t seed = preferred;
+  if (const char* env = std::getenv("MINUET_TEST_SEED")) {
+    seed = std::strtoull(env, nullptr, 0);
+  }
+  std::printf("[    SEED  ] %s seed=0x%llx\n", test_name,
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  return seed;
+}
+
+}  // namespace minuet::testing

@@ -222,10 +222,11 @@ TEST(ProxyKVTest, YcsbEScansSurviveGcPressure) {
     Rng crng(3);
     for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); i++) {
       for (int j = 0; j < 30; j++) {
-        (void)tip.Put(EncodeUserKey(crng.Uniform(kRecords)), EncodeValue(i));
+        IgnoreStatus(
+            tip.Put(EncodeUserKey(crng.Uniform(kRecords)), EncodeValue(i)));
       }
-      (void)scs->CreateSnapshot();
-      (void)cluster.CollectGarbage(*tree);
+      IgnoreStatus(scs->CreateSnapshot());
+      IgnoreStatus(cluster.CollectGarbage(*tree));
     }
   });
 

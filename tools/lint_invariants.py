@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for the Minuet tree.
+
+Enforces repo-specific concurrency and error-handling invariants that
+neither the compiler nor clang-tidy knows about (documented in
+docs/ARCHITECTURE.md, "Concurrency invariants & tooling"):
+
+  ignored-status      (void)-casting a call away is banned everywhere —
+                      Status/Result<T> are [[nodiscard]], and deliberate
+                      discards must go through IgnoreStatus(...) so the
+                      intent is searchable and reviewable.
+  sleep-in-src        src/ must not sleep. Daemons wait on a condition
+                      variable they can be woken from (a sleeping daemon
+                      stretches shutdown and hides lost-wakeup bugs);
+                      bounded contention backoff is the one legitimate
+                      exception and must be annotated.
+  bare-thread         every std::thread constructed in src/ needs a joining
+                      owner in the same file; detached threads are banned
+                      outright (nothing may outlive the cluster that spawned
+                      it).
+  lock-across-fabric  no EXCLUSIVE mutex guard (lock_guard / scoped_lock /
+                      unique_lock) may be held across a fabric send or a
+                      coordinator execute — one stalled memnode would
+                      serialize every thread behind the lock. shared_lock on
+                      the coordinator's membership mutex is the documented
+                      exception and is not matched.
+
+A violating line can be suppressed with an annotation on the same line or
+the line above:
+
+    // lint:allow(<rule>): <reason>
+
+The reason is mandatory: the annotation is the reviewable record of WHY the
+invariant does not apply.
+
+Usage: tools/lint_invariants.py [--root DIR] [paths...]
+Exits non-zero if any violation is found (CI gate).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_EXTENSIONS = (".cc", ".h")
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)\s*:\s*\S")
+
+# Rule: ignored-status. A (void) cast of a CALL (not of an unused variable
+# or parameter, which stays legal).
+VOID_CALL_RE = re.compile(r"\(void\)\s*[A-Za-z_][\w.:>\[\]()-]*\(")
+
+# Rule: sleep-in-src.
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(|\busleep\s*\(|\bsleep\s*\(")
+
+# Rule: bare-thread. A LAUNCH site (constructor with arguments, assignment
+# from a temporary, or emplace into a thread container) — a plain member or
+# local declaration `std::thread t_;` is not a launch and carries no join
+# obligation of its own (the .cc that starts it does).
+THREAD_LAUNCH_RE = re.compile(
+    r"\bstd::thread\s*(?:\w+\s*)?\([^)]|=\s*std::thread\b|"
+    r"\bthreads?\w*\.(?:emplace_back|push_back)\s*\(")
+DETACH_RE = re.compile(r"\.detach\s*\(\s*\)")
+JOIN_RE = re.compile(r"\.join\s*\(\s*\)|\bjoinable\s*\(")
+
+# Rule: lock-across-fabric. Exclusive guards only — std::shared_lock (the
+# coordinator's membership read lock) is deliberately absent.
+GUARD_RE = re.compile(r"\bstd::(?:lock_guard|scoped_lock|unique_lock)\s*<")
+FABRIC_SEND_RE = re.compile(
+    r"\bChargeMessage(?:Async)?\s*\(|(?:->|\.)Execute(?:AndCommit)?\s*\(")
+
+STRING_OR_CHAR_RE = re.compile(
+    r'"(?:[^"\\]|\\.)*"|' r"'(?:[^'\\]|\\.)'")
+
+
+def strip_code_line(line):
+    """Remove string/char literals and // comments; return (code, comment)."""
+    line = STRING_OR_CHAR_RE.sub('""', line)
+    idx = line.find("//")
+    if idx >= 0:
+        return line[:idx], line[idx:]
+    return line, ""
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, path, lineno, rule, message):
+        self.items.append((path, lineno, rule, message))
+
+
+def allowed(rule, raw_lines, i):
+    """True if line i (0-based) or the contiguous comment block directly
+    above it carries lint:allow(rule)."""
+    m = ALLOW_RE.search(raw_lines[i])
+    if m and m.group(1) == rule:
+        return True
+    j = i - 1
+    while j >= 0 and raw_lines[j].lstrip().startswith("//"):
+        m = ALLOW_RE.search(raw_lines[j])
+        if m and m.group(1) == rule:
+            return True
+        j -= 1
+    return False
+
+
+def lint_file(path, rel, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw_lines = f.read().splitlines()
+
+    in_src = rel.startswith("src/")
+    in_block_comment = False
+    # Active exclusive guards: stack of brace depths at declaration.
+    guard_depths = []
+    depth = 0
+    constructs_thread = False
+    has_join = False
+    thread_sites = []
+
+    for i, raw in enumerate(raw_lines):
+        code, _ = strip_code_line(raw)
+        # Crude block-comment handling (the tree uses // almost everywhere).
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        start = code.find("/*")
+        if start >= 0:
+            end = code.find("*/", start + 2)
+            if end < 0:
+                in_block_comment = True
+                code = code[:start]
+            else:
+                code = code[:start] + code[end + 2:]
+
+        lineno = i + 1
+
+        # --- ignored-status (all trees) ----------------------------------
+        if VOID_CALL_RE.search(code) and not allowed("ignored-status",
+                                                     raw_lines, i):
+            findings.add(rel, lineno, "ignored-status",
+                         "(void)-cast of a call; use IgnoreStatus(...) so "
+                         "the deliberate discard is searchable")
+
+        if in_src:
+            # --- sleep-in-src --------------------------------------------
+            if SLEEP_RE.search(code) and not allowed("sleep-in-src",
+                                                     raw_lines, i):
+                findings.add(rel, lineno, "sleep-in-src",
+                             "sleeping in src/; wait on a condition "
+                             "variable (or annotate bounded backoff)")
+
+            # --- bare-thread ---------------------------------------------
+            if DETACH_RE.search(code) and not allowed("bare-thread",
+                                                      raw_lines, i):
+                findings.add(rel, lineno, "bare-thread",
+                             "detached thread; every thread needs a "
+                             "joining owner")
+            if THREAD_LAUNCH_RE.search(code):
+                constructs_thread = True
+                if not allowed("bare-thread", raw_lines, i):
+                    thread_sites.append(lineno)
+            if JOIN_RE.search(code):
+                has_join = True
+
+            # --- lock-across-fabric --------------------------------------
+            # Depth-tracked scan: a guard declared at depth d is live until
+            # the brace that closes d. A fabric send while any guard is
+            # live is a violation.
+            if GUARD_RE.search(code):
+                guard_depths.append(depth)
+            if (FABRIC_SEND_RE.search(code) and guard_depths
+                    and not allowed("lock-across-fabric", raw_lines, i)):
+                findings.add(rel, lineno, "lock-across-fabric",
+                             "fabric send / coordinator execute while an "
+                             "exclusive mutex guard is held (guard "
+                             "declared at brace depth %d)" % guard_depths[-1])
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                    while guard_depths and guard_depths[-1] >= depth:
+                        guard_depths.pop()
+
+    if in_src and constructs_thread and not has_join and thread_sites:
+        for lineno in thread_sites:
+            findings.add(rel, lineno, "bare-thread",
+                         "std::thread constructed but no .join() anywhere "
+                         "in this file")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repo root (default: cwd)")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to these files/dirs (default: "
+                             "src tests bench tools)")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    targets = args.paths or ["src", "tests", "bench"]
+
+    files = []
+    for t in targets:
+        full = os.path.join(root, t)
+        if os.path.isfile(full):
+            files.append(full)
+            continue
+        for dirpath, _, names in os.walk(full):
+            for name in sorted(names):
+                if name.endswith(SRC_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+
+    findings = Findings()
+    for path in sorted(files):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        lint_file(path, rel, findings)
+
+    for path, lineno, rule, message in findings.items:
+        print("%s:%d: [%s] %s" % (path, lineno, rule, message))
+
+    if findings.items:
+        print("\n%d invariant violation(s). Fix, or annotate with "
+              "'// lint:allow(<rule>): <reason>'." % len(findings.items))
+        return 1
+    print("lint_invariants: %d files clean" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
