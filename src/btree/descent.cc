@@ -123,6 +123,16 @@ Status BTree::VisitFrontier(DynamicTxn& txn, uint64_t sid, TraverseMode mode,
     std::vector<ObjectRef> refs;
     std::unordered_map<Addr, size_t, sinfonia::AddrHash> slot;
     for (const FrontierItem& it : fetchable) {
+      // A pointer into a retired memnode can only come from a stale parent
+      // (drains complete before retirement): abort-and-invalidate NOW. A
+      // fetch would be caught by MaybeRetiredAbort below, but a validated
+      // walk may serve this item from the proxy cache without fetching and
+      // only discover the retired home at commit — as a NON-retryable
+      // Unavailable that skips the cache-scrubbing retry discipline.
+      if (coord_->retired(it.addr.memnode)) {
+        return AbortDescent(txn, it.addr, *visited,
+                            "pointer to a retired memnode");
+      }
       if (slot.emplace(it.addr, refs.size()).second) {
         refs.push_back(validated_path ? layout().SlabRef(it.addr)
                                       : NodeRef(it.addr, /*internal=*/true));

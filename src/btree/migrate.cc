@@ -54,8 +54,17 @@ Status BTree::CollectTipPlacement(std::vector<NodePlacement>* out) {
       }
       return Status::OK();
     };
+    // validated_path: placement is a control-plane listing that must be
+    // authoritative no matter which BTree instance runs it. Dirty reads
+    // would happily serve a stale cached parent whose child pointer a
+    // migration (run through a DIFFERENT instance, e.g. the catalog's
+    // service tree) has since swung in place — the §4.2 settle checks all
+    // pass on such a node, so the walk would report pre-migration homes
+    // forever. Joining the walk into the read set makes the commit inside
+    // RunOp validate every internal node; a stale parent aborts, the retry
+    // refetches fresh state, and the listing converges to the truth.
     return VisitFrontier(txn, tip->sid, TraverseMode::kUpToDate,
-                         /*validated_path=*/false,
+                         /*validated_path=*/true,
                          {FrontierItem{tip->root, -1, 0}}, cb, &visited);
   });
 }

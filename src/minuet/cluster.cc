@@ -1,8 +1,8 @@
 #include "minuet/cluster.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <cstdio>
+#include <cstdlib>
 
 #include "rebalance/rebalancer.h"
 
@@ -43,12 +43,109 @@ Cluster::Cluster(ClusterOptions options) : options_(options) {
   allocator_ =
       std::make_unique<alloc::NodeAllocator>(layout_, coord_.get(), aopts);
 
-  for (uint32_t i = 0; i < options_.machines; i++) {
+  catalog_ = std::make_unique<TreeCatalog>(
+      coord_.get(), allocator_.get(), &linear_oracle_, this,
+      layout_.max_trees(), options_.cache_capacity);
+
+  const uint32_t n_proxies =
+      options_.proxies > 0 ? options_.proxies : options_.machines;
+  for (uint32_t i = 0; i < n_proxies; i++) {
     proxies_.push_back(std::unique_ptr<Proxy>(new Proxy(this, i)));
   }
 }
 
 Cluster::~Cluster() = default;
+
+Proxy& Cluster::proxy(uint32_t i) {
+  std::shared_lock<std::shared_mutex> g(proxies_mu_);
+  if (i >= proxies_.size()) {
+    // Indexing an unregistered proxy was silent UB when the tier was
+    // frozen at construction; with an elastic tier it is a hard
+    // programming error — fail loudly instead of corrupting memory.
+    std::fprintf(stderr,
+                 "Cluster::proxy(%u): no such proxy (%zu registered)\n", i,
+                 proxies_.size());
+    std::abort();
+  }
+  return *proxies_[i];
+}
+
+Result<Proxy*> Cluster::FindProxy(uint32_t i) {
+  std::shared_lock<std::shared_mutex> g(proxies_mu_);
+  if (i >= proxies_.size()) {
+    return Status::InvalidArgument("no such proxy");
+  }
+  return proxies_[i].get();
+}
+
+uint32_t Cluster::n_proxies() const {
+  std::shared_lock<std::shared_mutex> g(proxies_mu_);
+  return static_cast<uint32_t>(proxies_.size());
+}
+
+uint32_t Cluster::n_live_proxies() const {
+  std::shared_lock<std::shared_mutex> g(proxies_mu_);
+  uint32_t live = 0;
+  for (const auto& proxy : proxies_) {
+    if (!proxy->detached()) live++;
+  }
+  return live;
+}
+
+Result<uint32_t> Cluster::AddProxy() {
+  std::unique_lock<std::shared_mutex> g(proxies_mu_);
+  const uint32_t id = static_cast<uint32_t>(proxies_.size());
+  // Construction is local (cache allocation only — no fabric I/O under the
+  // registry lock); the proxy attaches per-tree state lazily on first use.
+  proxies_.push_back(std::unique_ptr<Proxy>(new Proxy(this, id)));
+  return id;
+}
+
+Status Cluster::RemoveProxy(uint32_t id) {
+  Proxy* victim = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> g(proxies_mu_);
+    if (id >= proxies_.size()) {
+      return Status::InvalidArgument("no such proxy");
+    }
+    if (proxies_[id]->detached()) {
+      // Permanent hole, symmetric with retired memnode ids.
+      return Status::InvalidArgument(
+          "proxy id was removed; proxy ids are never reused");
+    }
+    uint32_t live = 0;
+    for (const auto& proxy : proxies_) {
+      if (!proxy->detached()) live++;
+    }
+    if (live <= 1) {
+      return Status::InvalidArgument("cannot remove the last live proxy");
+    }
+    victim = proxies_[id].get();
+    // From here every handle-validated operation through the proxy fails
+    // with InvalidArgument. The object stays alive for the cluster's
+    // lifetime, so stragglers get a clean error, never a use-after-free.
+    victim->detached_.store(true, std::memory_order_release);
+  }
+  // Lease bulk-release and cache drain run OUTSIDE the registry lock:
+  // both walk other subsystems' leaf mutexes, and neither needs the
+  // registry. THE LEASE-RELEASE INVARIANT: a removed proxy's pins vanish
+  // from every tree's snapshot service, so the GC horizon advances past
+  // them — mirroring the memnode drain rule that nothing queryable may be
+  // held hostage by a departed member. Stragglers that later Unpin a
+  // bulk-released lease no-op harmlessly (per-owner accounting).
+  for (uint32_t slot = 0; slot < catalog_->n_trees(); slot++) {
+    catalog_->snapshot_service(slot)->ReleaseOwner(victim->lease_owner());
+  }
+  victim->cache()->Disable();
+  return Status::OK();
+}
+
+void Cluster::DropProxyCaches() {
+  // Shared registry guard: the proxy set may grow concurrently (AddProxy),
+  // and the vector must not reallocate mid-iteration.
+  std::shared_lock<std::shared_mutex> g(proxies_mu_);
+  for (auto& proxy : proxies_) proxy->cache()->Clear();
+}
 
 Result<uint32_t> Cluster::AddMemnode() {
   const uint32_t id = coord_->n_memnodes();
@@ -102,7 +199,7 @@ Status Cluster::RemoveMemnode(uint32_t id, RemoveMemnodeOptions opts) {
           // A fresh snapshot pushes the retention window forward (it never
           // crosses a pinned lease — that is what keeps pre-drain
           // SnapshotViews readable through all of this).
-          IgnoreStatus(snapshot_services_[slot]->CreateSnapshot());
+          IgnoreStatus(catalog_->snapshot_service(slot)->CreateSnapshot());
         }
         IgnoreStatus(CollectGarbage(slot));
       }
@@ -142,59 +239,33 @@ rebalance::Rebalancer* Cluster::rebalancer() {
 }
 
 Result<TreeHandle> Cluster::CreateTree(bool branching) {
-  if (next_tree_ >= layout_.max_trees()) {
-    return Status::NoSpace("tree slots exhausted");
-  }
-  const uint32_t slot = next_tree_;
-
   btree::TreeOptions topts;
   topts.dirty_traversals = options_.dirty_traversals;
   topts.replicate_internal_seqnums = options_.replicate_internal_seqnums;
   topts.beta = options_.beta;
   topts.max_attempts = options_.max_op_attempts;
 
-  for (auto& proxy : proxies_) {
-    proxy->trees_.push_back(std::make_unique<btree::BTree>(
-        coord_.get(), allocator_.get(), proxy->cache_.get(), &linear_oracle_,
-        slot, topts));
-    proxy->version_managers_.push_back(
-        branching ? std::make_unique<version::VersionManager>(
-                        proxy->trees_.back().get())
-                  : nullptr);
-  }
-  Status st = proxies_[0]->trees_[slot]->CreateTree();
-  if (!st.ok()) {
-    // Roll the per-proxy vectors back so slot indices stay aligned with
-    // next_tree_ and a later CreateTree can reuse this slot.
-    for (auto& proxy : proxies_) {
-      proxy->trees_.pop_back();
-      proxy->version_managers_.pop_back();
-    }
-    return st;
-  }
-  next_tree_++;
-  tree_branching_.push_back(branching);
-
   mvcc::SnapshotService::Options sopts;
   sopts.min_interval_seconds = options_.snapshot_min_interval_seconds;
   sopts.retain_last = options_.retain_snapshots;
-  snapshot_services_.push_back(std::make_unique<mvcc::SnapshotService>(
-      proxies_[0]->trees_[slot].get(), sopts, snapshot_clock_));
-  gcs_.push_back(std::make_unique<mvcc::GarbageCollector>(
-      proxies_[0]->trees_[slot].get()));
-  return TreeHandle(slot, branching, this);
+
+  // One registration, total: the catalog owns the slot, the branching
+  // flag, the snapshot service and the GC. Proxies — including ones added
+  // after this call — attach their own view stacks lazily on first use.
+  return catalog_->Register(branching, topts, sopts, snapshot_clock_);
 }
 
 Result<TreeHandle> Cluster::OpenTree(uint32_t slot) const {
-  if (slot >= next_tree_) {
-    return Status::InvalidArgument("no such tree slot");
-  }
-  return TreeHandle(slot, tree_branching_[slot], this);
+  return catalog_->Handle(slot);
 }
 
 Result<mvcc::GarbageCollector::Report> Cluster::CollectGarbage(
     uint32_t tree) {
-  return gcs_[tree]->CollectOnce(snapshot_services_[tree]->LowestRetained());
+  mvcc::GarbageCollector* gc = catalog_->gc(tree);
+  if (gc == nullptr) {
+    return Status::InvalidArgument("no such tree slot");
+  }
+  return gc->CollectOnce(catalog_->snapshot_service(tree)->LowestRetained());
 }
 
 void Cluster::CrashMemnode(uint32_t id) { coord_->Crash(id); }
@@ -211,7 +282,48 @@ Proxy::Proxy(Cluster* cluster, uint32_t id)
       coord_(cluster->coord_.get()),
       max_attempts_(cluster->options_.max_op_attempts),
       cache_(std::make_unique<txn::ObjectCache>(
-          cluster->options_.cache_capacity)) {}
+          cluster->options_.cache_capacity)),
+      tree_capacity_(cluster->layout_.max_trees()),
+      trees_(new TreeCatalog::ProxyTree[tree_capacity_]) {}
+
+Status Proxy::CheckHandle(const TreeHandle& tree) const {
+  if (detached_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("proxy was removed from its cluster");
+  }
+  return cluster_->catalog_->CheckHandle(tree);
+}
+
+Status Proxy::EnsureAttached(uint32_t slot) {
+  if (slot < attached_.load(std::memory_order_acquire)) return Status::OK();
+  const TreeCatalog& catalog = *cluster_->catalog_;
+  if (slot >= catalog.n_trees()) {
+    return Status::InvalidArgument("no such tree slot");
+  }
+  // Materialize every slot up to and including the requested one, so the
+  // attached prefix stays dense (slots are dense in the catalog). Local
+  // construction only — no fabric I/O under attach_mu_.
+  std::lock_guard<std::mutex> g(attach_mu_);
+  for (uint32_t s = attached_.load(std::memory_order_relaxed); s <= slot;
+       s++) {
+    trees_[s] = catalog.Materialize(s, cache_.get());
+    attached_.store(s + 1, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+btree::BTree* Proxy::tree(const TreeHandle& t) {
+  return CheckHandle(t).ok() ? tree(t.slot()) : nullptr;
+}
+
+btree::BTree* Proxy::tree(uint32_t slot) {
+  if (!EnsureAttached(slot).ok()) return nullptr;
+  return trees_[slot].tree.get();
+}
+
+version::VersionManager* Proxy::vm(uint32_t tree) {
+  if (!EnsureAttached(tree).ok()) return nullptr;
+  return trees_[tree].version_manager.get();
+}
 
 mvcc::SnapshotService* Proxy::snapshot_service(uint32_t tree) {
   return cluster_->snapshot_service(tree);
@@ -219,14 +331,15 @@ mvcc::SnapshotService* Proxy::snapshot_service(uint32_t tree) {
 
 // Shared factory body: acquisition pins atomically inside the service (no
 // window for the GC horizon to pass the snapshot before the view exists)
-// and the view adopts that pin for its lifetime.
+// and the view adopts that pin for its lifetime. The pin is accounted to
+// this proxy (lease_owner), so RemoveProxy can bulk-release it.
 Result<SnapshotView> Proxy::AcquirePinnedView(const TreeHandle& tree,
                                               bool strict) {
   MINUET_RETURN_NOT_OK(CheckHandle(tree));
   MINUET_RETURN_NOT_OK(CheckLinearAccess(tree));
   mvcc::SnapshotService* scs = snapshot_service(tree.slot());
-  auto snap = strict ? scs->CreateSnapshot(/*pin=*/true)
-                     : scs->AcquireForScan(/*pin=*/true);
+  auto snap = strict ? scs->CreateSnapshot(/*pin=*/true, lease_owner())
+                     : scs->AcquireForScan(/*pin=*/true, lease_owner());
   if (!snap.ok()) return snap.status();
   // The view adopts the acquisition pin: no extra pin/unpin round trip.
   return SnapshotView(this, tree, *snap, scs, SnapshotView::Lease::kAdopt);
@@ -291,7 +404,8 @@ Status Proxy::Scan(const TreeHandle& tree, const std::string& start,
     // one and continues (per-snapshot consistency).
     MINUET_RETURN_NOT_OK(CheckHandle(tree));
     MINUET_RETURN_NOT_OK(CheckLinearAccess(tree));
-    auto snap = snapshot_service(tree.slot())->AcquireForScan(/*pin=*/false);
+    auto snap = snapshot_service(tree.slot())
+                    ->AcquireForScan(/*pin=*/false, lease_owner());
     if (!snap.ok()) return snap.status();
     auto view = ViewAt(tree, *snap);  // carries the service for re-leasing
     if (!view.ok()) return view.status();
@@ -303,89 +417,6 @@ Status Proxy::Scan(const TreeHandle& tree, const std::string& start,
   auto view = RecentSnapshot(tree);
   if (!view.ok()) return view.status();
   return view->NewCursor(start, copts)->Drain(limit, out);
-}
-
-Status Proxy::Apply(const WriteBatch& batch) {
-  if (batch.empty()) return Status::OK();
-  std::set<std::pair<uint32_t, std::string>> inserted;
-  for (const WriteBatch::Op& op : batch.ops_) {
-    MINUET_RETURN_NOT_OK(CheckHandle(op.tree));
-    if (op.branch_sid == WriteBatch::kNoBranch) {
-      MINUET_RETURN_NOT_OK(CheckLinearAccess(op.tree));
-    } else if (!op.tree.branching()) {
-      return Status::InvalidArgument(
-          "branch writes target branching trees; use Put/Remove on linear "
-          "tips");
-    }
-    if (op.kind == WriteBatch::Kind::kInsert &&
-        !inserted.emplace(op.tree.slot(), op.key).second) {
-      return Status::AlreadyExists("duplicate insert within the batch");
-    }
-  }
-  // Group the batch per (tree, branch) tip, preserving batch order within
-  // each group (order only matters between ops on the same key, which land
-  // in the same group). Strict-insert keys are collected separately:
-  // existence is settled with one batched read per tree BEFORE any write
-  // is buffered.
-  struct PerTip {
-    std::vector<std::string> insert_keys;
-    std::vector<btree::BTree::WriteOp> ops;
-  };
-  std::map<std::pair<uint32_t, uint64_t>, PerTip> per_tip;
-  for (const WriteBatch::Op& op : batch.ops_) {
-    PerTip& pt = per_tip[{op.tree.slot(), op.branch_sid}];
-    btree::BTree::WriteOp wop;
-    wop.key = op.key;
-    switch (op.kind) {
-      case WriteBatch::Kind::kInsert:
-        pt.insert_keys.push_back(op.key);
-        [[fallthrough]];  // existence settled in phase 1; then an upsert
-      case WriteBatch::Kind::kPut:
-        wop.kind = btree::BTree::WriteOp::Kind::kPut;
-        wop.value = op.value;
-        break;
-      case WriteBatch::Kind::kRemove:
-        wop.kind = btree::BTree::WriteOp::Kind::kRemove;
-        break;
-    }
-    pt.ops.push_back(std::move(wop));
-  }
-  return Transaction([&](txn::DynamicTxn& txn) -> Status {
-    // Phase 1 — strict-insert existence checks, BEFORE any write is
-    // buffered: an AlreadyExists return then commits a read-only
-    // transaction (validating the conclusion, see RunTransaction) without
-    // installing a partial batch. Existence is therefore judged against
-    // the pre-batch state — and resolved with ONE batched MultiGet per
-    // tree (shared level-synchronized descents, one grouped leaf round)
-    // instead of one serial descent per insert. (Inserts are linear-tip
-    // only; WriteBatch exposes no branch insert.)
-    for (auto& [key, pt] : per_tip) {
-      if (pt.insert_keys.empty()) continue;
-      std::vector<std::optional<std::string>> values;
-      MINUET_RETURN_NOT_OK(
-          trees_[key.first]->MultiGetInTxn(txn, pt.insert_keys, &values));
-      for (const auto& v : values) {
-        if (v.has_value()) {
-          return Status::AlreadyExists("insert of a present key");
-        }
-      }
-    }
-    // Phase 2 — apply every write, per tip, through the batched descent:
-    // all target leaves resolve in O(depth) cold rounds and join the read
-    // set in one round, and ops targeting the same leaf collapse into one
-    // traversal + one leaf mutation (one commit compare per leaf). Branch
-    // groups resolve (and validate) their catalog tip inside this same
-    // transaction, so a concurrent fork aborts the whole batch.
-    for (auto& [key, pt] : per_tip) {
-      const auto& [slot, branch_sid] = key;
-      MINUET_RETURN_NOT_OK(
-          branch_sid == WriteBatch::kNoBranch
-              ? trees_[slot]->ApplyWritesInTxn(txn, pt.ops)
-              : trees_[slot]->BranchApplyWritesInTxn(txn, branch_sid,
-                                                     pt.ops));
-    }
-    return Status::OK();
-  });
 }
 
 // ---------------------------------------------------------------------------

@@ -24,16 +24,22 @@
 //   auto snap = p.Snapshot(*tree);                 // pinned consistent view
 //   for (auto cur = snap->NewCursor("a"); cur->Valid(); cur->Next())
 //     Use(cur->key(), cur->value());
+//
+// Both tiers are elastic at runtime: memnodes via AddMemnode/RemoveMemnode
+// (storage), proxies via AddProxy/RemoveProxy (the client-facing tier).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "alloc/allocator.h"
 #include "btree/tree.h"
 #include "cdb/cdb.h"
+#include "minuet/tree_catalog.h"
 #include "minuet/tree_handle.h"
 #include "minuet/view.h"
 #include "minuet/write_batch.h"
@@ -51,14 +57,18 @@ class Rebalancer;
 }  // namespace rebalance
 
 struct ClusterOptions {
-  // "Machines": each contributes one memnode and one proxy, as in the
-  // paper's experimental deployment (Fig. 9).
+  // "Machines": each contributes one memnode and (by default) one proxy,
+  // as in the paper's experimental deployment (Fig. 9).
   uint32_t machines = 4;
   // Upper bound the memnode count may grow to at runtime via
   // Cluster::AddMemnode (elastic scale-out). The address-space layout is
   // computed against this capacity so growth never relocates existing
   // objects. 0 = max(2 x machines, 8).
   uint32_t max_machines = 0;
+  // Proxies at construction; 0 = one per machine. The proxy tier grows and
+  // shrinks independently of the memnode tier at runtime via
+  // Cluster::AddProxy / RemoveProxy.
+  uint32_t proxies = 0;
   uint32_t node_size = 4096;
   bool dirty_traversals = true;
   // Aguilera baseline (forced on automatically when dirty_traversals is
@@ -78,6 +88,14 @@ class Cluster;
 // A proxy: executes B-tree operations on behalf of clients, with its own
 // incoherent cache of internal nodes (paper §2.3). All access goes through
 // Views obtained here; single-op conveniences below delegate to a TipView.
+//
+// Lifecycle (docs/ARCHITECTURE.md "Proxy lifecycle"): a proxy holds no
+// per-tree state of its own — it lazily materializes a view stack per tree
+// through the cluster's TreeCatalog, so a proxy added at runtime
+// (Cluster::AddProxy) immediately serves every existing tree. A removed
+// proxy (Cluster::RemoveProxy) stays alive as an object (no use-after-free
+// for stragglers) but every handle-validated operation through it fails
+// with InvalidArgument, permanently.
 class Proxy {
  public:
   // --- Views (the canonical client surface) --------------------------------
@@ -141,17 +159,33 @@ class Proxy {
   // tree handles' *InTxn operations inside.
   template <typename Body>
   Status Transaction(Body&& body) {
+    if (detached_.load(std::memory_order_acquire)) {
+      return Status::InvalidArgument("proxy was removed from its cluster");
+    }
     return txn::RunTransaction(coord_, cache_.get(), {}, max_attempts_,
                                std::forward<Body>(body));
   }
 
   // Direct tree handle (advanced use, *InTxn ops); nullptr when the
-  // handle was not minted by this proxy's cluster.
-  btree::BTree* tree(const TreeHandle& t) {
-    return CheckHandle(t).ok() ? trees_[t.slot()].get() : nullptr;
-  }
-  btree::BTree* tree(uint32_t slot) { return trees_[slot].get(); }
+  // handle was not minted by this proxy's cluster or the proxy was
+  // removed.
+  btree::BTree* tree(const TreeHandle& t);
+  // Bounds-checked slot lookup: nullptr when no tree occupies `slot`. The
+  // returned instance stays valid for the cluster's lifetime even if this
+  // proxy is later removed (raw-pointer paths degrade gracefully; the
+  // handle-validated API above rejects removed proxies outright).
+  btree::BTree* tree(uint32_t slot);
   txn::ObjectCache* cache() { return cache_.get(); }
+
+  uint32_t id() const { return id_; }
+  // The identity under which this proxy's snapshot leases are accounted
+  // (mvcc::SnapshotService per-owner pinning; RemoveProxy bulk-releases
+  // it).
+  uint64_t lease_owner() const { return id_; }
+  // True once Cluster::RemoveProxy(id()) detached this proxy. Permanent.
+  bool detached() const {
+    return detached_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class Cluster;
@@ -160,18 +194,12 @@ class Proxy {
   friend class SnapshotView;
   friend class BranchView;
   Proxy(Cluster* cluster, uint32_t id);
-  version::VersionManager* vm(uint32_t tree) {
-    return version_managers_[tree].get();
-  }
+  version::VersionManager* vm(uint32_t tree);
   Result<SnapshotView> AcquirePinnedView(const TreeHandle& tree, bool strict);
-  Status CheckHandle(const TreeHandle& tree) const {
-    if (!tree.valid() || tree.owner_ != cluster_ ||
-        tree.slot() >= trees_.size()) {
-      return Status::InvalidArgument(
-          "tree handle was not minted by this cluster");
-    }
-    return Status::OK();
-  }
+  Status CheckHandle(const TreeHandle& tree) const;
+  // Lazily materialize this proxy's view stack for `slot` (and every slot
+  // below it) through the cluster's TreeCatalog.
+  Status EnsureAttached(uint32_t slot);
   mvcc::SnapshotService* snapshot_service(uint32_t tree);
 
   Cluster* cluster_;
@@ -179,8 +207,15 @@ class Proxy {
   sinfonia::Coordinator* coord_;
   uint32_t max_attempts_;
   std::unique_ptr<txn::ObjectCache> cache_;
-  std::vector<std::unique_ptr<btree::BTree>> trees_;
-  std::vector<std::unique_ptr<version::VersionManager>> version_managers_;
+  // Lazily-attached per-tree view stacks, indexed by slot. Fixed capacity
+  // (the catalog's slot space) so a concurrent attach never relocates an
+  // entry another thread is reading; trees_[s] is immutable once
+  // `s < attached_` is published.
+  const uint32_t tree_capacity_;
+  std::unique_ptr<TreeCatalog::ProxyTree[]> trees_;
+  std::atomic<uint32_t> attached_{0};
+  std::mutex attach_mu_;  // serializes attachment; leaf lock, no fabric I/O
+  std::atomic<bool> detached_{false};
 };
 
 // Adapter: drive a Proxy through the YCSB KVInterface.
@@ -236,20 +271,52 @@ class Cluster {
 
   // Create a new B-tree. `branching` trees use the version catalog
   // (BranchView writes); linear trees use the replicated tip and the
-  // snapshot service.
+  // snapshot service. Registers ONCE in the TreeCatalog — every proxy
+  // (present and future) attaches its own view stack lazily.
   Result<TreeHandle> CreateTree(bool branching = false);
   // Re-derive the handle of an existing tree from its slot.
   Result<TreeHandle> OpenTree(uint32_t slot) const;
 
-  Proxy& proxy(uint32_t i) { return *proxies_[i]; }
-  uint32_t n_proxies() const {
-    return static_cast<uint32_t>(proxies_.size());
-  }
+  // Bounds-checked: aborts with a diagnostic on an unregistered id (an
+  // out-of-range index was UB before the proxy tier became elastic; now it
+  // is a hard programming error). A REMOVED proxy's id still resolves —
+  // operations through it fail with InvalidArgument instead of crashing
+  // straggler threads.
+  Proxy& proxy(uint32_t i);
+  // Result-style sibling for callers that want to handle the miss.
+  Result<Proxy*> FindProxy(uint32_t i);
+  // Registered proxy ids ([0, n_proxies()) — removed ids included, they
+  // are never reused); n_live_proxies() excludes the removed ones.
+  uint32_t n_proxies() const;
+  uint32_t n_live_proxies() const;
   // Registered memnode ids ([0, n_memnodes()) — retired ids included, they
   // are never reused); n_live_memnodes() excludes the retired ones.
   uint32_t n_memnodes() const { return coord_->n_memnodes(); }
   uint32_t n_live_memnodes() const { return coord_->n_live(); }
-  uint32_t n_trees() const { return next_tree_; }
+  uint32_t n_trees() const { return catalog_->n_trees(); }
+
+  // --- Elastic proxy tier ----------------------------------------------------
+  // Join one more proxy to a serving cluster and return its id. The new
+  // proxy serves Get/Put/Scan on every pre-existing tree immediately (the
+  // TreeCatalog materializes its per-tree view stacks on first touch) and
+  // starts with a cold cache that warms on demand. Safe to call while
+  // traffic runs on other proxies.
+  Result<uint32_t> AddProxy();
+
+  // Detach proxy `id` from a serving cluster, the inverse of AddProxy,
+  // mirroring the memnode retire discipline:
+  //   - every snapshot lease the proxy holds (pinned SnapshotViews,
+  //     refresh-lease cursors) is bulk-released, so the GC horizon
+  //     advances past them — a removed proxy can never hold garbage
+  //     collection hostage (the lease-release invariant);
+  //   - its object cache is drained and disabled (no payload retained,
+  //     no refill);
+  //   - the id is rejected forever: ids are never reused, n_proxies()
+  //     keeps counting it, n_live_proxies() does not. The Proxy object
+  //     itself stays alive, so stragglers holding the reference get
+  //     InvalidArgument, not a use-after-free.
+  // The last live proxy cannot be removed (InvalidArgument).
+  Status RemoveProxy(uint32_t id);
 
   // --- Elastic scale-out -----------------------------------------------------
   // Bring one more memnode online while the cluster serves traffic: the
@@ -314,17 +381,23 @@ class Cluster {
 
   // nullptr when the handle was not minted by this cluster.
   mvcc::SnapshotService* snapshot_service(const TreeHandle& tree) {
-    return OwnsHandle(tree) ? snapshot_services_[tree.slot()].get()
-                            : nullptr;
+    return catalog_->Owns(tree) ? catalog_->snapshot_service(tree.slot())
+                                : nullptr;
   }
   mvcc::SnapshotService* snapshot_service(uint32_t tree) {
-    return snapshot_services_[tree].get();
+    return catalog_->snapshot_service(tree);
+  }
+  // The catalog-owned tree instance the snapshot service, GC and
+  // rebalancer run on (proxy-independent: it survives any RemoveProxy).
+  // nullptr when `slot` is not registered.
+  btree::BTree* service_tree(uint32_t slot) {
+    return catalog_->service_tree(slot);
   }
   // Run one GC pass over `tree` using the snapshot service's horizon
   // (which never passes a pinned SnapshotView).
   Result<mvcc::GarbageCollector::Report> CollectGarbage(
       const TreeHandle& tree) {
-    if (!OwnsHandle(tree)) {
+    if (!catalog_->Owns(tree)) {
       return Status::InvalidArgument(
           "tree handle was not minted by this cluster");
     }
@@ -338,14 +411,13 @@ class Cluster {
   // Drop every proxy's object cache (tests/benchmarks: forces the cold
   // descent path, as after a mass invalidation). Correctness-neutral — the
   // caches are incoherent by design and refill on demand.
-  void DropProxyCaches() {
-    for (auto& proxy : proxies_) proxy->cache()->Clear();
-  }
+  void DropProxyCaches();
 
   // --- Plumbing (benchmarks, tests) -----------------------------------------
   net::Fabric* fabric() { return fabric_.get(); }
   sinfonia::Coordinator* coordinator() { return coord_.get(); }
   alloc::NodeAllocator* allocator() { return allocator_.get(); }
+  const TreeCatalog& catalog() const { return *catalog_; }
   const ClusterOptions& options() const { return options_; }
   const alloc::Layout& layout() const { return layout_; }
   // Override the snapshot-policy clock (benchmarks inject virtual time).
@@ -357,7 +429,7 @@ class Cluster {
   friend class Proxy;
 
   bool OwnsHandle(const TreeHandle& tree) const {
-    return tree.owner_ == this && tree.slot() < next_tree_;
+    return catalog_->Owns(tree);
   }
 
   ClusterOptions options_;
@@ -367,12 +439,17 @@ class Cluster {
   std::unique_ptr<sinfonia::Coordinator> coord_;
   std::unique_ptr<alloc::NodeAllocator> allocator_;
   btree::LinearOracle linear_oracle_;
-  std::vector<std::unique_ptr<Proxy>> proxies_;
-  std::vector<std::unique_ptr<mvcc::SnapshotService>> snapshot_services_;
-  std::vector<std::unique_ptr<mvcc::GarbageCollector>> gcs_;
-  std::vector<bool> tree_branching_;
   std::function<double()> snapshot_clock_;
-  uint32_t next_tree_ = 0;
+  // Owns all per-tree state (slots, branching flags, snapshot services,
+  // GCs, the options proxies materialize their view stacks from).
+  std::unique_ptr<TreeCatalog> catalog_;
+  // Proxy registry guard (lock inventory: docs/ARCHITECTURE.md). Shared
+  // for reads (proxy(), n_proxies(), DropProxyCaches), exclusive for the
+  // rare membership mutations (AddProxy, RemoveProxy's detach step).
+  // Registry lock only — never held across fabric I/O, and the lease
+  // bulk-release / cache drain of RemoveProxy run after it is dropped.
+  mutable std::shared_mutex proxies_mu_;
+  std::vector<std::unique_ptr<Proxy>> proxies_;  // append-only; never shrinks
   std::mutex rebalancer_mu_;
   std::unique_ptr<rebalance::Rebalancer> rebalancer_;
 };

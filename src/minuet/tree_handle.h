@@ -33,7 +33,8 @@ class TreeHandle {
 
  private:
   friend class Cluster;
-  friend class Proxy;  // CheckHandle inspects owner_
+  friend class Proxy;       // CheckHandle inspects owner_
+  friend class TreeCatalog;  // the canonical slot<->handle mapping
   TreeHandle(uint32_t slot, bool branching, const Cluster* owner)
       : slot_(slot), branching_(branching), owner_(owner) {}
 

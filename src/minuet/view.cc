@@ -10,6 +10,22 @@
 
 namespace minuet {
 
+namespace {
+
+// Per-fetch guard shared by every cursor kind: a cursor minted before its
+// proxy was removed (Cluster::RemoveProxy) must fail its NEXT fetch with
+// InvalidArgument rather than keep scanning — and never dereference freed
+// state (the Proxy object and its tree instances are immortal, so the
+// check is purely a clean-refusal gate, not a lifetime crutch).
+Status CheckProxyLive(const Proxy* proxy) {
+  if (proxy != nullptr && proxy->detached()) {
+    return Status::InvalidArgument("proxy was removed from its cluster");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Cursor
 
@@ -241,9 +257,12 @@ std::unique_ptr<Cursor> TipView::NewCursor(const std::string& start,
     return std::unique_ptr<Cursor>(new Cursor(std::move(st)));
   }
   btree::BTree* tree = btree();
-  auto fetch = [tree](const std::string& from, size_t limit,
-                      std::vector<std::pair<std::string, std::string>>* out,
-                      std::string* resume) -> Status {
+  const Proxy* proxy = proxy_;
+  auto fetch = [tree, proxy](
+                   const std::string& from, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out,
+                   std::string* resume) -> Status {
+    MINUET_RETURN_NOT_OK(CheckProxyLive(proxy));
     // The cursor hands over a cleared buffer, so TipScan fills it directly.
     MINUET_RETURN_NOT_OK(tree->TipScan(from, limit, out));
     resume->clear();
@@ -277,7 +296,7 @@ SnapshotView::SnapshotView(SnapshotView&& other) noexcept
 
 SnapshotView& SnapshotView::operator=(SnapshotView&& other) noexcept {
   if (this != &other) {
-    if (pinned_) service_->Unpin(snap_.sid);
+    if (pinned_) service_->Unpin(snap_.sid, proxy_->lease_owner());
     proxy_ = other.proxy_;
     tree_ = other.tree_;
     snap_ = other.snap_;
@@ -289,7 +308,10 @@ SnapshotView& SnapshotView::operator=(SnapshotView&& other) noexcept {
 }
 
 SnapshotView::~SnapshotView() {
-  if (pinned_) service_->Unpin(snap_.sid);
+  // The lease was pinned under this proxy's identity (AcquirePinnedView);
+  // if the proxy was removed in the meantime, the bulk-release already
+  // dropped it and this Unpin no-ops (per-owner accounting).
+  if (pinned_) service_->Unpin(snap_.sid, proxy_->lease_owner());
 }
 
 Status SnapshotView::Get(const std::string& key, std::string* value) {
@@ -394,20 +416,28 @@ Status FanoutScan(btree::BTree* tree, const btree::SnapshotRef& snap,
 
 
 // Shared cursor lease: keeps its snapshot pinned independently of the view
-// (the cursor may be re-leased onto a newer snapshot mid-scan).
+// (the cursor may be re-leased onto a newer snapshot mid-scan). Pins are
+// accounted to `owner` — the proxy the cursor was minted through — so a
+// RemoveProxy bulk-release covers them and the destructor's Unpin then
+// no-ops.
 struct CursorLease {
   btree::BTree* tree = nullptr;
   mvcc::SnapshotService* service = nullptr;
   btree::SnapshotRef snap;
+  uint64_t owner = mvcc::SnapshotService::kNoLeaseOwner;
   bool pinned = false;
 
   CursorLease(btree::BTree* t, mvcc::SnapshotService* s,
-              btree::SnapshotRef ref, bool pin)
-      : tree(t), service(s), snap(ref), pinned(pin && s != nullptr) {
-    if (pinned) service->Pin(snap.sid);
+              btree::SnapshotRef ref, uint64_t lease_owner, bool pin)
+      : tree(t),
+        service(s),
+        snap(ref),
+        owner(lease_owner),
+        pinned(pin && s != nullptr) {
+    if (pinned) service->Pin(snap.sid, owner);
   }
   ~CursorLease() {
-    if (pinned) service->Unpin(snap.sid);
+    if (pinned) service->Unpin(snap.sid, owner);
   }
   CursorLease(const CursorLease&) = delete;
   CursorLease& operator=(const CursorLease&) = delete;
@@ -419,9 +449,9 @@ struct CursorLease {
     }
     // Acquire-and-pin atomically (same no-window discipline as the view
     // factories), then release the old lease.
-    auto fresh = service->AcquireForScan(/*pin=*/pinned);
+    auto fresh = service->AcquireForScan(/*pin=*/pinned, owner);
     if (!fresh.ok()) return fresh.status();
-    if (pinned) service->Unpin(snap.sid);
+    if (pinned) service->Unpin(snap.sid, owner);
     snap = *fresh;
     return Status::OK();
   }
@@ -433,16 +463,18 @@ struct CursorLease {
 
 }  // namespace
 
-std::unique_ptr<Cursor> View::NewFanoutCursor(btree::BTree* tree,
+std::unique_ptr<Cursor> View::NewFanoutCursor(const Proxy* proxy,
+                                              btree::BTree* tree,
                                               const btree::SnapshotRef& snap,
                                               const std::string& start,
                                               Cursor::Options options) {
   Cursor::Options fan = options;
-  auto fetch = [tree, snap, fan](
+  auto fetch = [proxy, tree, snap, fan](
                    const std::string& from, size_t limit,
                    std::vector<std::pair<std::string, std::string>>* out,
                    std::string* resume) -> Status {
     (void)limit;
+    MINUET_RETURN_NOT_OK(CheckProxyLive(proxy));
     resume->clear();  // one-shot: everything arrives in this chunk
     return FanoutScan(tree, snap, from, fan, out);
   };
@@ -459,18 +491,21 @@ std::unique_ptr<Cursor> SnapshotView::NewCursor(const std::string& start,
   if (options.fanout > 1) {
     // Reads exactly snap_ — the view's pin (if any) covers the one-shot
     // fetch, which completes before the cursor outlives anything.
-    return NewFanoutCursor(btree(), snap_, start, std::move(options));
+    return NewFanoutCursor(proxy_, btree(), snap_, start, std::move(options));
   }
   // The cursor needs its own pin only when it may re-lease onto a sid the
   // view does not hold; otherwise the view's pin covers it (a cursor must
   // not outlive its view).
   auto lease = std::make_shared<CursorLease>(
-      btree(), service_, snap_, pinned_ && options.refresh_lease);
+      btree(), service_, snap_, proxy_->lease_owner(),
+      pinned_ && options.refresh_lease);
   const bool refresh = options.refresh_lease;
-  auto fetch = [lease, refresh](
+  const Proxy* proxy = proxy_;
+  auto fetch = [lease, refresh, proxy](
                    const std::string& from, size_t limit,
                    std::vector<std::pair<std::string, std::string>>* out,
                    std::string* resume) -> Status {
+    MINUET_RETURN_NOT_OK(CheckProxyLive(proxy));
     if (refresh && lease->BelowHorizon()) {
       // The GC horizon overtook this snapshot (possible only for unpinned
       // leases — pinned ones hold the horizon back): re-lease the newest
@@ -553,12 +588,14 @@ std::unique_ptr<Cursor> BranchView::NewCursor(const std::string& start,
   btree::BTree* tree = btree();
   const btree::SnapshotRef snap{sid_, info->root};
   if (options.fanout > 1) {
-    return NewFanoutCursor(tree, snap, start, std::move(options));
+    return NewFanoutCursor(proxy_, tree, snap, start, std::move(options));
   }
-  auto fetch = [tree, snap](
+  const Proxy* proxy = proxy_;
+  auto fetch = [tree, snap, proxy](
                    const std::string& from, size_t limit,
                    std::vector<std::pair<std::string, std::string>>* out,
                    std::string* resume) -> Status {
+    MINUET_RETURN_NOT_OK(CheckProxyLive(proxy));
     return tree->SnapshotScanChunk(snap, from, limit, out, resume);
   };
   return std::unique_ptr<Cursor>(new Cursor(fetch, start, options));

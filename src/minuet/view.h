@@ -179,12 +179,15 @@ class View {
  protected:
   View(Proxy* proxy, TreeHandle tree) : proxy_(proxy), tree_(tree) {}
   btree::BTree* btree() const;
-  // InvalidArgument when the handle does not name a tree of this cluster.
+  // InvalidArgument when the handle does not name a tree of this cluster,
+  // or when the proxy was removed from it (Cluster::RemoveProxy).
   Status CheckUsable() const;
   // Shared by the snapshot-mode views: a cursor whose single fetch runs
   // the whole parallel fan-out scan of `snap` and then streams from the
-  // stitched buffer.
-  static std::unique_ptr<Cursor> NewFanoutCursor(btree::BTree* tree,
+  // stitched buffer. `proxy` is re-checked per fetch so a cursor
+  // outliving its proxy's removal fails cleanly instead of scanning on.
+  static std::unique_ptr<Cursor> NewFanoutCursor(const Proxy* proxy,
+                                                 btree::BTree* tree,
                                                  const btree::SnapshotRef& snap,
                                                  const std::string& start,
                                                  Cursor::Options options);

@@ -16,7 +16,8 @@ SnapshotService::SnapshotService(BTree* tree, Options options,
   }
 }
 
-Result<SnapshotRef> SnapshotService::CreateLocked(bool pin) {
+Result<SnapshotRef> SnapshotService::CreateLocked(bool pin,
+                                                  LeaseOwner owner) {
   // Runs with mutex_ held. Fig. 6: the snapshot materializes when the
   // dynamic transaction commits; the tip update uses a blocking
   // minitransaction so snapshot storms degrade to queueing, not livelock.
@@ -35,7 +36,7 @@ Result<SnapshotRef> SnapshotService::CreateLocked(bool pin) {
           last_created_at_ = clock_();
           // Pin before last_mu_ drops: LowestRetained (which also takes
           // last_mu_ first) can never see the new horizon without the pin.
-          if (pin) Pin(snap->sid);
+          if (pin) Pin(snap->sid, owner);
         }
         num_snapshots_.fetch_add(1, std::memory_order_release);
         created_.fetch_add(1, std::memory_order_relaxed);
@@ -53,7 +54,8 @@ Result<SnapshotRef> SnapshotService::CreateLocked(bool pin) {
   return last;
 }
 
-Result<SnapshotRef> SnapshotService::CreateSnapshot(bool pin) {
+Result<SnapshotRef> SnapshotService::CreateSnapshot(bool pin,
+                                                    LeaseOwner owner) {
   // Fig. 7: read the counter before and after entering the critical
   // section; an advance of >= 2 proves a complete creation within this
   // call's window, making the latest snapshot borrowable.
@@ -61,43 +63,78 @@ Result<SnapshotRef> SnapshotService::CreateSnapshot(bool pin) {
   std::lock_guard<std::mutex> g(mutex_);
   const uint64_t tmp2 = num_snapshots_.load(std::memory_order_acquire);
   if (!options_.enable_borrowing || tmp2 < tmp1 + 2) {
-    return CreateLocked(pin);
+    return CreateLocked(pin, owner);
   }
   borrowed_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lg(last_mu_);
-  if (pin) Pin(last_.sid);
+  if (pin) Pin(last_.sid, owner);
   return last_;
 }
 
-Result<SnapshotRef> SnapshotService::AcquireForScan(bool pin) {
+Result<SnapshotRef> SnapshotService::AcquireForScan(bool pin,
+                                                    LeaseOwner owner) {
   if (options_.min_interval_seconds > 0) {
     std::lock_guard<std::mutex> lg(last_mu_);
     if (last_created_at_ + options_.min_interval_seconds > clock_() &&
         num_snapshots_.load(std::memory_order_acquire) > 0) {
       stale_reuses_.fetch_add(1, std::memory_order_relaxed);
-      if (pin) Pin(last_.sid);
+      if (pin) Pin(last_.sid, owner);
       return last_;
     }
   }
-  return CreateSnapshot(pin);
+  return CreateSnapshot(pin, owner);
 }
 
-void SnapshotService::Pin(uint64_t sid) {
+void SnapshotService::Pin(uint64_t sid, LeaseOwner owner) {
   std::lock_guard<std::mutex> g(pins_mu_);
   pins_[sid]++;
+  owner_pins_[owner][sid]++;
 }
 
-void SnapshotService::Unpin(uint64_t sid) {
+void SnapshotService::Unpin(uint64_t sid, LeaseOwner owner) {
   std::lock_guard<std::mutex> g(pins_mu_);
+  // Route through the owner slice first: an Unpin whose lease was already
+  // bulk-released (the owner left via ReleaseOwner) must be a no-op, not
+  // eat some other owner's pin.
+  auto oit = owner_pins_.find(owner);
+  if (oit == owner_pins_.end()) return;
+  auto sit = oit->second.find(sid);
+  if (sit == oit->second.end()) return;
+  if (--sit->second == 0) oit->second.erase(sit);
+  if (oit->second.empty()) owner_pins_.erase(oit);
   auto it = pins_.find(sid);
-  if (it == pins_.end()) return;
-  if (--it->second == 0) pins_.erase(it);
+  if (it != pins_.end() && --it->second == 0) pins_.erase(it);
+}
+
+uint64_t SnapshotService::ReleaseOwner(LeaseOwner owner) {
+  std::lock_guard<std::mutex> g(pins_mu_);
+  auto oit = owner_pins_.find(owner);
+  if (oit == owner_pins_.end()) return 0;
+  uint64_t released = 0;
+  for (const auto& [sid, count] : oit->second) {
+    released += count;
+    auto it = pins_.find(sid);
+    if (it == pins_.end()) continue;
+    it->second = it->second > count ? it->second - count : 0;
+    if (it->second == 0) pins_.erase(it);
+  }
+  owner_pins_.erase(oit);
+  return released;
 }
 
 uint64_t SnapshotService::pinned_count() const {
   std::lock_guard<std::mutex> g(pins_mu_);
   uint64_t n = 0;
   for (const auto& [sid, count] : pins_) n += count;
+  return n;
+}
+
+uint64_t SnapshotService::owner_pinned_count(LeaseOwner owner) const {
+  std::lock_guard<std::mutex> g(pins_mu_);
+  auto oit = owner_pins_.find(owner);
+  if (oit == owner_pins_.end()) return 0;
+  uint64_t n = 0;
+  for (const auto& [sid, count] : oit->second) n += count;
   return n;
 }
 

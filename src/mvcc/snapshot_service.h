@@ -31,6 +31,13 @@ using btree::SnapshotRef;
 
 class SnapshotService {
  public:
+  // Identity under which a lease is accounted. Proxies pass their id so a
+  // departing proxy's leases can be bulk-released (ReleaseOwner); direct
+  // users of the service (tests, single-owner deployments) can ignore the
+  // parameter and land in the anonymous bucket.
+  using LeaseOwner = uint64_t;
+  static constexpr LeaseOwner kNoLeaseOwner = ~0ull;
+
   struct Options {
     // Minimum seconds between snapshots (the paper's k). 0 = a fresh
     // snapshot per request → strict serializability.
@@ -57,21 +64,32 @@ class SnapshotService {
   // With `pin`, the returned snapshot is pinned BEFORE the acquisition path
   // releases its locks, so the GC horizon can never slip past it between
   // acquisition and the caller's own Pin (the caller must Unpin it).
-  Result<SnapshotRef> CreateSnapshot(bool pin = false);
+  Result<SnapshotRef> CreateSnapshot(bool pin = false,
+                                     LeaseOwner owner = kNoLeaseOwner);
 
   // Snapshot acquisition for scans under the stale policy: reuse the latest
   // snapshot if younger than min_interval_seconds, else create (borrowing
   // still applies). With k=0 this is exactly CreateSnapshot().
-  Result<SnapshotRef> AcquireForScan(bool pin = false);
+  Result<SnapshotRef> AcquireForScan(bool pin = false,
+                                     LeaseOwner owner = kNoLeaseOwner);
 
   // --- Snapshot leases (client-API pinning) --------------------------------
   // A pinned snapshot is exempt from the retention window: the GC horizon
   // never advances past the lowest pinned sid, so a SnapshotView (or a
   // long-running cursor) can outlive `retain_last` newer snapshots without
-  // its reads failing at the horizon. Pins nest (multiset semantics).
-  void Pin(uint64_t sid);
-  void Unpin(uint64_t sid);
+  // its reads failing at the horizon. Pins nest (multiset semantics) and
+  // are accounted per owner: Unpin must name the owner that pinned, and an
+  // Unpin after that owner was bulk-released is a harmless no-op (the
+  // straggler-safety RemoveProxy relies on).
+  void Pin(uint64_t sid, LeaseOwner owner = kNoLeaseOwner);
+  void Unpin(uint64_t sid, LeaseOwner owner = kNoLeaseOwner);
+  // Drop EVERY lease `owner` holds (a proxy leaving the cluster): the GC
+  // horizon advances past them immediately. Returns the number of leases
+  // released.
+  uint64_t ReleaseOwner(LeaseOwner owner);
   uint64_t pinned_count() const;
+  // Leases currently accounted to `owner` (introspection, tests).
+  uint64_t owner_pinned_count(LeaseOwner owner) const;
 
   // --- Garbage-collection horizon -----------------------------------------
   // Lowest snapshot id still queryable; everything copied at or before it
@@ -93,7 +111,7 @@ class SnapshotService {
 
  private:
   // Lock order everywhere: last_mu_ before pins_mu_.
-  Result<SnapshotRef> CreateLocked(bool pin);
+  Result<SnapshotRef> CreateLocked(bool pin, LeaseOwner owner);
 
   BTree* tree_;
   Options options_;
@@ -110,7 +128,12 @@ class SnapshotService {
   std::atomic<uint64_t> stale_reuses_{0};
 
   mutable std::mutex pins_mu_;
-  std::map<uint64_t, uint32_t> pins_;  // sid -> lease count
+  // The authoritative horizon input: sid -> total lease count across all
+  // owners (LowestRetained reads pins_.begin() only).
+  std::map<uint64_t, uint32_t> pins_;
+  // Per-owner breakdown of pins_, kept in exact correspondence under
+  // pins_mu_; ReleaseOwner subtracts an owner's slice wholesale.
+  std::map<LeaseOwner, std::map<uint64_t, uint32_t>> owner_pins_;
 };
 
 }  // namespace minuet::mvcc

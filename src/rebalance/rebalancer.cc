@@ -71,7 +71,9 @@ Result<Rebalancer::RoundReport> Rebalancer::RunOnce() {
     if (!handle.ok()) continue;
     if (handle->branching()) continue;  // version trees: GC scope, not ours
     report.trees++;
-    BTree* tree = cluster_->proxy(0).tree(slot);
+    // The catalog-owned service tree: proxy-independent (proxy 0 may be
+    // removed from an elastic proxy tier).
+    BTree* tree = cluster_->service_tree(slot);
 
     std::vector<BTree::NodePlacement> placement;
     MINUET_RETURN_NOT_OK(tree->CollectTipPlacement(&placement));
@@ -220,7 +222,9 @@ Result<Rebalancer::DrainReport> Rebalancer::DrainMemnode(uint32_t donor,
     for (uint32_t slot = 0; slot < cluster_->n_trees(); slot++) {
       auto handle = cluster_->OpenTree(slot);
       if (!handle.ok() || handle->branching()) continue;
-      BTree* tree = cluster_->proxy(0).tree(slot);
+      // The catalog-owned service tree: proxy-independent (proxy 0 may be
+      // removed from an elastic proxy tier).
+      BTree* tree = cluster_->service_tree(slot);
       std::vector<BTree::NodePlacement> placement;
       MINUET_RETURN_NOT_OK(tree->CollectTipPlacement(&placement));
       for (const BTree::NodePlacement& victim : placement) {

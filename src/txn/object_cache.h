@@ -11,6 +11,7 @@
 // capacity (and the CLOCK behavior tests rely on) stays meaningful.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -59,6 +60,7 @@ class ObjectCache {
 
   void Insert(const sinfonia::Addr& addr, uint64_t seqnum,
               const std::string& payload) {
+    if (disabled_.load(std::memory_order_acquire)) return;
     ShardFor(addr).Insert(addr, seqnum, payload);
   }
 
@@ -70,6 +72,21 @@ class ObjectCache {
 
   void Clear() {
     for (auto& shard : shards_) shard->Clear();
+  }
+
+  // Permanent drain: drop everything and refuse refills, used when the
+  // owning proxy is detached from its cluster (Cluster::RemoveProxy) — a
+  // removed proxy must not keep node payloads alive, and in-flight
+  // fetches must not repopulate it. An Insert that read the flag just
+  // before it flipped may land after the sweep; that lone entry is
+  // correctness-neutral (the cache is incoherent by design) and ages out
+  // through normal eviction.
+  void Disable() {
+    disabled_.store(true, std::memory_order_release);
+    Clear();
+  }
+  bool disabled() const {
+    return disabled_.load(std::memory_order_acquire);
   }
 
   Stats TotalStats() const {
@@ -198,6 +215,7 @@ class ObjectCache {
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> disabled_{false};
 };
 
 }  // namespace minuet::txn

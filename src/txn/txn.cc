@@ -57,6 +57,8 @@ Result<DynamicTxn::ReadRecord> DynamicTxn::Fetch(const ObjectRef& ref) {
     if (net::OpTrace* tr = net::Fabric::ThreadTrace()) tr->validation_aborts++;
     return Status::Aborted("piggyback validation failed");
   }
+  // Every read-set record compared above held its seqnum at this instant.
+  if (options_.piggyback_validation) validated_reads_ = reads_.size();
   ReadRecord rec;
   rec.ref = ref;
   rec.seqnum = ObjectSeqnum(result.read_results[0]);
@@ -76,6 +78,10 @@ Result<std::string> DynamicTxn::Read(const ObjectRef& ref) {
   if (!fetched.ok()) return fetched.status();
   read_index_.emplace(ref.addr, reads_.size());
   reads_.push_back(std::move(fetched).value());
+  // The new record was read atomically by the very minitransaction that
+  // validated the rest of the read set: count it as validated too (the
+  // paper's one-round warm Get depends on this).
+  if (options_.piggyback_validation) validated_reads_ = reads_.size();
   return reads_.back().payload;
 }
 
@@ -129,6 +135,8 @@ Result<std::string> DynamicTxn::ReadCached(const ObjectRef& ref) {
   }
   read_index_.emplace(ref.addr, reads_.size());
   reads_.push_back(std::move(fetched).value());
+  // Read atomically by the validating minitransaction itself: validated.
+  if (options_.piggyback_validation) validated_reads_ = reads_.size();
   return reads_.back().payload;
 }
 
@@ -222,6 +230,9 @@ Result<std::vector<std::string>> DynamicTxn::BatchFetch(
         local.emplace(rec.ref.addr, std::move(rec.payload));
       }
     }
+    // The batch compared every prior read-set record and atomically read
+    // the fetched ones: the whole read set held at this instant.
+    if (policy.piggyback) validated_reads_ = reads_.size();
   }
 
   // Resolve every ref, duplicates included: write set first, then what
@@ -333,10 +344,15 @@ Status DynamicTxn::Commit() {
   if (doomed_) return Status::Aborted("transaction doomed");
   if (committed_) return Status::InvalidArgument("already committed");
 
-  if (writes_.empty() && options_.piggyback_validation) {
+  if (writes_.empty() && options_.piggyback_validation &&
+      validated_reads_ >= reads_.size()) {
     // Read-only transaction with piggy-backed validation: the last fetch
     // already validated the whole read set atomically, so the transaction
     // is serializable at that instant. No commit minitransaction needed.
+    // (Guarded by validated_reads_: a read set extended by cache hits
+    // AFTER the last fetch — or served entirely from the cache, with no
+    // fetch at all — was never compared against a memnode, and falls
+    // through to the compare-only commit below instead.)
     committed_ = true;
     return Status::OK();
   }

@@ -199,6 +199,14 @@ class DynamicTxn {
   std::vector<WriteRecord> writes_;
   std::unordered_map<Addr, size_t, sinfonia::AddrHash> write_index_;
 
+  // How many reads_ entries the last successful piggy-backed fetch
+  // validated. Records that joined the read set AFTER that fetch — cache
+  // hits served by ReadCached/ReadCachedBatch with no subsequent
+  // minitransaction — have never been checked against a memnode, so the
+  // read-only commit shortcut must not trust them (a transaction served
+  // 100% from a stale proxy cache would otherwise "commit" fiction).
+  size_t validated_reads_ = 0;
+
   bool doomed_ = false;
   bool committed_ = false;
 };

@@ -321,5 +321,146 @@ TEST(ClusterTest, ConcurrentMixedWorkloadAcrossProxies) {
   for (auto& t : threads) t.join();
 }
 
+// --- Elastic proxy tier --------------------------------------------------
+
+TEST(ProxyLifecycleTest, AddedProxyServesAllPreexistingTrees) {
+  Cluster cluster(SmallOptions());
+  auto t1 = cluster.CreateTree();
+  auto t2 = cluster.CreateTree();
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  for (int i = 0; i < 150; i++) {
+    ASSERT_TRUE(
+        cluster.proxy(0).Put(*t1, EncodeUserKey(i), EncodeValue(i)).ok());
+    ASSERT_TRUE(cluster.proxy(1)
+                    .Put(*t2, EncodeUserKey(i), EncodeValue(1000 + i))
+                    .ok());
+  }
+
+  const uint32_t before = cluster.n_proxies();
+  auto id = cluster.AddProxy();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, before);
+  EXPECT_EQ(cluster.n_proxies(), before + 1);
+  EXPECT_EQ(cluster.n_live_proxies(), before + 1);
+
+  // The new proxy lazily attaches both existing trees: reads, writes and
+  // scans work with no explicit registration step.
+  Proxy& fresh = cluster.proxy(*id);
+  std::string value;
+  ASSERT_TRUE(fresh.Get(*t1, EncodeUserKey(42), &value).ok());
+  EXPECT_EQ(DecodeValue(value), 42u);
+  ASSERT_TRUE(fresh.Put(*t2, EncodeUserKey(500), EncodeValue(7)).ok());
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(fresh.Scan(*t2, EncodeUserKey(0), 1000, &rows).ok());
+  EXPECT_EQ(rows.size(), 151u);
+
+  // A multi-tree batch through the added proxy commits atomically.
+  WriteBatch batch;
+  batch.Put(*t1, "joined", "yes");
+  batch.Put(*t2, "joined", "also");
+  ASSERT_TRUE(fresh.Apply(batch).ok());
+  ASSERT_TRUE(cluster.proxy(0).Get(*t2, "joined", &value).ok());
+  EXPECT_EQ(value, "also");
+
+  // A tree created AFTER the join is visible in both directions.
+  auto t3 = cluster.CreateTree();
+  ASSERT_TRUE(t3.ok());
+  ASSERT_TRUE(fresh.Put(*t3, "late", "tree").ok());
+  ASSERT_TRUE(cluster.proxy(0).Get(*t3, "late", &value).ok());
+  EXPECT_EQ(value, "tree");
+}
+
+TEST(ProxyLifecycleTest, RemoveProxyReleasesLeasesAndUnblocksGc) {
+  ClusterOptions opts = SmallOptions();
+  opts.retain_snapshots = 1;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& victim = cluster.proxy(1);
+  constexpr int kKeys = 100;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(victim.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+  auto* scs = cluster.snapshot_service(*tree);
+
+  // The victim pins a snapshot, then churn piles up epochs behind it.
+  auto pinned = victim.Snapshot(*tree);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(scs->owner_pinned_count(victim.lease_owner()), 1u);
+  for (int epoch = 0; epoch < 6; epoch++) {
+    ASSERT_TRUE(scs->CreateSnapshot().ok());
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(cluster.proxy(0)
+                      .Put(*tree, EncodeUserKey(i), EncodeValue(1000 + i))
+                      .ok());
+    }
+  }
+  EXPECT_LE(scs->LowestRetained(), pinned->sid());
+
+  // THE LEASE-RELEASE INVARIANT: removing the proxy bulk-releases every
+  // lease it holds, so the horizon advances past the pinned sid and GC
+  // reclaims the epochs the departed member was holding hostage.
+  ASSERT_TRUE(cluster.RemoveProxy(1).ok());
+  EXPECT_EQ(scs->owner_pinned_count(victim.lease_owner()), 0u);
+  EXPECT_EQ(scs->pinned_count(), 0u);
+  EXPECT_GT(scs->LowestRetained(), pinned->sid());
+  auto report = cluster.CollectGarbage(*tree);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->freed, 0u);
+
+  // The removed proxy's cache is drained and refuses refills; operations
+  // fail with a clean InvalidArgument, never a use-after-free.
+  EXPECT_TRUE(victim.detached());
+  EXPECT_TRUE(victim.cache()->disabled());
+  EXPECT_EQ(victim.cache()->size(), 0u);
+  std::string value;
+  EXPECT_TRUE(victim.Get(*tree, EncodeUserKey(0), &value).IsInvalidArgument());
+  EXPECT_TRUE(
+      victim.Put(*tree, EncodeUserKey(0), EncodeValue(0)).IsInvalidArgument());
+
+  // The survivors keep serving, and the pinned view's destructor (running
+  // after the bulk release) unpins as a harmless no-op.
+  ASSERT_TRUE(cluster.proxy(0).Get(*tree, EncodeUserKey(40), &value).ok());
+  EXPECT_EQ(DecodeValue(value), 1040u);
+}
+
+TEST(ProxyLifecycleTest, ProxyIdsAreNeverReused) {
+  Cluster cluster(SmallOptions());  // 4 proxies
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(cluster.RemoveProxy(2).ok());
+  EXPECT_EQ(cluster.n_proxies(), 4u);
+  EXPECT_EQ(cluster.n_live_proxies(), 3u);
+
+  // The id is a permanent hole, symmetric with retired memnode ids.
+  EXPECT_TRUE(cluster.RemoveProxy(2).IsInvalidArgument());
+  EXPECT_TRUE(cluster.RemoveProxy(99).IsInvalidArgument());
+  EXPECT_TRUE(cluster.FindProxy(99).status().IsInvalidArgument());
+
+  // A later join takes a FRESH id past the hole, and serves immediately.
+  auto id = cluster.AddProxy();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 4u);
+  ASSERT_TRUE(cluster.proxy(*id).Put(*tree, "k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(cluster.proxy(0).Get(*tree, "k", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST(ProxyLifecycleTest, LastLiveProxyCannotBeRemoved) {
+  ClusterOptions opts = SmallOptions();
+  opts.proxies = 2;
+  Cluster cluster(opts);
+  EXPECT_EQ(cluster.n_proxies(), 2u);
+  ASSERT_TRUE(cluster.RemoveProxy(0).ok());
+  EXPECT_TRUE(cluster.RemoveProxy(1).IsInvalidArgument());
+  EXPECT_EQ(cluster.n_live_proxies(), 1u);
+
+  // Growing back out of the corner works.
+  ASSERT_TRUE(cluster.AddProxy().ok());
+  ASSERT_TRUE(cluster.RemoveProxy(1).ok());
+  EXPECT_EQ(cluster.n_live_proxies(), 1u);
+}
+
 }  // namespace
 }  // namespace minuet

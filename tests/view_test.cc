@@ -163,6 +163,63 @@ TEST(ViewTest, InvalidHandlesAreRejectedAtTheBoundary) {
   EXPECT_EQ(p.tree(*foreign), nullptr);
 }
 
+TEST(ViewTest, ViewsThroughRemovedProxyFailCleanly) {
+  Cluster cluster(SmallOptions());
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  Proxy& p = cluster.proxy(2);
+  for (int i = 0; i < 120; i++) {
+    ASSERT_TRUE(p.Put(*tree, EncodeUserKey(i), EncodeValue(i)).ok());
+  }
+
+  // Views and cursors minted BEFORE the removal: live objects whose
+  // operations must degrade to InvalidArgument, never a use-after-free.
+  TipView tip = p.Tip(*tree);
+  auto snap = p.Snapshot(*tree);
+  ASSERT_TRUE(snap.ok());
+  auto cursor = snap->NewCursor(EncodeUserKey(0));
+  ASSERT_TRUE(cursor->Valid());
+  cursor->Next();
+  ASSERT_TRUE(cursor->Valid());
+
+  ASSERT_TRUE(cluster.RemoveProxy(2).ok());
+
+  std::string value;
+  EXPECT_TRUE(tip.Get(EncodeUserKey(1), &value).IsInvalidArgument());
+  EXPECT_TRUE(tip.Put("k", "v").IsInvalidArgument());
+  EXPECT_TRUE(p.Snapshot(*tree).status().IsInvalidArgument());
+  EXPECT_TRUE(p.Tip(*tree).Get("k", &value).IsInvalidArgument());
+  Rows rows;
+  EXPECT_TRUE(snap->Scan(EncodeUserKey(0), 1000, &rows).IsInvalidArgument());
+  EXPECT_TRUE(p.Scan(*tree, EncodeUserKey(0), 10, &rows).IsInvalidArgument());
+  WriteBatch batch;
+  batch.Put(*tree, "k", "v");
+  EXPECT_TRUE(p.Apply(batch).IsInvalidArgument());
+  EXPECT_TRUE(p.Transaction([](txn::DynamicTxn&) {
+                 return Status::OK();
+               }).IsInvalidArgument());
+
+  // A streaming cursor already past its prefetched window surfaces the
+  // detach as a failed (invalid) cursor rather than stale rows forever.
+  int streamed = 0;
+  while (cursor->Valid() && streamed < 1000) {
+    cursor->Next();
+    streamed++;
+  }
+  EXPECT_LT(streamed, 1000);
+  EXPECT_TRUE(cursor->status().IsInvalidArgument());
+
+  // The handle-validated raw-pointer lookup rejects the removed proxy;
+  // the slot-indexed one keeps working (in-flight transactions hold such
+  // pointers — they must stay valid for the cluster's lifetime).
+  EXPECT_EQ(p.tree(*tree), nullptr);
+  EXPECT_NE(p.tree(tree->slot()), nullptr);
+
+  // Survivors are unaffected.
+  ASSERT_TRUE(cluster.proxy(0).Get(*tree, EncodeUserKey(7), &value).ok());
+  EXPECT_EQ(DecodeValue(value), 7u);
+}
+
 TEST(ViewTest, TipAccessToBranchingTreeIsRejected) {
   // A branching tree's linear tip shares nodes with version 0; writing it
   // through TipView (or WriteBatch) would corrupt frozen branches.
