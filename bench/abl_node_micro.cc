@@ -1,0 +1,207 @@
+// Hardware-axis microbenchmark for the node-local hot path: real ns/op and
+// ops/sec (steady_clock, no modeled network) for
+//   - raw point search over one serialized node image: full Node::Decode +
+//     FindKey per probe (the pre-NodeView cost of touching a node) vs
+//     NodeView::Init + FindKey (the zero-copy path) vs a reused view
+//     (the cache-resident steady state),
+//   - warm-cache cluster operations: Get / MultiGet / scan-next through a
+//     proxy whose cache already holds every internal node.
+//
+// GATE: the decode-vs-view point-search speedup must be >= 2x, or the
+// binary exits non-zero — this is the PR's headline claim, checked in CI.
+// Emits BENCH_nodemicro.json (--json PATH; --smoke shrinks sizes).
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/harness/setup.h"
+#include "btree/node.h"
+#include "btree/node_view.h"
+#include "common/key_compare.h"
+#include "common/random.h"
+
+namespace {
+
+using minuet::btree::Node;
+using minuet::btree::NodeView;
+
+// A representative 4 KB-class leaf: YCSB-style 14-byte keys, 8-byte values.
+Node MakeDenseLeaf(size_t entries) {
+  Node n;
+  n.height = 0;
+  for (size_t i = 0; i < entries; i++) {
+    n.Upsert(minuet::EncodeUserKey(i * 7), minuet::EncodeValue(i),
+             minuet::sinfonia::kNullAddr);
+  }
+  return n;
+}
+
+double TimeNsPerOp(uint64_t iters, const std::function<void(uint64_t)>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iters; i++) fn(i);
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return static_cast<double>(ns) / iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace minuet::bench;
+  using namespace minuet;
+
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::printf("# Node-local hot path: WALL-CLOCK ns/op (no cost model)\n");
+  std::printf("# key_compare_vectorized=%d\n", KeyCompareIsVectorized());
+
+  // -- Part A: raw point search over one node image -------------------------
+  const size_t kEntries = 120;
+  const Node leaf = MakeDenseLeaf(kEntries);
+  const std::string image = leaf.Encode();
+  std::vector<std::string> probes;
+  Rng rng(101);
+  for (int i = 0; i < 1024; i++) {
+    probes.push_back(EncodeUserKey(rng.Uniform(kEntries * 7)));
+  }
+  const uint64_t kIters = smoke ? 20000 : 400000;
+  volatile size_t sink = 0;
+
+  const double decode_ns = TimeNsPerOp(kIters, [&](uint64_t i) {
+    auto n = Node::Decode(image);  // what every level of a descent paid
+    sink += n->FindKey(probes[i % probes.size()]);
+  });
+  const double view_ns = TimeNsPerOp(kIters, [&](uint64_t i) {
+    NodeView v;
+    if (!v.Init(image).ok()) std::abort();
+    sink += v.FindKey(probes[i % probes.size()]);
+  });
+  const double reuse_ns = [&] {
+    NodeView v;
+    if (!v.Init(image).ok()) std::abort();
+    return TimeNsPerOp(kIters * 4, [&](uint64_t i) {
+      sink += v.FindKey(probes[i % probes.size()]);
+    });
+  }();
+  (void)sink;
+
+  const double speedup = view_ns > 0 ? decode_ns / view_ns : 0;
+  std::printf("raw_search  entries=%zu  decode+find=%.0f ns/op  "
+              "view_init+find=%.0f ns/op  view_reuse+find=%.0f ns/op  "
+              "speedup=%.2fx\n",
+              kEntries, decode_ns, view_ns, reuse_ns, speedup);
+
+  // -- Part B: warm-cache cluster operations --------------------------------
+  const uint32_t kMachines = 4;
+  const uint64_t kPreload = smoke ? 2000 : 10000;
+  const uint64_t kOps = smoke ? 300 : 3000;
+  CostModel model;
+  auto cluster = MakeCluster(kMachines);
+  auto tree = cluster->CreateTree();
+  if (!tree.ok()) std::abort();
+  Preload(*cluster, *tree, kPreload, /*threads=*/2);
+
+  struct Row {
+    const char* name;
+    double wall_ns;
+    double ops_s;
+  };
+  std::vector<Row> rows;
+
+  auto run_mode = [&](const char* name,
+                      const std::function<Status(const OpContext&, Rng&)>& op) {
+    RunOptions ropts;
+    ropts.n_nodes = kMachines;
+    ropts.threads = 2;
+    ropts.ops_per_thread = kOps;
+    std::vector<Rng> rngs;
+    for (uint32_t t = 0; t < ropts.threads; t++) rngs.emplace_back(t + 77);
+    // Warm pass primes every proxy cache; only the second pass is reported.
+    for (int pass = 0; pass < 2; pass++) {
+      auto out = RunOps(model, ropts, [&](const OpContext& ctx) -> Status {
+        return op(ctx, rngs[ctx.thread]);
+      });
+      if (pass == 1) {
+        std::printf("%-10s  wall_ns_per_op=%.0f  wall_ops_s=%.0f  "
+                    "rounds/op=%.2f\n",
+                    name, out.agg.mean_wall_ns(), out.agg.wall_ops_per_sec(),
+                    out.agg.mean_rounds());
+        PrintAudit(name, out.agg);
+        rows.push_back(Row{name, out.agg.mean_wall_ns(),
+                           out.agg.wall_ops_per_sec()});
+      }
+    }
+  };
+
+  run_mode("get", [&](const OpContext& ctx, Rng& rng) -> Status {
+    std::string value;
+    Status st = cluster->proxy(ctx.thread % kMachines)
+                    .Get(*tree, EncodeUserKey(rng.Uniform(kPreload)), &value);
+    return st.IsNotFound() ? Status::OK() : st;
+  });
+  run_mode("multiget16", [&](const OpContext& ctx, Rng& rng) -> Status {
+    std::vector<std::string> keys;
+    for (int k = 0; k < 16; k++) {
+      keys.push_back(EncodeUserKey(rng.Uniform(kPreload)));
+    }
+    std::vector<std::optional<std::string>> values;
+    return cluster->proxy(ctx.thread % kMachines)
+        .Tip(*tree)
+        .MultiGet(keys, &values);
+  });
+  run_mode("scannext32", [&](const OpContext& ctx, Rng& rng) -> Status {
+    std::vector<std::pair<std::string, std::string>> out;
+    return cluster->proxy(ctx.thread % kMachines)
+        .Scan(*tree, EncodeUserKey(rng.Uniform(kPreload)), 32, &out);
+  });
+
+  // -- JSON + gate ----------------------------------------------------------
+  std::string json =
+      "{\"bench\":\"node_micro\",\"vectorized\":" +
+      std::string(KeyCompareIsVectorized() ? "true" : "false") +
+      ",\"raw\":{\"decode_ns\":" + std::to_string(decode_ns) +
+      ",\"view_ns\":" + std::to_string(view_ns) +
+      ",\"reuse_ns\":" + std::to_string(reuse_ns) +
+      ",\"speedup\":" + std::to_string(speedup) + "},\"ops\":[";
+  for (size_t i = 0; i < rows.size(); i++) {
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"mode\":\"%s\",\"wall_ns_per_op\":%.0f,"
+                  "\"wall_ops_s\":%.0f}",
+                  i == 0 ? "" : ",", rows[i].name, rows[i].wall_ns,
+                  rows[i].ops_s);
+    json += row;
+  }
+  json += "]}\n";
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("# wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: NodeView point search is only %.2fx faster "
+                 "than full decode (need >= 2x)\n",
+                 speedup);
+    return 2;
+  }
+  std::printf("# gate ok: view %.2fx faster than decode (>= 2x)\n", speedup);
+  return 0;
+}

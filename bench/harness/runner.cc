@@ -1,5 +1,6 @@
 #include "bench/harness/runner.h"
 
+#include <chrono>
 #include <mutex>
 
 namespace minuet::bench {
@@ -28,12 +29,17 @@ RunOutput RunOps(const CostModel& model, const RunOptions& options,
         ctx.virtual_time_s = clock_s;
         trace.Reset(options.n_nodes);
         net::Fabric::SetThreadTrace(&trace);
+        const auto wall_start = std::chrono::steady_clock::now();
         Status st = op(ctx);
+        const auto wall_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
         net::Fabric::SetThreadTrace(nullptr);
         const double latency_ms = model.OpLatencyMs(trace, options.cdb_cost);
         clock_s += latency_ms / 1000.0;
         if (st.ok() || st.IsNotFound()) {
-          agg.Add(trace, latency_ms);
+          agg.Add(trace, latency_ms, static_cast<uint64_t>(wall_ns));
         } else {
           agg.failed++;
         }

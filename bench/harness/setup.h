@@ -70,6 +70,10 @@ inline void PrintAudit(const char* label, const Aggregate& a) {
       a.mean_msgs(), static_cast<unsigned long long>(a.retries),
       static_cast<unsigned long long>(a.validation_aborts),
       static_cast<unsigned long long>(a.nodes_copied));
+  if (a.sum_wall_ns > 0) {
+    std::printf("#   wall[%s]: ns/op=%.0f ops/sec=%.0f\n", label,
+                a.mean_wall_ns(), a.wall_ops_per_sec());
+  }
 }
 
 }  // namespace minuet::bench

@@ -39,31 +39,34 @@ Status BTree::AbortDescent(DynamicTxn& txn, Addr at,
 }
 
 Status BTree::SettleNodeForSid(DynamicTxn& txn, uint64_t sid,
-                               TraverseMode mode, const Node** node,
-                               Node* hop, Addr* at,
+                               TraverseMode mode, const NodeView** node,
+                               FetchedNode* hop, Addr* at,
                                std::vector<Addr>* visited) {
   for (int hops = 0; hops < 256; hops++) {
-    if (!oracle_->IsAncestorOrEqual((*node)->created_sid, sid)) {
+    if (!oracle_->IsAncestorOrEqual((*node)->created_sid(), sid)) {
       return AbortDescent(txn, *at, *visited,
                           "node from a different version lineage");
     }
-    const DescendantEntry* applicable = nullptr;
-    for (const DescendantEntry& d : (*node)->descendants) {
+    DescendantEntry applicable;
+    bool has_applicable = false;
+    for (size_t di = 0; di < (*node)->descendant_count(); di++) {
+      const DescendantEntry d = (*node)->descendant(di);
       if (oracle_->IsAncestorOrEqual(d.sid, sid)) {
-        applicable = &d;
+        applicable = d;
+        has_applicable = true;
         break;
       }
     }
-    if (applicable == nullptr) return Status::OK();
-    if (!applicable->discretionary) {
+    if (!has_applicable) return Status::OK();
+    if (!applicable.discretionary) {
       return AbortDescent(txn, *at, *visited,
                           "node copied for this or an earlier snapshot");
     }
     // Rare: follow the discretionary chain with (cached) point hops — the
     // level batch could not have known about the hop target up front.
     stats_.redirects.fetch_add(1, std::memory_order_relaxed);
-    *at = applicable->copy_addr;
-    auto fetched = FetchNode(txn, *at, /*as_leaf=*/false, mode);
+    *at = applicable.copy_addr;
+    auto fetched = FetchView(txn, *at, /*as_leaf=*/false, mode);
     if (!fetched.ok()) {
       if (fetched.status().IsCorruption()) {
         return AbortDescent(txn, *at, *visited,
@@ -72,7 +75,7 @@ Status BTree::SettleNodeForSid(DynamicTxn& txn, uint64_t sid,
       return fetched.status();
     }
     *hop = std::move(fetched).value();
-    *node = hop;
+    *node = &hop->view;
     visited->push_back(*at);
   }
   return AbortDescent(txn, *at, *visited, "redirect chain did not terminate");
@@ -138,35 +141,37 @@ Status BTree::VisitFrontier(DynamicTxn& txn, uint64_t sid, TraverseMode mode,
                                       : NodeRef(it.addr, /*internal=*/true));
       }
     }
-    auto payloads =
-        validated_path ? txn.ReadCachedBatch(refs) : txn.DirtyReadBatch(refs);
+    auto payloads = validated_path ? txn.ReadCachedBatchViews(refs)
+                                   : txn.DirtyReadBatchViews(refs);
     if (!payloads.ok()) {
       return MaybeRetiredAbort(txn, payloads.status(), refs, *visited);
     }
 
-    std::vector<Node> nodes(refs.size());
+    // Each distinct node gets ONE zero-copy view; the payloads vector keeps
+    // every image pinned for the remainder of the level.
+    std::vector<NodeView> views(refs.size());
     for (size_t k = 0; k < refs.size(); k++) {
       const Addr at = refs[k].addr;
-      auto decoded = Node::Decode((*payloads)[k]);
-      if (!decoded.ok()) return abort(at, "undecodable node (stale pointer)");
-      nodes[k] = std::move(decoded).value();
+      if (!views[k].Init((*payloads)[k].data).ok()) {
+        return abort(at, "undecodable node (stale pointer)");
+      }
       visited->push_back(at);
-      if (validated_path && !nodes[k].is_leaf() &&
+      if (validated_path && !views[k].is_leaf() &&
           options_.replicate_internal_seqnums) {
         txn.SetReadValidationMirror(at, layout().SeqSlotFor(at));
       }
     }
 
-    // Advance every item through its (shared) decoded node.
+    // Advance every item through its (shared) node view.
     std::vector<FrontierItem> next;
     for (FrontierItem& it : fetchable) {
-      const Node* node = &nodes[slot.at(it.addr)];
+      const NodeView* node = &views[slot.at(it.addr)];
       Addr at = it.addr;
-      Node hop;  // content of a followed discretionary copy
+      FetchedNode hop;  // content of a followed discretionary copy
       MINUET_RETURN_NOT_OK(
           SettleNodeForSid(txn, sid, mode, &node, &hop, &at, visited));
       if (it.expected_height >= 0 &&
-          node->height != static_cast<uint8_t>(it.expected_height)) {
+          node->height() != static_cast<uint8_t>(it.expected_height)) {
         return abort(at, "height mismatch");
       }
       if (node->is_leaf()) {
@@ -181,7 +186,7 @@ Status BTree::VisitFrontier(DynamicTxn& txn, uint64_t sid, TraverseMode mode,
         MINUET_RETURN_NOT_OK(cb.on_leaf(it, node, at));
         continue;
       }
-      if (node->entries.empty()) {
+      if (node->num_entries() == 0) {
         return abort(at, "internal node without children");
       }
       MINUET_RETURN_NOT_OK(cb.on_internal(
@@ -228,7 +233,7 @@ Status BTree::ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
     roots[i] = FrontierItem{root, -1, i};
   }
   FrontierCallbacks cb;
-  cb.on_leaf = [&](const FrontierItem& it, const Node* node,
+  cb.on_leaf = [&](const FrontierItem& it, const NodeView* node,
                    Addr at) -> Status {
     if (node != nullptr && !node->InFenceRange(keys[it.tag])) {
       return AbortDescent(txn, at, visited, "key outside fence range");
@@ -236,7 +241,7 @@ Status BTree::ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
     join_group(at, it.tag);
     return Status::OK();
   };
-  cb.on_internal = [&](const FrontierItem& it, const Node& node, Addr at,
+  cb.on_internal = [&](const FrontierItem& it, const NodeView& node, Addr at,
                        uint32_t, std::vector<FrontierItem>* next) -> Status {
     const Slice key(keys[it.tag]);
     if (!node.InFenceRange(key)) {
@@ -244,7 +249,7 @@ Status BTree::ResolveLeafGroups(DynamicTxn& txn, uint64_t sid, Addr root,
     }
     const size_t idx = node.ChildIndexFor(key);
     next->push_back(
-        FrontierItem{node.entries[idx].child, node.height - 1, it.tag});
+        FrontierItem{node.EntryChild(idx), node.height() - 1, it.tag});
     return Status::OK();
   };
   return VisitFrontier(txn, sid, mode, validated_path, std::move(roots), cb,
@@ -296,7 +301,7 @@ Status BTree::ApplyWritesToTip(DynamicTxn& txn,
     for (const LeafGroup& g : groups) {
       refs.push_back(NodeRef(g.addr, /*internal=*/false));
     }
-    auto payloads = txn.ReadBatch(refs);
+    auto payloads = txn.ReadBatchViews(refs);
     if (!payloads.ok()) {
       // `visited` lets a retired-pointer abort invalidate the cached
       // inner path that produced the stale leaf address, like MultiGetAt.
@@ -321,7 +326,9 @@ Status BTree::ApplyWritesToTip(DynamicTxn& txn,
       auto path = Traverse(txn, tip->sid, tip->root, ops[g.key_idx[next]].key,
                            TraverseMode::kUpToDate);
       if (!path.ok()) return path.status();
-      Node leaf = path->back().node;
+      auto decoded = path->back().view.ToNode();  // mutation boundary
+      if (!decoded.ok()) return decoded.status();
+      Node leaf = std::move(decoded).value();
       bool dirty = false;
       size_t applied = 0;
       while (next < g.key_idx.size()) {
@@ -374,37 +381,38 @@ Result<std::vector<BTree::ScanPartition>> BTree::PartitionRange(
     ranges.emplace_back(start, end);
 
     FrontierCallbacks cb;
-    cb.on_leaf = [&](const FrontierItem& it, const Node*, Addr at) -> Status {
+    cb.on_leaf = [&](const FrontierItem& it, const NodeView*,
+                     Addr at) -> Status {
       // A single-leaf tree (the root only — heights are uniform, so deeper
       // levels are cut at height 1 below).
       const auto& [lo, hi] = ranges[it.tag];
       parts.push_back(ScanPartition{lo, hi, at.memnode});
       return Status::OK();
     };
-    cb.on_internal = [&](const FrontierItem& it, const Node& node, Addr,
+    cb.on_internal = [&](const FrontierItem& it, const NodeView& node, Addr,
                          uint32_t level,
                          std::vector<FrontierItem>* next) -> Status {
       // Expand the children intersecting the subtree's clipped range.
       // Children of height-1 nodes are leaves — emit partitions instead of
       // descending further (the frontier never fetches leaves); same when
       // the level budget is spent.
-      const bool cut = level + 1 >= max_levels || node.height == 1;
-      const auto& entries = node.entries;
+      const bool cut = level + 1 >= max_levels || node.height() == 1;
+      const size_t n = node.num_entries();
       const std::pair<std::string, std::string> range = ranges[it.tag];
-      for (size_t i = 0; i < entries.size(); i++) {
+      for (size_t i = 0; i < n; i++) {
         // Child i covers [key_i, key_{i+1}); clip to the subtree's range.
-        std::string lo = entries[i].key;
+        std::string lo = node.EntryKey(i).ToString();
         if (lo < range.first) lo = range.first;
         std::string hi =
-            i + 1 < entries.size() ? entries[i + 1].key : range.second;
+            i + 1 < n ? node.EntryKey(i + 1).ToString() : range.second;
         if (!range.second.empty() && (hi.empty() || hi > range.second)) {
           hi = range.second;
         }
         if (!hi.empty() && lo >= hi) continue;
         if (cut) {
-          parts.push_back(ScanPartition{lo, hi, entries[i].child.memnode});
+          parts.push_back(ScanPartition{lo, hi, node.EntryChild(i).memnode});
         } else {
-          next->push_back(FrontierItem{entries[i].child, node.height - 1,
+          next->push_back(FrontierItem{node.EntryChild(i), node.height() - 1,
                                        ranges.size()});
           ranges.emplace_back(std::move(lo), std::move(hi));
         }
@@ -446,11 +454,13 @@ Result<uint32_t> BTree::Depth() {
   Status st = RunOp([&](DynamicTxn& txn) -> Status {
     auto tip = ReadTipInTxn(txn);
     if (!tip.ok()) return tip.status();
-    auto node = FetchNode(txn, tip->root, /*as_leaf=*/false,
+    auto node = FetchView(txn, tip->root, /*as_leaf=*/false,
                           TraverseMode::kSnapshotRead);
     if (!node.ok()) return node.status();
-    if (node->is_leaf() && cache_ != nullptr) cache_->Invalidate(tip->root);
-    depth = node->height + 1u;
+    if (node->view.is_leaf() && cache_ != nullptr) {
+      cache_->Invalidate(tip->root);
+    }
+    depth = node->view.height() + 1u;
     return Status::OK();
   });
   if (!st.ok()) return st;

@@ -37,20 +37,22 @@ Status BTree::CollectTipPlacement(std::vector<NodePlacement>* out) {
     routing.emplace_back("");
 
     FrontierCallbacks cb;
-    cb.on_leaf = [&](const FrontierItem& it, const Node*, Addr) -> Status {
+    cb.on_leaf = [&](const FrontierItem& it, const NodeView*,
+                     Addr) -> Status {
       // Leaves are recorded straight from their parent's entry (`it.addr`,
       // the address the parent holds) — the walk needs no leaf content.
       out->push_back(
           NodePlacement{it.addr, std::move(routing[it.tag]), 0});
       return Status::OK();
     };
-    cb.on_internal = [&](const FrontierItem& it, const Node& node, Addr,
+    cb.on_internal = [&](const FrontierItem& it, const NodeView& node, Addr,
                          uint32_t, std::vector<FrontierItem>* next) -> Status {
-      out->push_back(NodePlacement{it.addr, routing[it.tag], node.height});
-      for (size_t e = 0; e < node.entries.size(); e++) {
-        next->push_back(FrontierItem{node.entries[e].child, node.height - 1,
+      out->push_back(NodePlacement{it.addr, routing[it.tag], node.height()});
+      for (size_t e = 0; e < node.num_entries(); e++) {
+        next->push_back(FrontierItem{node.EntryChild(e), node.height() - 1,
                                      routing.size()});
-        routing.push_back(e == 0 ? routing[it.tag] : node.entries[e].key);
+        routing.push_back(e == 0 ? routing[it.tag]
+                                 : node.EntryKey(e).ToString());
       }
       return Status::OK();
     };
@@ -102,15 +104,15 @@ Status BTree::MigrateNodeInTxn(DynamicTxn& txn, const NodePlacement& expected,
   // Validated read of the source content: internal nodes were dirty-read
   // during traversal, and the copy must base on bytes the commit validates
   // (for the leaf this is a read-set hit).
-  const bool internal = entry.node.height > 0;
-  auto raw = txn.Read(NodeRef(entry.addr, internal));
+  const bool internal = entry.view.height() > 0;
+  auto raw = txn.ReadView(NodeRef(entry.addr, internal));
   if (!raw.ok()) return raw.status();
-  auto decoded = Node::Decode(*raw);
+  auto decoded = Node::Decode(raw->data);
   if (!decoded.ok()) {
     return AbortDescent(txn, entry.addr, {}, "source no longer decodable");
   }
   Node source = std::move(decoded).value();
-  if (source.height != entry.node.height ||
+  if (source.height != entry.view.height() ||
       source.height != expected.height) {
     return AbortDescent(txn, entry.addr, {}, "source changed under migration");
   }
@@ -135,9 +137,9 @@ Status BTree::MigrateNodeInTxn(DynamicTxn& txn, const NodePlacement& expected,
     // validated content into the path, and let ApplyLeafMutation run the
     // CoW-aware write-back (copying/propagating up to the root as needed).
     PathEntry& parent = (*path)[i - 1];
-    auto praw = txn.Read(NodeRef(parent.addr, /*internal=*/true));
+    auto praw = txn.ReadView(NodeRef(parent.addr, /*internal=*/true));
     if (!praw.ok()) return praw.status();
-    auto pdecoded = Node::Decode(*praw);
+    auto pdecoded = Node::Decode(praw->data);
     if (!pdecoded.ok()) {
       return AbortDescent(txn, parent.addr, {}, "parent no longer decodable");
     }
@@ -149,15 +151,18 @@ Status BTree::MigrateNodeInTxn(DynamicTxn& txn, const NodePlacement& expected,
         break;
       }
     }
-    if (pristine.height != parent.node.height ||
+    if (pristine.height != parent.view.height() ||
         e == pristine.entries.size()) {
       return AbortDescent(txn, parent.addr, {},
                           "parent changed during migration");
     }
     Node modified = pristine;
     modified.entries[e].child = *copy_addr;
-    parent.node = std::move(pristine);  // RecordCopy must base on validated bytes
-    path->resize(i);                    // the parent is now the path's last entry
+    // RecordCopy must base on validated bytes: re-point the path entry at
+    // the validated image (the read set keeps it alive for the txn).
+    parent.raw = std::move(praw).value();
+    MINUET_RETURN_NOT_OK(parent.view.Init(parent.raw.data));
+    path->resize(i);  // the parent is now the path's last entry
     MINUET_RETURN_NOT_OK(
         ApplyLeafMutation(txn, *tip, *path, std::move(modified)));
   }

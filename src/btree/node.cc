@@ -1,9 +1,11 @@
 #include "btree/node.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "common/byteio.h"
+#include "common/key_compare.h"
 
 namespace minuet::btree {
 
@@ -16,13 +18,15 @@ constexpr uint16_t kNodeMagic = 0xB7EE;
 // created_sid(8) = 18 bytes, then descendants, fences, entries.
 constexpr size_t kFixedHeader = 18;
 constexpr size_t kDescBytes = kDescEntryBytes;
+
+std::atomic<uint64_t> g_decode_calls{0};
 }  // namespace
 
 size_t Node::LowerBound(const Slice& key) const {
   size_t lo = 0, hi = entries.size();
   while (lo < hi) {
     const size_t mid = (lo + hi) / 2;
-    if (Slice(entries[mid].key).compare(key) < 0) {
+    if (CompareKeys(entries[mid].key, key) < 0) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -35,7 +39,7 @@ size_t Node::ChildIndexFor(const Slice& key) const {
   assert(!is_leaf());
   assert(!entries.empty());
   const size_t lb = LowerBound(key);
-  if (lb < entries.size() && Slice(entries[lb].key).compare(key) == 0) {
+  if (lb < entries.size() && CompareKeys(entries[lb].key, key) == 0) {
     return lb;  // exact separator match: that child owns [key, next)
   }
   // First entry with key > `key`; the responsible child is the previous one.
@@ -44,7 +48,7 @@ size_t Node::ChildIndexFor(const Slice& key) const {
 
 size_t Node::FindKey(const Slice& key) const {
   const size_t lb = LowerBound(key);
-  if (lb < entries.size() && Slice(entries[lb].key).compare(key) == 0) {
+  if (lb < entries.size() && CompareKeys(entries[lb].key, key) == 0) {
     return lb;
   }
   return entries.size();
@@ -103,38 +107,55 @@ size_t Node::EncodedSize() const {
   return size;
 }
 
-void Node::EncodeTo(std::string* out) const {
-  out->clear();
-  out->reserve(EncodedSize());
-  PutFixed16(out, kNodeMagic);
-  out->push_back(static_cast<char>(height));
-  out->push_back(static_cast<char>(descendants.size()));
-  PutFixed16(out, static_cast<uint16_t>(entries.size()));
-  PutFixed16(out, static_cast<uint16_t>(low_fence.size()));
-  PutFixed16(out, static_cast<uint16_t>(high_fence.size()));
-  PutFixed64(out, created_sid);
+void Node::EncodeInto(char* dst) const {
+  char* p = dst;
+  EncodeFixed16(p, kNodeMagic);
+  p[2] = static_cast<char>(height);
+  p[3] = static_cast<char>(descendants.size());
+  EncodeFixed16(p + 4, static_cast<uint16_t>(entries.size()));
+  EncodeFixed16(p + 6, static_cast<uint16_t>(low_fence.size()));
+  EncodeFixed16(p + 8, static_cast<uint16_t>(high_fence.size()));
+  EncodeFixed64(p + 10, created_sid);
+  p += kFixedHeader;
   for (const DescendantEntry& d : descendants) {
-    PutFixed64(out, d.sid);
-    PutFixed32(out, d.copy_addr.memnode);
-    PutFixed64(out, d.copy_addr.offset);
-    out->push_back(d.discretionary ? 1 : 0);
+    EncodeFixed64(p, d.sid);
+    EncodeFixed32(p + 8, d.copy_addr.memnode);
+    EncodeFixed64(p + 12, d.copy_addr.offset);
+    p[20] = d.discretionary ? 1 : 0;
+    p += kDescBytes;
   }
-  out->append(low_fence);
-  out->append(high_fence);
+  std::memcpy(p, low_fence.data(), low_fence.size());
+  p += low_fence.size();
+  std::memcpy(p, high_fence.data(), high_fence.size());
+  p += high_fence.size();
   for (const NodeEntry& e : entries) {
-    PutFixed16(out, static_cast<uint16_t>(e.key.size()));
-    out->append(e.key);
+    EncodeFixed16(p, static_cast<uint16_t>(e.key.size()));
+    std::memcpy(p + 2, e.key.data(), e.key.size());
+    p += 2 + e.key.size();
     if (is_leaf()) {
-      PutFixed16(out, static_cast<uint16_t>(e.value.size()));
-      out->append(e.value);
+      EncodeFixed16(p, static_cast<uint16_t>(e.value.size()));
+      std::memcpy(p + 2, e.value.data(), e.value.size());
+      p += 2 + e.value.size();
     } else {
-      PutFixed32(out, e.child.memnode);
-      PutFixed64(out, e.child.offset);
+      EncodeFixed32(p, e.child.memnode);
+      EncodeFixed64(p + 4, e.child.offset);
+      p += 12;
     }
   }
+  assert(p == dst + EncodedSize());
 }
 
-Result<Node> Node::Decode(const std::string& payload) {
+void Node::EncodeTo(std::string* out) const {
+  out->resize(EncodedSize());
+  EncodeInto(&(*out)[0]);
+}
+
+uint64_t Node::DecodeCalls() {
+  return g_decode_calls.load(std::memory_order_relaxed);
+}
+
+Result<Node> Node::Decode(Slice payload) {
+  g_decode_calls.fetch_add(1, std::memory_order_relaxed);
   if (payload.size() < kFixedHeader) {
     return Status::Corruption("node too short");
   }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "sinfonia/addr.h"
@@ -93,7 +94,22 @@ struct Node {
   // Serialized size in bytes (to check against the slab payload capacity).
   size_t EncodedSize() const;
   void EncodeTo(std::string* out) const;
-  static Result<Node> Decode(const std::string& payload);
+  // Encode into caller-provided storage of exactly EncodedSize() bytes.
+  void EncodeInto(char* dst) const;
+  // Encode into a transaction arena: one bump allocation, a stable Slice
+  // out — the write path's replacement for per-call std::string churn.
+  Slice EncodeToArena(Arena& arena) const {
+    const size_t n = EncodedSize();
+    char* buf = arena.Allocate(n);
+    EncodeInto(buf);
+    return Slice(buf, n);
+  }
+  static Result<Node> Decode(Slice payload);
+
+  // Decode invocations since process start. Full decode materializes every
+  // entry, which read-only descents must never do — tests assert a ZERO
+  // delta across warm reads via this counter.
+  static uint64_t DecodeCalls();
 
   std::string Encode() const {
     std::string out;

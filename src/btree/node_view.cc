@@ -1,0 +1,155 @@
+#include "btree/node_view.h"
+
+#include <cassert>
+
+#include "common/byteio.h"
+#include "common/key_compare.h"
+
+namespace minuet::btree {
+
+namespace {
+// Mirrors the constants in node.cc; the wire format is defined there.
+constexpr uint16_t kNodeMagic = 0xB7EE;
+constexpr size_t kFixedHeader = 18;
+}  // namespace
+
+Status NodeView::Init(Slice image) {
+  valid_ = false;
+  image_ = image;
+  if (image.size() < kFixedHeader) return Status::Corruption("node too short");
+  const char* p = image.data();
+  if (DecodeFixed16(p) != kNodeMagic) return Status::Corruption("bad node magic");
+  height_ = static_cast<uint8_t>(p[2]);
+  ndesc_ = static_cast<uint8_t>(p[3]);
+  nkeys_ = DecodeFixed16(p + 4);
+  const uint16_t low_len = DecodeFixed16(p + 6);
+  const uint16_t high_len = DecodeFixed16(p + 8);
+  created_sid_ = DecodeFixed64(p + 10);
+  size_t off = kFixedHeader;
+  auto need = [&](size_t n) { return off + n <= image.size(); };
+
+  if (ndesc_ > kMaxDescendants) return Status::Corruption("descendant count");
+  if (!need(ndesc_ * kDescEntryBytes)) {
+    return Status::Corruption("truncated desc");
+  }
+  desc_off_ = static_cast<uint32_t>(off);
+  off += ndesc_ * kDescEntryBytes;
+
+  if (!need(low_len + high_len)) return Status::Corruption("truncated fence");
+  low_fence_ = Slice(p + off, low_len);
+  off += low_len;
+  high_fence_ = Slice(p + off, high_len);
+  off += high_len;
+
+  // One bounds-checking walk over the entries doubles as the offset-index
+  // build: after it, every accessor can trust its offsets blindly.
+  if (nkeys_ > kInlineEntries) {
+    spill_offsets_.clear();
+    spill_offsets_.reserve(nkeys_);
+  }
+  for (uint16_t i = 0; i < nkeys_; i++) {
+    if (nkeys_ <= kInlineEntries) {
+      inline_offsets_[i] = static_cast<uint32_t>(off);
+    } else {
+      spill_offsets_.push_back(static_cast<uint32_t>(off));
+    }
+    if (!need(2)) return Status::Corruption("truncated entry");
+    const uint16_t klen = DecodeFixed16(p + off);
+    off += 2;
+    if (!need(klen)) return Status::Corruption("truncated key");
+    off += klen;
+    if (height_ == 0) {
+      if (!need(2)) return Status::Corruption("truncated vlen");
+      const uint16_t vlen = DecodeFixed16(p + off);
+      off += 2;
+      if (!need(vlen)) return Status::Corruption("truncated value");
+      off += vlen;
+    } else {
+      if (!need(12)) return Status::Corruption("truncated child");
+      off += 12;
+    }
+  }
+  valid_ = true;
+  return Status::OK();
+}
+
+bool NodeView::InFenceRange(const Slice& key) const {
+  if (!low_fence_.empty() && CompareKeys(key, low_fence_) < 0) return false;
+  if (!high_fence_.empty() && CompareKeys(key, high_fence_) >= 0) return false;
+  return true;
+}
+
+DescendantEntry NodeView::descendant(size_t i) const {
+  assert(valid_ && i < ndesc_);
+  const char* p = image_.data() + desc_off_ + i * kDescEntryBytes;
+  DescendantEntry d;
+  d.sid = DecodeFixed64(p);
+  d.copy_addr.memnode = DecodeFixed32(p + 8);
+  d.copy_addr.offset = DecodeFixed64(p + 12);
+  d.discretionary = p[20] != 0;
+  return d;
+}
+
+Slice NodeView::EntryKey(size_t i) const {
+  assert(valid_ && i < nkeys_);
+  const char* p = image_.data() + entry_offset(i);
+  const uint16_t klen = DecodeFixed16(p);
+  return Slice(p + 2, klen);
+}
+
+Slice NodeView::EntryValue(size_t i) const {
+  assert(valid_ && i < nkeys_ && height_ == 0);
+  const char* p = image_.data() + entry_offset(i);
+  const uint16_t klen = DecodeFixed16(p);
+  const uint16_t vlen = DecodeFixed16(p + 2 + klen);
+  return Slice(p + 2 + klen + 2, vlen);
+}
+
+Addr NodeView::EntryChild(size_t i) const {
+  assert(valid_ && i < nkeys_ && height_ > 0);
+  const char* p = image_.data() + entry_offset(i);
+  const uint16_t klen = DecodeFixed16(p);
+  Addr child;
+  child.memnode = DecodeFixed32(p + 2 + klen);
+  child.offset = DecodeFixed64(p + 2 + klen + 4);
+  return child;
+}
+
+size_t NodeView::LowerBound(const Slice& key) const {
+  size_t lo = 0, hi = nkeys_;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (CompareKeys(EntryKey(mid), key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t NodeView::ChildIndexFor(const Slice& key) const {
+  assert(!is_leaf());
+  assert(nkeys_ > 0);
+  const size_t lb = LowerBound(key);
+  if (lb < nkeys_ && CompareKeys(EntryKey(lb), key) == 0) {
+    return lb;  // exact separator match: that child owns [key, next)
+  }
+  // First entry with key > `key`; the responsible child is the previous one.
+  return lb == 0 ? 0 : lb - 1;
+}
+
+size_t NodeView::FindKey(const Slice& key) const {
+  const size_t lb = LowerBound(key);
+  if (lb < nkeys_ && CompareKeys(EntryKey(lb), key) == 0) {
+    return lb;
+  }
+  return nkeys_;
+}
+
+Result<Node> NodeView::ToNode() const {
+  if (!valid_) return Status::Corruption("ToNode on invalid view");
+  return Node::Decode(image_);
+}
+
+}  // namespace minuet::btree

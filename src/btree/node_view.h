@@ -1,0 +1,104 @@
+// Zero-copy view over a serialized B-tree node image.
+//
+// Node::Decode heap-materializes every entry's key and value into
+// std::strings — the right shape for MUTATION (Upsert/SplitInto need owned,
+// reorderable entries), and pure waste for a descent that binary-searches a
+// few dozen separators to pick one child. NodeView is the read-side answer:
+// it validates the image ONCE (header, descendant table, fences, and a full
+// bounds-checked walk of every entry) and then answers the same queries
+// Node does — LowerBound / ChildIndexFor / FindKey / EntryKey / EntryValue /
+// EntryChild / InFenceRange — as Slice-returning binary search directly over
+// the wire format. No allocation per entry; for nodes up to
+// kInlineEntries the offset index itself lives inline in the view.
+//
+// Contract:
+//   - Init() is the ONLY validation point. Because it bounds-checks every
+//     entry up front, every accessor afterwards is UB-free no matter how
+//     the image was corrupted — a truncated or bit-flipped image either
+//     fails Init() with Corruption or behaves as a well-formed node.
+//   - The view does NOT own the bytes. The caller keeps the image alive
+//     (in practice: a Payload pinning the cache/read-set image, or the txn
+//     arena) for as long as the view is used.
+//   - Read-only. Paths that mutate materialize with ToNode() — the explicit
+//     (and counted) decode boundary the "zero decode on warm reads" tests
+//     police.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/node.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace minuet::btree {
+
+class NodeView {
+ public:
+  // Most nodes (node_size ≤ 4 KiB, short keys) index inline with no heap
+  // allocation; larger nodes spill to the heap vector.
+  static constexpr size_t kInlineEntries = 128;
+
+  NodeView() = default;
+
+  // Validate `image` and build the entry-offset index. On any malformed
+  // input returns Corruption and leaves the view unusable (valid() false).
+  // `image` must stay alive and unmodified while the view is used.
+  Status Init(Slice image);
+
+  bool valid() const { return valid_; }
+
+  // --- Header -------------------------------------------------------------
+  uint8_t height() const { return height_; }
+  bool is_leaf() const { return height_ == 0; }
+  uint64_t created_sid() const { return created_sid_; }
+  Slice low_fence() const { return low_fence_; }
+  Slice high_fence() const { return high_fence_; }
+
+  bool InFenceRange(const Slice& key) const;
+
+  // --- Descendant set -----------------------------------------------------
+  size_t descendant_count() const { return ndesc_; }
+  DescendantEntry descendant(size_t i) const;
+
+  // --- Entries ------------------------------------------------------------
+  size_t num_entries() const { return nkeys_; }
+  Slice EntryKey(size_t i) const;
+  // Leaves only: the entry's value bytes.
+  Slice EntryValue(size_t i) const;
+  // Internal nodes only: the entry's child pointer.
+  Addr EntryChild(size_t i) const;
+
+  // Index of the first entry with key >= `key` (num_entries() if none).
+  size_t LowerBound(const Slice& key) const;
+  // Internal nodes: index of the child responsible for `key` (greatest i
+  // with EntryKey(i) <= key). Requires InFenceRange(key).
+  size_t ChildIndexFor(const Slice& key) const;
+  // Exact-match lookup; num_entries() when absent.
+  size_t FindKey(const Slice& key) const;
+
+  // Materialize an owned Node for mutation. Delegates to Node::Decode, so
+  // the decode counter sees it — mutation paths are the only legitimate
+  // decoders on the hot path.
+  Result<Node> ToNode() const;
+
+ private:
+  // Byte offset (from image start) of entry i's klen field.
+  uint32_t entry_offset(size_t i) const {
+    return nkeys_ <= kInlineEntries ? inline_offsets_[i] : spill_offsets_[i];
+  }
+
+  Slice image_;
+  bool valid_ = false;
+  uint8_t height_ = 0;
+  uint8_t ndesc_ = 0;
+  uint16_t nkeys_ = 0;
+  uint64_t created_sid_ = 0;
+  Slice low_fence_;
+  Slice high_fence_;
+  uint32_t desc_off_ = 0;  // offset of the descendant table
+  uint32_t inline_offsets_[kInlineEntries];
+  std::vector<uint32_t> spill_offsets_;
+};
+
+}  // namespace minuet::btree

@@ -19,7 +19,7 @@ std::string EncodeTipId(uint64_t sid) {
   return out;
 }
 
-uint64_t DecodeTipId(const std::string& payload) {
+uint64_t DecodeTipId(Slice payload) {
   return payload.size() >= 8 ? DecodeFixed64(payload.data()) : 0;
 }
 
@@ -30,7 +30,7 @@ std::string EncodeRootLoc(Addr root) {
   return out;
 }
 
-Addr DecodeRootLoc(const std::string& payload) {
+Addr DecodeRootLoc(Slice payload) {
   if (payload.size() < 12) return sinfonia::kNullAddr;
   Addr a;
   a.memnode = DecodeFixed32(payload.data());
@@ -48,7 +48,7 @@ std::string EncodeCatalogEntry(const CatalogEntry& e) {
   return out;
 }
 
-CatalogEntry DecodeCatalogEntry(const std::string& payload) {
+CatalogEntry DecodeCatalogEntry(Slice payload) {
   CatalogEntry e;
   if (payload.size() < 32) return e;
   e.root.memnode = DecodeFixed32(payload.data());
@@ -129,16 +129,16 @@ Result<TipContext> BTree::ReadTipInTxn(DynamicTxn& txn) {
   const ObjectRef id_ref = layout().TipIdRef(tree_slot_);
   const ObjectRef root_ref = layout().TipRootRef(tree_slot_);
   TipContext tip;
-  const std::string* id_raw = txn.Peek(id_ref);
-  const std::string* root_raw = txn.Peek(root_ref);
-  if (id_raw != nullptr && root_raw != nullptr) {
+  const std::optional<Slice> id_raw = txn.Peek(id_ref);
+  const std::optional<Slice> root_raw = txn.Peek(root_ref);
+  if (id_raw && root_raw) {
     tip.sid = DecodeTipId(*id_raw);
     tip.root = DecodeRootLoc(*root_raw);
   } else {
-    auto raw = txn.ReadCachedBatch({id_ref, root_ref});
+    auto raw = txn.ReadCachedBatchViews({id_ref, root_ref});
     if (!raw.ok()) return raw.status();
-    tip.sid = DecodeTipId((*raw)[0]);
-    tip.root = DecodeRootLoc((*raw)[1]);
+    tip.sid = DecodeTipId((*raw)[0].data);
+    tip.root = DecodeRootLoc((*raw)[1].data);
   }
   tip.source = TipContext::Source::kLinearTip;
   if (tip.root == sinfonia::kNullAddr) {
@@ -150,9 +150,9 @@ Result<TipContext> BTree::ReadTipInTxn(DynamicTxn& txn) {
 Result<TipContext> BTree::ReadBranchTipInTxn(DynamicTxn& txn,
                                              uint64_t branch_sid,
                                              bool for_write) {
-  auto raw = txn.ReadCached(layout().CatalogRef(tree_slot_, branch_sid));
+  auto raw = txn.ReadCachedView(layout().CatalogRef(tree_slot_, branch_sid));
   if (!raw.ok()) return raw.status();
-  const CatalogEntry entry = DecodeCatalogEntry(*raw);
+  const CatalogEntry entry = DecodeCatalogEntry(raw->data);
   if (entry.root == sinfonia::kNullAddr) {
     return Status::NotFound("no such snapshot");
   }
@@ -177,9 +177,9 @@ void BTree::InvalidateTipCache() {
 }
 
 Result<Addr> BTree::BranchRootInTxn(DynamicTxn& txn, uint64_t sid) {
-  auto raw = txn.ReadCached(layout().CatalogRef(tree_slot_, sid));
+  auto raw = txn.ReadCachedView(layout().CatalogRef(tree_slot_, sid));
   if (!raw.ok()) return raw.status();
-  const CatalogEntry entry = DecodeCatalogEntry(*raw);
+  const CatalogEntry entry = DecodeCatalogEntry(raw->data);
   if (entry.root == sinfonia::kNullAddr) {
     return Status::NotFound("no such snapshot");
   }
@@ -193,9 +193,9 @@ Status BTree::PublishRoot(DynamicTxn& txn, const TipContext& tip,
                      EncodeRootLoc(new_root));
   }
   const ObjectRef ref = layout().CatalogRef(tree_slot_, tip.sid);
-  auto raw = txn.Read(ref);  // read-set hit: already validated
+  auto raw = txn.ReadView(ref);  // read-set hit: already validated
   if (!raw.ok()) return raw.status();
-  CatalogEntry entry = DecodeCatalogEntry(*raw);
+  CatalogEntry entry = DecodeCatalogEntry(raw->data);
   entry.root = new_root;
   return txn.Write(ref, EncodeCatalogEntry(entry));
 }
@@ -203,22 +203,22 @@ Status BTree::PublishRoot(DynamicTxn& txn, const TipContext& tip,
 // ---------------------------------------------------------------------------
 // Node fetch & traversal
 
-Result<Node> BTree::FetchNode(DynamicTxn& txn, Addr addr, bool as_leaf,
-                              TraverseMode mode) {
-  Result<std::string> raw = Status::Aborted("");
+Result<BTree::FetchedNode> BTree::FetchView(DynamicTxn& txn, Addr addr,
+                                            bool as_leaf, TraverseMode mode) {
+  Result<Payload> raw = Status::Aborted("");
   if (as_leaf) {
     // Leaves are never served from the proxy cache.
     raw = mode == TraverseMode::kUpToDate
-              ? txn.Read(NodeRef(addr, /*internal=*/false))
-              : txn.FetchFresh(NodeRef(addr, /*internal=*/false));
+              ? txn.ReadView(NodeRef(addr, /*internal=*/false))
+              : txn.FetchFreshView(NodeRef(addr, /*internal=*/false));
   } else if (options_.dirty_traversals || mode == TraverseMode::kSnapshotRead) {
-    raw = txn.DirtyRead(NodeRef(addr, /*internal=*/true));
+    raw = txn.DirtyReadView(NodeRef(addr, /*internal=*/true));
   } else {
     // Aguilera baseline: the whole path joins the read set; internal nodes
     // come from the proxy cache and validate against the replicated seqnum
-    // table at commit. The node's kind is only known after decoding, so
-    // fetch with a plain ref and upgrade the validation mirror below.
-    raw = txn.ReadCached(layout().SlabRef(addr));
+    // table at commit. The node's kind is only known after the header is
+    // parsed, so fetch with a plain ref and upgrade the mirror below.
+    raw = txn.ReadCachedView(layout().SlabRef(addr));
   }
   if (!raw.ok()) {
     if (raw.status().IsUnavailable() && coord_->retired(addr.memnode)) {
@@ -231,27 +231,33 @@ Result<Node> BTree::FetchNode(DynamicTxn& txn, Addr addr, bool as_leaf,
     }
     return raw.status();
   }
-  auto node = Node::Decode(*raw);
-  if (!node.ok() && std::getenv("MINUET_DEBUG") != nullptr) {
-    std::fprintf(stderr,
-                 "[minuet] undecodable node at %s (as_leaf=%d len=%zu "
-                 "first8=%02x%02x%02x%02x)\n",
-                 addr.ToString().c_str(), as_leaf, raw->size(),
-                 static_cast<unsigned char>((*raw)[0]),
-                 static_cast<unsigned char>((*raw)[1]),
-                 static_cast<unsigned char>((*raw)[2]),
-                 static_cast<unsigned char>((*raw)[3]));
+  FetchedNode out;
+  out.raw = std::move(raw).value();
+  const Status init = out.view.Init(out.raw.data);
+  if (!init.ok()) {
+    if (std::getenv("MINUET_DEBUG") != nullptr && out.raw.size() >= 4) {
+      const char* b = out.raw.data.data();
+      std::fprintf(stderr,
+                   "[minuet] undecodable node at %s (as_leaf=%d len=%zu "
+                   "first4=%02x%02x%02x%02x)\n",
+                   addr.ToString().c_str(), as_leaf, out.raw.size(),
+                   static_cast<unsigned char>(b[0]),
+                   static_cast<unsigned char>(b[1]),
+                   static_cast<unsigned char>(b[2]),
+                   static_cast<unsigned char>(b[3]));
+    }
+    // A view-init failure (freed or garbage slab reached through a stale
+    // pointer) surfaces as Corruption; the traversal converts it into an
+    // abort that invalidates the WHOLE cached path, so the retry cannot
+    // walk the same dead pointer again.
+    return init;
   }
-  if (node.ok() && !node->is_leaf() && !as_leaf &&
-      !options_.dirty_traversals && mode == TraverseMode::kUpToDate &&
+  if (!out.view.is_leaf() && !as_leaf && !options_.dirty_traversals &&
+      mode == TraverseMode::kUpToDate &&
       options_.replicate_internal_seqnums) {
     txn.SetReadValidationMirror(addr, layout().SeqSlotFor(addr));
   }
-  // A decode failure (freed or garbage slab reached through a stale
-  // pointer) surfaces as Corruption; the traversal converts it into an
-  // abort that invalidates the WHOLE cached path, so the retry cannot walk
-  // the same dead pointer again.
-  return node;
+  return out;
 }
 
 Result<std::vector<BTree::PathEntry>> BTree::Traverse(DynamicTxn& txn,
@@ -278,27 +284,32 @@ Result<std::vector<BTree::PathEntry>> BTree::Traverse(DynamicTxn& txn,
   // otherwise hang the proxy).
   for (int steps = 0; steps < 256; steps++) {
     const bool known_leaf = expected_height == 0;
-    auto fetched = FetchNode(txn, addr, known_leaf, mode);
+    auto fetched = FetchView(txn, addr, known_leaf, mode);
     if (!fetched.ok()) {
       if (fetched.status().IsCorruption()) {
         return abort(addr, "undecodable node (stale pointer)");
       }
       return fetched.status();
     }
-    Node node = std::move(fetched).value();
+    FetchedNode fn = std::move(fetched).value();
+    const NodeView& node = fn.view;
 
     // -- Version checks (§4.2, §5.2) --------------------------------------
-    if (!oracle_->IsAncestorOrEqual(node.created_sid, sid)) {
+    if (!oracle_->IsAncestorOrEqual(node.created_sid(), sid)) {
       return abort(addr, "node from a different version lineage");
     }
-    const DescendantEntry* applicable = nullptr;
-    for (const DescendantEntry& d : node.descendants) {
+    DescendantEntry applicable_entry;
+    bool has_applicable = false;
+    for (size_t di = 0; di < node.descendant_count(); di++) {
+      const DescendantEntry d = node.descendant(di);
       if (oracle_->IsAncestorOrEqual(d.sid, sid)) {
-        applicable = &d;
+        applicable_entry = d;
+        has_applicable = true;
         break;
       }
     }
-    if (applicable != nullptr) {
+    if (has_applicable) {
+      const DescendantEntry* applicable = &applicable_entry;
       if (applicable->discretionary) {
         // Discretionary copies (§5.2) exist only to bound descendant sets;
         // they are content-identical but carry the folded-away real-copy
@@ -322,13 +333,13 @@ Result<std::vector<BTree::PathEntry>> BTree::Traverse(DynamicTxn& txn,
 
     // -- Structural safety checks (Fig. 5) ---------------------------------
     if (expected_height >= 0 &&
-        node.height != static_cast<uint8_t>(expected_height)) {
+        node.height() != static_cast<uint8_t>(expected_height)) {
       return abort(addr, "height mismatch");
     }
     if (!node.InFenceRange(key)) {
       return abort(addr, "key outside fence range");
     }
-    if (!node.is_leaf() && node.entries.empty()) {
+    if (!node.is_leaf() && node.num_entries() == 0) {
       return abort(addr, "internal node without children");
     }
 
@@ -340,14 +351,16 @@ Result<std::vector<BTree::PathEntry>> BTree::Traverse(DynamicTxn& txn,
         expected_height = 0;
         continue;
       }
-      path.push_back(PathEntry{addr, link_addr, std::move(node)});
+      path.push_back(
+          PathEntry{addr, link_addr, std::move(fn.raw), std::move(fn.view)});
       return path;
     }
 
     const size_t idx = node.ChildIndexFor(key);
-    const Addr child = node.entries[idx].child;
-    expected_height = node.height - 1;
-    path.push_back(PathEntry{addr, link_addr, std::move(node)});
+    const Addr child = node.EntryChild(idx);
+    expected_height = node.height() - 1;
+    path.push_back(
+        PathEntry{addr, link_addr, std::move(fn.raw), std::move(fn.view)});
     addr = child;
     link_addr = child;
   }
@@ -365,13 +378,16 @@ Result<Addr> BTree::WriteFreshNodeAt(DynamicTxn& txn, const Node& node,
                                      sinfonia::MemnodeId memnode) {
   auto slab = allocator_->Allocate(txn, memnode);
   if (!slab.ok()) return slab.status();
-  const std::string image = node.Encode();
-  if (image.size() > capacity()) return Status::NoSpace("node overflow");
+  if (node.EncodedSize() > capacity()) return Status::NoSpace("node overflow");
+  // Encode straight into the transaction arena: the image lives until
+  // commit, so the write set can reference it without another copy.
+  const Slice image = node.EncodeToArena(txn.arena());
   ObjectRef ref = slab->ref;
   if (node.height > 0 && options_.replicate_internal_seqnums) {
     ref.rep_seq_offset = layout().SeqSlotFor(ref.addr);
   }
-  Status st = slab->fresh ? txn.WriteNew(ref, image) : txn.Write(ref, image);
+  Status st = slab->fresh ? txn.WriteNewStable(ref, image)
+                          : txn.WriteStable(ref, image);
   if (!st.ok()) return st;
   return ref.addr;
 }
@@ -433,16 +449,17 @@ Status BTree::RecordCopy(DynamicTxn& txn, Addr old_addr, Node old_node,
     stats_.discretionary_copies.fetch_add(1, std::memory_order_relaxed);
   }
 
-  return txn.Write(NodeRef(old_addr, old_node.height > 0),
-                   old_node.Encode());
+  return txn.WriteStable(NodeRef(old_addr, old_node.height > 0),
+                         old_node.EncodeToArena(txn.arena()));
 }
 
 Result<Addr> BTree::CopyNodeInTxn(DynamicTxn& txn, Addr node_addr,
                                   uint64_t sid, bool record_copy) {
   // Transactional read: the copied content is validated through commit.
-  auto raw = txn.Read(NodeRef(node_addr, /*internal=*/true));
+  // This is a mutation path, so the full decode is intentional.
+  auto raw = txn.ReadView(NodeRef(node_addr, /*internal=*/true));
   if (!raw.ok()) return raw.status();
-  auto decoded = Node::Decode(*raw);
+  auto decoded = Node::Decode(raw->data);
   if (!decoded.ok()) return decoded.status();
   Node copy = std::move(decoded).value();
   Node original = copy;
@@ -481,14 +498,20 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
     Node modified;
     if (is_last) {
       // The leaf was read transactionally during traversal: validated.
-      pristine = path[i].node;
+      // Materialize it from the view — the mutation boundary's one decode.
+      auto pr = path[i].view.ToNode();
+      if (!pr.ok()) {
+        txn.MarkAborted();
+        return Status::Aborted("leaf no longer decodable");
+      }
+      pristine = std::move(pr).value();
       modified = std::move(leaf);
     } else {
       // Internal nodes were (possibly) dirty-read; mutating one requires a
       // transactional re-read so the edit bases on validated content.
-      auto raw = txn.Read(NodeRef(addr, /*internal=*/true));
+      auto raw = txn.ReadView(NodeRef(addr, /*internal=*/true));
       if (!raw.ok()) return raw.status();
-      auto decoded = Node::Decode(*raw);
+      auto decoded = Node::Decode(raw->data);
       if (!decoded.ok()) {
         txn.MarkAborted();
         return Status::Aborted("parent no longer decodable");
@@ -505,7 +528,7 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
           break;
         }
       }
-      if (modified.height != path[i].node.height ||
+      if (modified.height != path[i].view.height() ||
           idx == modified.entries.size()) {
         if (cache_ != nullptr) cache_->Invalidate(addr);
         txn.MarkAborted();
@@ -562,8 +585,9 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
       old_child = path[i].link_addr;
       new_child = target;
     } else {
-      MINUET_RETURN_NOT_OK(txn.Write(NodeRef(addr, modified.height > 0),
-                                     modified.Encode()));
+      MINUET_RETURN_NOT_OK(
+          txn.WriteStable(NodeRef(addr, modified.height > 0),
+                          modified.EncodeToArena(txn.arena())));
       old_child = path[i].link_addr;
       new_child = path[i].link_addr;
     }
@@ -575,10 +599,10 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
   Addr root_addr = child_changed ? new_child : path[0].link_addr;
   if (have_split) {
     Node new_root;
-    new_root.height = path[0].node.height + 1;
+    new_root.height = path[0].view.height() + 1;
     new_root.created_sid = tip.sid;
-    new_root.entries.push_back(NodeEntry{path[0].node.low_fence, "",
-                                         root_addr});
+    new_root.entries.push_back(NodeEntry{path[0].view.low_fence().ToString(),
+                                         "", root_addr});
     new_root.entries.push_back(NodeEntry{split_sep, "", split_right});
     auto nr = WriteFreshNode(txn, new_root);
     if (!nr.ok()) return nr.status();
@@ -591,11 +615,11 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
 // Public operations
 
 namespace {
-Status LeafLookup(const Node& leaf, const std::string& key,
+Status LeafLookup(const NodeView& leaf, const std::string& key,
                   std::string* value) {
   const size_t i = leaf.FindKey(key);
-  if (i == leaf.entries.size()) return Status::NotFound("key absent");
-  if (value != nullptr) *value = leaf.entries[i].value;
+  if (i == leaf.num_entries()) return Status::NotFound("key absent");
+  if (value != nullptr) *value = leaf.EntryValue(i).ToString();
   return Status::OK();
 }
 }  // namespace
@@ -608,7 +632,7 @@ Status BTree::GetInTxn(DynamicTxn& txn, const std::string& key,
   auto path = Traverse(txn, tip->sid, tip->root, key,
                        TraverseMode::kUpToDate);
   if (!path.ok()) return path.status();
-  return LeafLookup(path->back().node, key, value);
+  return LeafLookup(path->back().view, key, value);
 }
 
 Status BTree::MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
@@ -640,8 +664,9 @@ Status BTree::MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
   for (const LeafGroup& g : groups) {
     refs.push_back(NodeRef(g.addr, /*internal=*/false));
   }
-  auto payloads = mode == TraverseMode::kUpToDate ? txn.ReadBatch(refs)
-                                                  : txn.FetchFreshBatch(refs);
+  auto payloads = mode == TraverseMode::kUpToDate
+                      ? txn.ReadBatchViews(refs)
+                      : txn.FetchFreshBatchViews(refs);
   if (!payloads.ok()) {
     return MaybeRetiredAbort(txn, payloads.status(), refs, visited);
   }
@@ -649,39 +674,43 @@ Status BTree::MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
   // -- Phase 3: the leaf-level safety checks Traverse would have run --------
   for (size_t gi = 0; gi < groups.size(); gi++) {
     Addr at = groups[gi].addr;
-    auto decoded = Node::Decode((*payloads)[gi]);
-    if (!decoded.ok()) return abort(at, "undecodable leaf (stale pointer)");
-    Node leaf = std::move(decoded).value();
+    Payload cur = std::move((*payloads)[gi]);  // keeps the image pinned
+    NodeView leaf;
+    if (!leaf.Init(cur.data).ok()) {
+      return abort(at, "undecodable leaf (stale pointer)");
+    }
     bool settled = false;  // the leaf passed its checks with no copy left
     for (int hops = 0; hops < 256; hops++) {
-      if (!oracle_->IsAncestorOrEqual(leaf.created_sid, sid)) {
+      if (!oracle_->IsAncestorOrEqual(leaf.created_sid(), sid)) {
         return abort(at, "leaf from a different version lineage");
       }
-      const DescendantEntry* applicable = nullptr;
-      for (const DescendantEntry& d : leaf.descendants) {
+      DescendantEntry applicable;
+      bool has_applicable = false;
+      for (size_t di = 0; di < leaf.descendant_count(); di++) {
+        const DescendantEntry d = leaf.descendant(di);
         if (oracle_->IsAncestorOrEqual(d.sid, sid)) {
-          applicable = &d;
+          applicable = d;
+          has_applicable = true;
           break;
         }
       }
-      if (applicable == nullptr) {
+      if (!has_applicable) {
         settled = true;
         break;
       }
-      if (!applicable->discretionary) {
+      if (!applicable.discretionary) {
         return abort(at, "leaf copied for this or an earlier snapshot");
       }
       // Rare: follow the discretionary chain with point reads (the batch
       // could not have known about the hop).
       stats_.redirects.fetch_add(1, std::memory_order_relaxed);
-      at = applicable->copy_addr;
+      at = applicable.copy_addr;
       auto raw = mode == TraverseMode::kUpToDate
-                     ? txn.Read(NodeRef(at, /*internal=*/false))
-                     : txn.FetchFresh(NodeRef(at, /*internal=*/false));
+                     ? txn.ReadView(NodeRef(at, /*internal=*/false))
+                     : txn.FetchFreshView(NodeRef(at, /*internal=*/false));
       if (!raw.ok()) return raw.status();
-      auto redecoded = Node::Decode(*raw);
-      if (!redecoded.ok()) return abort(at, "undecodable leaf copy");
-      leaf = std::move(redecoded).value();
+      cur = std::move(raw).value();
+      if (!leaf.Init(cur.data).ok()) return abort(at, "undecodable leaf copy");
     }
     if (!settled) return abort(at, "leaf redirect chain did not terminate");
     if (!leaf.is_leaf()) return abort(at, "height mismatch");
@@ -690,7 +719,9 @@ Status BTree::MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
         return abort(at, "key outside fence range");
       }
       const size_t e = leaf.FindKey(keys[i]);
-      if (e != leaf.entries.size()) (*values)[i] = leaf.entries[e].value;
+      if (e != leaf.num_entries()) {
+        (*values)[i] = leaf.EntryValue(e).ToString();
+      }
     }
   }
   return Status::OK();
@@ -713,12 +744,14 @@ Status BTree::UpsertLeafInTxn(DynamicTxn& txn, const TipContext& tip,
                               const std::string& value, bool strict) {
   auto path = Traverse(txn, tip.sid, tip.root, key, TraverseMode::kUpToDate);
   if (!path.ok()) return path.status();
-  Node leaf = path->back().node;
-  if (strict && leaf.FindKey(key) != leaf.entries.size()) {
+  const NodeView& leaf_view = path->back().view;
+  if (strict && leaf_view.FindKey(key) != leaf_view.num_entries()) {
     return Status::AlreadyExists("insert of a present key");
   }
-  leaf.Upsert(key, value, sinfonia::kNullAddr);
-  return ApplyLeafMutation(txn, tip, *path, std::move(leaf));
+  auto leaf = leaf_view.ToNode();  // mutation boundary: materialize
+  if (!leaf.ok()) return leaf.status();
+  leaf->Upsert(key, value, sinfonia::kNullAddr);
+  return ApplyLeafMutation(txn, tip, *path, std::move(*leaf));
 }
 
 Status BTree::PutInTxn(DynamicTxn& txn, const std::string& key,
@@ -744,11 +777,15 @@ Status BTree::RemoveInTxn(DynamicTxn& txn, const std::string& key) {
   auto path = Traverse(txn, tip->sid, tip->root, key,
                        TraverseMode::kUpToDate);
   if (!path.ok()) return path.status();
-  Node leaf = path->back().node;
-  if (!leaf.Erase(key)) return Status::NotFound("key absent");
+  if (path->back().view.FindKey(key) == path->back().view.num_entries()) {
+    return Status::NotFound("key absent");
+  }
+  auto leaf = path->back().view.ToNode();  // mutation boundary
+  if (!leaf.ok()) return leaf.status();
+  leaf->Erase(key);
   // Empty leaves are retained: they still own their fence range. (The
   // paper does not merge nodes either; compaction would be a GC concern.)
-  return ApplyLeafMutation(txn, *tip, *path, std::move(leaf));
+  return ApplyLeafMutation(txn, *tip, *path, std::move(*leaf));
 }
 
 Status BTree::Get(const std::string& key, std::string* value) {
@@ -776,7 +813,7 @@ Status BTree::BranchGet(uint64_t branch_sid, const std::string& key,
     auto path = Traverse(txn, tip->sid, tip->root, key,
                          TraverseMode::kUpToDate);
     if (!path.ok()) return path.status();
-    return LeafLookup(path->back().node, key, value);
+    return LeafLookup(path->back().view, key, value);
   });
 }
 
@@ -826,9 +863,13 @@ Status BTree::BranchRemove(uint64_t branch_sid, const std::string& key) {
     auto path = Traverse(txn, tip->sid, tip->root, key,
                          TraverseMode::kUpToDate);
     if (!path.ok()) return path.status();
-    Node leaf = path->back().node;
-    if (!leaf.Erase(key)) return Status::NotFound("key absent");
-    return ApplyLeafMutation(txn, *tip, *path, std::move(leaf));
+    if (path->back().view.FindKey(key) == path->back().view.num_entries()) {
+      return Status::NotFound("key absent");
+    }
+    auto leaf = path->back().view.ToNode();  // mutation boundary
+    if (!leaf.ok()) return leaf.status();
+    leaf->Erase(key);
+    return ApplyLeafMutation(txn, *tip, *path, std::move(*leaf));
   });
 }
 
@@ -855,7 +896,7 @@ Status BTree::SnapshotGet(const SnapshotRef& snap, const std::string& key,
     auto path = Traverse(txn, snap.sid, snap.root, key,
                          TraverseMode::kSnapshotRead);
     if (!path.ok()) return path.status();
-    return LeafLookup(path->back().node, key, value);
+    return LeafLookup(path->back().view, key, value);
   });
 }
 
@@ -882,15 +923,16 @@ Status BTree::SnapshotScanChunk(
     auto path = Traverse(txn, snap.sid, snap.root, start_key,
                          TraverseMode::kSnapshotRead);
     if (!path.ok()) return path.status();
-    const Node& leaf = path->back().node;
+    const NodeView& leaf = path->back().view;
     size_t i = leaf.LowerBound(start_key);
-    for (; i < leaf.entries.size() && out->size() < limit; i++) {
-      out->emplace_back(leaf.entries[i].key, leaf.entries[i].value);
+    for (; i < leaf.num_entries() && out->size() < limit; i++) {
+      out->emplace_back(leaf.EntryKey(i).ToString(),
+                        leaf.EntryValue(i).ToString());
     }
-    if (i < leaf.entries.size()) {
-      *resume_key = leaf.entries[i].key;  // limit hit mid-leaf
-    } else if (!leaf.high_fence.empty()) {
-      *resume_key = leaf.high_fence;
+    if (i < leaf.num_entries()) {
+      *resume_key = leaf.EntryKey(i).ToString();  // limit hit mid-leaf
+    } else if (!leaf.high_fence().empty()) {
+      *resume_key = leaf.high_fence().ToString();
     }
     return Status::OK();
   });
@@ -925,13 +967,14 @@ Status BTree::TipScan(
       auto path = Traverse(txn, tip->sid, tip->root, cursor,
                            TraverseMode::kUpToDate);
       if (!path.ok()) return path.status();
-      const Node& leaf = path->back().node;
+      const NodeView& leaf = path->back().view;
       for (size_t i = leaf.LowerBound(cursor);
-           i < leaf.entries.size() && out->size() < limit; i++) {
-        out->emplace_back(leaf.entries[i].key, leaf.entries[i].value);
+           i < leaf.num_entries() && out->size() < limit; i++) {
+        out->emplace_back(leaf.EntryKey(i).ToString(),
+                          leaf.EntryValue(i).ToString());
       }
-      if (leaf.high_fence.empty()) break;
-      cursor = leaf.high_fence;
+      if (leaf.high_fence().empty()) break;
+      cursor = leaf.high_fence().ToString();
     }
     return Status::OK();
   });

@@ -26,7 +26,9 @@
 
 #include "alloc/allocator.h"
 #include "btree/node.h"
+#include "btree/node_view.h"
 #include "btree/version_oracle.h"
+#include "common/payload.h"
 #include "common/status.h"
 #include "txn/txn.h"
 
@@ -298,6 +300,14 @@ class BTree {
     kSnapshotRead,  // nothing joins the read set; follow applicable copies
   };
 
+  // A fetched node on the read path: the pinned image bytes plus the
+  // zero-copy view over them. No entry is materialized — mutation paths
+  // call view.ToNode() explicitly.
+  struct FetchedNode {
+    Payload raw;
+    NodeView view;
+  };
+
   struct PathEntry {
     // Where the node's content lives. When the traversal followed a
     // discretionary copy (content-identical, §5.2), this is the copy.
@@ -305,16 +315,21 @@ class BTree {
     // The address the PARENT's child entry holds — the entry point of the
     // redirect chain. Equal to `addr` unless a discretionary hop happened.
     Addr link_addr;
-    Node node;
+    // The node content, zero-copy: `raw` pins the image (read set, proxy
+    // cache or fetch), `view` answers every read-side query over it.
+    Payload raw;
+    NodeView view;
   };
 
   ObjectRef NodeRef(Addr addr, bool internal) const;
   uint32_t capacity() const { return layout().slab_payload_len(); }
 
-  // Fetch and decode a node. `internal_hint` selects the access path
-  // (dirty/cached vs validated leaf read).
-  Result<Node> FetchNode(DynamicTxn& txn, Addr addr, bool as_leaf,
-                         TraverseMode mode);
+  // Fetch a node as a zero-copy view. `as_leaf` selects the access path
+  // (dirty/cached vs validated leaf read). An undecodable image — a freed
+  // or garbage slab reached through a stale pointer — surfaces as
+  // Corruption, as does a pointer into a retired memnode.
+  Result<FetchedNode> FetchView(DynamicTxn& txn, Addr addr, bool as_leaf,
+                                TraverseMode mode);
 
   // Fig. 5 traversal plus the §4.2/§5.2 version checks. On success the
   // returned path runs root → leaf. Aborts (Status::Aborted) on any safety
@@ -336,7 +351,7 @@ class BTree {
   // zero-copy — and abort on an applicable real copy. On return `*at`
   // names the settled content address; hop addresses join `visited`.
   Status SettleNodeForSid(DynamicTxn& txn, uint64_t sid, TraverseMode mode,
-                          const Node** node, Node* hop, Addr* at,
+                          const NodeView** node, FetchedNode* hop, Addr* at,
                           std::vector<Addr>* visited);
   // --- The shared frontier-visitor (descent.cc) ----------------------------
   // One pending node of a level-synchronized walk: the address its PARENT
@@ -356,12 +371,12 @@ class BTree {
     // through the internal-read path (root == leaf, or a redirect): then
     // `node` is the settled content, `at` its address, and the engine has
     // already scrubbed it from the proxy cache.
-    std::function<Status(const FrontierItem&, const Node* node, Addr at)>
+    std::function<Status(const FrontierItem&, const NodeView* node, Addr at)>
         on_leaf;
     // A settled internal node with at least one child. `level` counts fetch
     // rounds from the roots (0-based). Push next-level items into `next` —
     // or none, to cut the walk below this node.
-    std::function<Status(const FrontierItem&, const Node& node, Addr at,
+    std::function<Status(const FrontierItem&, const NodeView& node, Addr at,
                          uint32_t level, std::vector<FrontierItem>* next)>
         on_internal;
   };
@@ -486,10 +501,12 @@ class BTree {
 };
 
 // Encoders for the small tip/catalog payloads (shared with mvcc/version).
+// Decoders take Slices so both owned strings and zero-copy views decode
+// without a staging copy.
 std::string EncodeTipId(uint64_t sid);
-uint64_t DecodeTipId(const std::string& payload);
+uint64_t DecodeTipId(Slice payload);
 std::string EncodeRootLoc(Addr root);
-Addr DecodeRootLoc(const std::string& payload);
+Addr DecodeRootLoc(Slice payload);
 
 // Retry wrapper for whole-operation optimistic retry: defined here so the
 // batched-descent entry points in descent.cc can instantiate it too.
@@ -565,6 +582,6 @@ struct CatalogEntry {
   static constexpr uint64_t kNoParent = ~0ULL;
 };
 std::string EncodeCatalogEntry(const CatalogEntry& e);
-CatalogEntry DecodeCatalogEntry(const std::string& payload);
+CatalogEntry DecodeCatalogEntry(Slice payload);
 
 }  // namespace minuet::btree

@@ -1,0 +1,131 @@
+// Vectorized lexicographic key comparison for the node-local hot path.
+//
+// Keys in this codebase are short byte strings (tens of bytes); a descent
+// binary-searches a few dozen of them per level. The win over plain memcmp
+// is not asymptotic — it is that we find the first differing byte of two
+// keys 16 bytes at a time with one load+compare+movemask per chunk, then
+// settle the order with a single byte compare, instead of memcmp's
+// length-dispatch preamble per probe.
+//
+// Three paths, chosen at COMPILE time (no runtime dispatch — the target
+// baseline already guarantees SSE2 on x86-64 and NEON on aarch64):
+//   - SSE2   (__SSE2__)           : _mm_cmpeq_epi8 + movemask + ctz
+//   - NEON   (__ARM_NEON)         : vceqq_u8 + narrowing min + ctz
+//   - scalar (everything else, or -DMINUET_SCALAR_KEY_COMPARE)
+//
+// MINUET_SCALAR_KEY_COMPARE forces the scalar path even where intrinsics
+// exist; CI builds with it so both paths stay green. CompareKeysScalar is
+// always compiled, so tests can assert SIMD/scalar equivalence directly.
+//
+// Sanitizer contract: only full 16-byte chunks that lie entirely inside
+// BOTH inputs are loaded vectorized; the tail goes through memcmp. No
+// over-read, ever — the suite runs under ASan.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/slice.h"
+
+#if !defined(MINUET_SCALAR_KEY_COMPARE)
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+#define MINUET_KEY_COMPARE_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define MINUET_KEY_COMPARE_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace minuet {
+
+// Reference path: three-way compare with memcmp semantics on the common
+// prefix, lengths break ties. Always available regardless of target.
+inline int CompareKeysScalar(const Slice& a, const Slice& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  const int r = n == 0 ? 0 : std::memcmp(a.data(), b.data(), n);
+  if (r != 0) return r < 0 ? -1 : 1;
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+#if defined(MINUET_KEY_COMPARE_SSE2)
+
+inline int CompareKeys(const Slice& a, const Slice& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  const char* pa = a.data();
+  const char* pb = b.data();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + i));
+    const unsigned eq =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) {
+      const unsigned diff = __builtin_ctz(~eq & 0xFFFFu);
+      const unsigned char ca = static_cast<unsigned char>(pa[i + diff]);
+      const unsigned char cb = static_cast<unsigned char>(pb[i + diff]);
+      return ca < cb ? -1 : 1;
+    }
+  }
+  if (i < n) {
+    const int r = std::memcmp(pa + i, pb + i, n - i);
+    if (r != 0) return r < 0 ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+#elif defined(MINUET_KEY_COMPARE_NEON)
+
+inline int CompareKeys(const Slice& a, const Slice& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  const char* pa = a.data();
+  const char* pb = b.data();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t va = vld1q_u8(reinterpret_cast<const uint8_t*>(pa + i));
+    const uint8x16_t vb = vld1q_u8(reinterpret_cast<const uint8_t*>(pb + i));
+    const uint8x16_t eq = vceqq_u8(va, vb);
+    // Narrow each pair of equal-lanes to 4 bits; a zero nibble marks the
+    // first mismatching byte at position ctz/4.
+    const uint64_t mask =
+        vget_lane_u64(vreinterpret_u64_u8(vshrn_n_u16(vreinterpretq_u16_u8(eq),
+                                                      4)),
+                      0);
+    if (mask != ~uint64_t{0}) {
+      const unsigned diff =
+          static_cast<unsigned>(__builtin_ctzll(~mask)) >> 2;
+      const unsigned char ca = static_cast<unsigned char>(pa[i + diff]);
+      const unsigned char cb = static_cast<unsigned char>(pb[i + diff]);
+      return ca < cb ? -1 : 1;
+    }
+  }
+  if (i < n) {
+    const int r = std::memcmp(pa + i, pb + i, n - i);
+    if (r != 0) return r < 0 ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+#else
+
+inline int CompareKeys(const Slice& a, const Slice& b) {
+  return CompareKeysScalar(a, b);
+}
+
+#endif
+
+// True when CompareKeys is a vectorized path (for bench/test reporting).
+inline constexpr bool KeyCompareIsVectorized() {
+#if defined(MINUET_KEY_COMPARE_SSE2) || defined(MINUET_KEY_COMPARE_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace minuet

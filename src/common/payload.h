@@ -1,0 +1,44 @@
+// Shared-ownership byte view: the currency of the zero-copy fetch path.
+//
+// A Payload is a Slice plus (optionally) a shared_ptr that pins the bytes
+// the Slice points into. The object cache and the transaction read set
+// store images as shared_ptr<const std::string>; handing one out costs a
+// refcount bump instead of a byte copy, and the pin keeps the image alive
+// even if the cache evicts the entry while a descent is still reading it.
+//
+// `owner == nullptr` is legal and means the bytes are guaranteed stable for
+// the consumer's lifetime by some other contract — in practice the txn
+// arena or the txn write set, both of which outlive every view taken
+// during that transaction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/slice.h"
+
+namespace minuet {
+
+using ImagePtr = std::shared_ptr<const std::string>;
+
+struct Payload {
+  ImagePtr owner;  // pins `data`; may be null for arena/write-set bytes
+  Slice data;
+
+  Payload() = default;
+  Payload(ImagePtr o, Slice d) : owner(std::move(o)), data(d) {}
+
+  // View over a whole pinned image.
+  static Payload Of(ImagePtr o) {
+    Slice d = o ? Slice(*o) : Slice();
+    return Payload(std::move(o), d);
+  }
+  // Unpinned view: caller vouches for the bytes' stability.
+  static Payload Borrowed(Slice d) { return Payload(nullptr, d); }
+
+  bool empty() const { return data.empty(); }
+  size_t size() const { return data.size(); }
+};
+
+}  // namespace minuet

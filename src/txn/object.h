@@ -19,8 +19,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
+#include "common/arena.h"
 #include "common/byteio.h"
+#include "common/slice.h"
 #include "sinfonia/addr.h"
 
 namespace minuet::txn {
@@ -55,18 +58,42 @@ struct ObjectRefHash {
 };
 
 // Split a raw on-memnode image into (seqnum, payload).
-inline uint64_t ObjectSeqnum(const std::string& raw) {
+inline uint64_t ObjectSeqnum(Slice raw) {
   return raw.size() >= kSeqnumBytes ? DecodeFixed64(raw.data()) : 0;
+}
+// Zero-copy payload view into `raw` — valid only while `raw`'s bytes live.
+inline Slice ObjectPayloadSlice(Slice raw) {
+  return raw.size() > kSeqnumBytes
+             ? Slice(raw.data() + kSeqnumBytes,
+                             raw.size() - kSeqnumBytes)
+             : Slice();
 }
 inline std::string ObjectPayload(const std::string& raw) {
   return raw.size() > kSeqnumBytes ? raw.substr(kSeqnumBytes) : std::string();
 }
-inline std::string MakeObjectImage(uint64_t seqnum, const std::string& payload) {
+// Strip the seqnum header in place (memmove, no allocation) and take
+// ownership of the remaining payload bytes.
+inline std::string TakeObjectPayload(std::string&& raw) {
+  if (raw.size() <= kSeqnumBytes) return std::string();
+  raw.erase(0, kSeqnumBytes);
+  return std::move(raw);
+}
+inline std::string MakeObjectImage(uint64_t seqnum, Slice payload) {
   std::string out;
   out.reserve(kSeqnumBytes + payload.size());
   PutFixed64(&out, seqnum);
-  out += payload;
+  out.append(payload.data(), payload.size());
   return out;
+}
+// Arena-backed image: one bump allocation, returned as a stable Slice.
+inline Slice MakeObjectImageIn(Arena& arena, uint64_t seqnum,
+                                       Slice payload) {
+  char* buf = arena.Allocate(kSeqnumBytes + payload.size());
+  EncodeFixed64(buf, seqnum);
+  if (!payload.empty()) {
+    std::memcpy(buf + kSeqnumBytes, payload.data(), payload.size());
+  }
+  return Slice(buf, kSeqnumBytes + payload.size());
 }
 
 }  // namespace minuet::txn

@@ -26,9 +26,14 @@ namespace minuet::txn {
 
 class ObjectCache {
  public:
+  // Payloads are held and handed out by shared_ptr: Lookup costs a refcount
+  // bump instead of a byte copy, and the pointer pins the bytes even if a
+  // concurrent eviction drops the entry while a descent is still reading
+  // the image (the cache is incoherent by design, but must never be
+  // use-after-free by design).
   struct Entry {
     uint64_t seqnum = 0;
-    std::string payload;
+    std::shared_ptr<const std::string> payload;
   };
 
   // Aggregated counters across all shards (monitoring, tests, benches).
@@ -59,9 +64,13 @@ class ObjectCache {
   }
 
   void Insert(const sinfonia::Addr& addr, uint64_t seqnum,
-              const std::string& payload) {
+              std::shared_ptr<const std::string> payload) {
     if (disabled_.load(std::memory_order_acquire)) return;
-    ShardFor(addr).Insert(addr, seqnum, payload);
+    ShardFor(addr).Insert(addr, seqnum, std::move(payload));
+  }
+  void Insert(const sinfonia::Addr& addr, uint64_t seqnum,
+              const std::string& payload) {
+    Insert(addr, seqnum, std::make_shared<const std::string>(payload));
   }
 
   // Drop a stale entry (called when a traversal detects an inconsistency
@@ -110,7 +119,7 @@ class ObjectCache {
  private:
   struct Slot {
     uint64_t seqnum = 0;
-    std::string payload;
+    std::shared_ptr<const std::string> payload;
     bool referenced = false;
     std::list<sinfonia::Addr>::iterator clock_pos;
   };
@@ -133,7 +142,7 @@ class ObjectCache {
     }
 
     void Insert(const sinfonia::Addr& addr, uint64_t seqnum,
-                const std::string& payload) {
+                std::shared_ptr<const std::string> payload) {
       std::lock_guard<std::mutex> g(mu_);
       auto it = map_.find(addr);
       if (it != map_.end()) {
@@ -141,7 +150,7 @@ class ObjectCache {
         // in.
         if (seqnum >= it->second.seqnum) {
           it->second.seqnum = seqnum;
-          it->second.payload = payload;
+          it->second.payload = std::move(payload);
           it->second.referenced = true;
         }
         return;
@@ -149,7 +158,7 @@ class ObjectCache {
       if (map_.size() >= capacity_) EvictOne();
       Slot s;
       s.seqnum = seqnum;
-      s.payload = payload;
+      s.payload = std::move(payload);
       // Fresh entries start unreferenced (classic CLOCK): an entry earns
       // its second chance by being looked up, not by being inserted.
       s.referenced = false;

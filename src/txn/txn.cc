@@ -62,14 +62,18 @@ Result<DynamicTxn::ReadRecord> DynamicTxn::Fetch(const ObjectRef& ref) {
   ReadRecord rec;
   rec.ref = ref;
   rec.seqnum = ObjectSeqnum(result.read_results[0]);
-  rec.payload = ObjectPayload(result.read_results[0]);
+  // Strip the seqnum header in place (memmove) and pin the payload bytes
+  // behind a shared owner: every later view of this record is a refcount
+  // bump, not a copy.
+  rec.payload = Payload::Of(std::make_shared<const std::string>(
+      TakeObjectPayload(std::move(result.read_results[0]))));
   return rec;
 }
 
-Result<std::string> DynamicTxn::Read(const ObjectRef& ref) {
+Result<Payload> DynamicTxn::ReadView(const ObjectRef& ref) {
   if (doomed_) return Status::Aborted("transaction doomed");
   if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
-    return writes_[it->second].payload;
+    return Payload::Borrowed(writes_[it->second].payload);
   }
   if (auto it = read_index_.find(ref.addr); it != read_index_.end()) {
     return reads_[it->second].payload;
@@ -85,17 +89,19 @@ Result<std::string> DynamicTxn::Read(const ObjectRef& ref) {
   return reads_.back().payload;
 }
 
-Result<std::string> DynamicTxn::DirtyRead(const ObjectRef& ref) {
+Result<Payload> DynamicTxn::DirtyReadView(const ObjectRef& ref) {
   if (doomed_) return Status::Aborted("transaction doomed");
   if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
-    return writes_[it->second].payload;
+    return Payload::Borrowed(writes_[it->second].payload);
   }
   if (auto it = read_index_.find(ref.addr); it != read_index_.end()) {
     return reads_[it->second].payload;
   }
   if (cache_ != nullptr) {
     ObjectCache::Entry entry;
-    if (cache_->Lookup(ref.addr, &entry)) return std::move(entry.payload);
+    if (cache_->Lookup(ref.addr, &entry)) {
+      return Payload::Of(std::move(entry.payload));
+    }
   }
   // Cache miss: fetch, but do NOT join the read set. The fetch still
   // piggy-backs validation of the current read set (it is a minitransaction
@@ -103,15 +109,15 @@ Result<std::string> DynamicTxn::DirtyRead(const ObjectRef& ref) {
   auto fetched = Fetch(ref);
   if (!fetched.ok()) return fetched.status();
   if (cache_ != nullptr) {
-    cache_->Insert(ref.addr, fetched->seqnum, fetched->payload);
+    cache_->Insert(ref.addr, fetched->seqnum, fetched->payload.owner);
   }
   return std::move(fetched->payload);
 }
 
-Result<std::string> DynamicTxn::ReadCached(const ObjectRef& ref) {
+Result<Payload> DynamicTxn::ReadCachedView(const ObjectRef& ref) {
   if (doomed_) return Status::Aborted("transaction doomed");
   if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
-    return writes_[it->second].payload;
+    return Payload::Borrowed(writes_[it->second].payload);
   }
   if (auto it = read_index_.find(ref.addr); it != read_index_.end()) {
     return reads_[it->second].payload;
@@ -122,7 +128,7 @@ Result<std::string> DynamicTxn::ReadCached(const ObjectRef& ref) {
       ReadRecord rec;
       rec.ref = ref;
       rec.seqnum = entry.seqnum;
-      rec.payload = std::move(entry.payload);
+      rec.payload = Payload::Of(std::move(entry.payload));
       read_index_.emplace(ref.addr, reads_.size());
       reads_.push_back(std::move(rec));
       return reads_.back().payload;
@@ -131,7 +137,7 @@ Result<std::string> DynamicTxn::ReadCached(const ObjectRef& ref) {
   auto fetched = Fetch(ref);
   if (!fetched.ok()) return fetched.status();
   if (cache_ != nullptr) {
-    cache_->Insert(ref.addr, fetched->seqnum, fetched->payload);
+    cache_->Insert(ref.addr, fetched->seqnum, fetched->payload.owner);
   }
   read_index_.emplace(ref.addr, reads_.size());
   reads_.push_back(std::move(fetched).value());
@@ -140,27 +146,48 @@ Result<std::string> DynamicTxn::ReadCached(const ObjectRef& ref) {
   return reads_.back().payload;
 }
 
-Result<std::string> DynamicTxn::FetchFresh(const ObjectRef& ref) {
+Result<Payload> DynamicTxn::FetchFreshView(const ObjectRef& ref) {
   if (doomed_) return Status::Aborted("transaction doomed");
   if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
-    return writes_[it->second].payload;
+    return Payload::Borrowed(writes_[it->second].payload);
   }
   auto fetched = Fetch(ref);
   if (!fetched.ok()) return fetched.status();
   return std::move(fetched->payload);
 }
 
+Result<std::string> DynamicTxn::Read(const ObjectRef& ref) {
+  auto p = ReadView(ref);
+  if (!p.ok()) return p.status();
+  return p->data.ToString();
+}
+Result<std::string> DynamicTxn::DirtyRead(const ObjectRef& ref) {
+  auto p = DirtyReadView(ref);
+  if (!p.ok()) return p.status();
+  return p->data.ToString();
+}
+Result<std::string> DynamicTxn::ReadCached(const ObjectRef& ref) {
+  auto p = ReadCachedView(ref);
+  if (!p.ok()) return p.status();
+  return p->data.ToString();
+}
+Result<std::string> DynamicTxn::FetchFresh(const ObjectRef& ref) {
+  auto p = FetchFreshView(ref);
+  if (!p.ok()) return p.status();
+  return p->data.ToString();
+}
+
 // The one skeleton behind every batched-fetch flavor (see BatchPolicy in
 // the header): dedupe the addresses, serve what local state already can,
 // fetch ALL remaining misses in ONE minitransaction, then run the flavor's
 // per-entry bookkeeping (cache fill, read-set join).
-Result<std::vector<std::string>> DynamicTxn::BatchFetch(
+Result<std::vector<Payload>> DynamicTxn::BatchFetch(
     const std::vector<ObjectRef>& refs, const BatchPolicy& policy) {
   if (doomed_) return Status::Aborted("transaction doomed");
 
   // Distinct addresses this call resolved WITHOUT the read set: cache hits
   // that must not join it, and fetched entries of non-joining flavors.
-  std::unordered_map<Addr, std::string, sinfonia::AddrHash> local;
+  std::unordered_map<Addr, Payload, sinfonia::AddrHash> local;
   std::unordered_set<Addr, sinfonia::AddrHash> pending;
   std::vector<ObjectRef> fetched;
   MiniTxn mtx;
@@ -180,11 +207,11 @@ Result<std::vector<std::string>> DynamicTxn::BatchFetch(
           ReadRecord rec;
           rec.ref = ref;
           rec.seqnum = entry.seqnum;
-          rec.payload = std::move(entry.payload);
+          rec.payload = Payload::Of(std::move(entry.payload));
           read_index_.emplace(addr, reads_.size());
           reads_.push_back(std::move(rec));
         } else {
-          local.emplace(addr, std::move(entry.payload));
+          local.emplace(addr, Payload::Of(std::move(entry.payload)));
         }
         continue;
       }
@@ -219,9 +246,10 @@ Result<std::vector<std::string>> DynamicTxn::BatchFetch(
       ReadRecord rec;
       rec.ref = fetched[k];
       rec.seqnum = ObjectSeqnum(result.read_results[k]);
-      rec.payload = ObjectPayload(result.read_results[k]);
+      rec.payload = Payload::Of(std::make_shared<const std::string>(
+          TakeObjectPayload(std::move(result.read_results[k]))));
       if (policy.fill_cache && cache_ != nullptr) {
-        cache_->Insert(rec.ref.addr, rec.seqnum, rec.payload);
+        cache_->Insert(rec.ref.addr, rec.seqnum, rec.payload.owner);
       }
       if (policy.join_read_set) {
         read_index_.emplace(rec.ref.addr, reads_.size());
@@ -238,12 +266,12 @@ Result<std::vector<std::string>> DynamicTxn::BatchFetch(
   // Resolve every ref, duplicates included: write set first, then what
   // this call resolved locally (which outranks the read set — FetchFresh
   // flavors must answer with the fresh bytes even for read-set members),
-  // then the read set.
-  std::vector<std::string> out(refs.size());
+  // then the read set. Each resolution is a refcount bump.
+  std::vector<Payload> out(refs.size());
   for (size_t i = 0; i < refs.size(); i++) {
     const Addr addr = refs[i].addr;
     if (auto it = write_index_.find(addr); it != write_index_.end()) {
-      out[i] = writes_[it->second].payload;
+      out[i] = Payload::Borrowed(writes_[it->second].payload);
     } else if (auto it = local.find(addr); it != local.end()) {
       out[i] = it->second;
     } else {
@@ -253,7 +281,7 @@ Result<std::vector<std::string>> DynamicTxn::BatchFetch(
   return out;
 }
 
-Result<std::vector<std::string>> DynamicTxn::ReadBatch(
+Result<std::vector<Payload>> DynamicTxn::ReadBatchViews(
     const std::vector<ObjectRef>& refs) {
   BatchPolicy policy{};
   policy.serve_read_set = true;
@@ -262,7 +290,7 @@ Result<std::vector<std::string>> DynamicTxn::ReadBatch(
   return BatchFetch(refs, policy);
 }
 
-Result<std::vector<std::string>> DynamicTxn::FetchFreshBatch(
+Result<std::vector<Payload>> DynamicTxn::FetchFreshBatchViews(
     const std::vector<ObjectRef>& refs) {
   // Like FetchFresh: an object this transaction already wrote is served
   // from the write set, not the memnode's pre-write image; everything else
@@ -271,7 +299,7 @@ Result<std::vector<std::string>> DynamicTxn::FetchFreshBatch(
   return BatchFetch(refs, policy);
 }
 
-Result<std::vector<std::string>> DynamicTxn::DirtyReadBatch(
+Result<std::vector<Payload>> DynamicTxn::DirtyReadBatchViews(
     const std::vector<ObjectRef>& refs) {
   BatchPolicy policy{};
   policy.serve_read_set = true;
@@ -281,7 +309,7 @@ Result<std::vector<std::string>> DynamicTxn::DirtyReadBatch(
   return BatchFetch(refs, policy);
 }
 
-Result<std::vector<std::string>> DynamicTxn::ReadCachedBatch(
+Result<std::vector<Payload>> DynamicTxn::ReadCachedBatchViews(
     const std::vector<ObjectRef>& refs) {
   BatchPolicy policy{};
   policy.serve_read_set = true;
@@ -293,13 +321,58 @@ Result<std::vector<std::string>> DynamicTxn::ReadCachedBatch(
   return BatchFetch(refs, policy);
 }
 
-Status DynamicTxn::Write(const ObjectRef& ref, std::string payload) {
+namespace {
+Result<std::vector<std::string>> CopyOut(Result<std::vector<Payload>> views) {
+  if (!views.ok()) return views.status();
+  std::vector<std::string> out;
+  out.reserve(views->size());
+  for (const Payload& p : *views) out.push_back(p.data.ToString());
+  return out;
+}
+}  // namespace
+
+Result<std::vector<std::string>> DynamicTxn::ReadBatch(
+    const std::vector<ObjectRef>& refs) {
+  return CopyOut(ReadBatchViews(refs));
+}
+Result<std::vector<std::string>> DynamicTxn::FetchFreshBatch(
+    const std::vector<ObjectRef>& refs) {
+  return CopyOut(FetchFreshBatchViews(refs));
+}
+Result<std::vector<std::string>> DynamicTxn::DirtyReadBatch(
+    const std::vector<ObjectRef>& refs) {
+  return CopyOut(DirtyReadBatchViews(refs));
+}
+Result<std::vector<std::string>> DynamicTxn::ReadCachedBatch(
+    const std::vector<ObjectRef>& refs) {
+  return CopyOut(ReadCachedBatchViews(refs));
+}
+
+Status DynamicTxn::WriteImpl(const ObjectRef& ref, Slice payload,
+                             bool fresh, bool stable) {
   if (doomed_) return Status::Aborted("transaction doomed");
   if (payload.size() > ref.payload_len) {
     return Status::InvalidArgument("payload exceeds object size");
   }
+  if (!stable) payload = arena_.Dup(payload);
+  if (fresh) {
+    if (read_index_.count(ref.addr) != 0 ||
+        write_index_.count(ref.addr) != 0) {
+      return Status::InvalidArgument("WriteNew on already-touched object");
+    }
+    // Expect seqnum 0 (virgin slab). The commit-time compare makes
+    // concurrent double-allocation fail validation.
+    ReadRecord rec;
+    rec.ref = ref;
+    rec.seqnum = 0;
+    read_index_.emplace(ref.addr, reads_.size());
+    reads_.push_back(std::move(rec));
+    write_index_.emplace(ref.addr, writes_.size());
+    writes_.push_back(WriteRecord{ref, payload, 1});
+    return Status::OK();
+  }
   if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
-    writes_[it->second].payload = std::move(payload);
+    writes_[it->second].payload = payload;
     return Status::OK();
   }
   // The object's current seqnum must be in the read set so commit can
@@ -316,28 +389,22 @@ Status DynamicTxn::Write(const ObjectRef& ref, std::string payload) {
     reads_.push_back(std::move(fetched).value());
   }
   write_index_.emplace(ref.addr, writes_.size());
-  writes_.push_back(WriteRecord{ref, std::move(payload), base_seq + 1});
+  writes_.push_back(WriteRecord{ref, payload, base_seq + 1});
   return Status::OK();
 }
 
-Status DynamicTxn::WriteNew(const ObjectRef& ref, std::string payload) {
-  if (doomed_) return Status::Aborted("transaction doomed");
-  if (payload.size() > ref.payload_len) {
-    return Status::InvalidArgument("payload exceeds object size");
-  }
-  if (read_index_.count(ref.addr) != 0 || write_index_.count(ref.addr) != 0) {
-    return Status::InvalidArgument("WriteNew on already-touched object");
-  }
-  // Expect seqnum 0 (virgin slab). The commit-time compare makes concurrent
-  // double-allocation fail validation.
-  ReadRecord rec;
-  rec.ref = ref;
-  rec.seqnum = 0;
-  read_index_.emplace(ref.addr, reads_.size());
-  reads_.push_back(std::move(rec));
-  write_index_.emplace(ref.addr, writes_.size());
-  writes_.push_back(WriteRecord{ref, std::move(payload), 1});
-  return Status::OK();
+Status DynamicTxn::Write(const ObjectRef& ref, Slice payload) {
+  return WriteImpl(ref, payload, /*fresh=*/false, /*stable=*/false);
+}
+Status DynamicTxn::WriteNew(const ObjectRef& ref, Slice payload) {
+  return WriteImpl(ref, payload, /*fresh=*/true, /*stable=*/false);
+}
+Status DynamicTxn::WriteStable(const ObjectRef& ref, Slice payload) {
+  return WriteImpl(ref, payload, /*fresh=*/false, /*stable=*/true);
+}
+Status DynamicTxn::WriteNewStable(const ObjectRef& ref,
+                                  Slice payload) {
+  return WriteImpl(ref, payload, /*fresh=*/true, /*stable=*/true);
 }
 
 Status DynamicTxn::Commit() {
@@ -411,12 +478,16 @@ Status DynamicTxn::Commit() {
   }
   committed_ = true;
   // Refresh the proxy cache with what we just wrote: the cache is
-  // incoherent anyway, but serving our own latest writes reduces stale hits.
+  // incoherent anyway, but serving our own latest writes reduces stale
+  // hits. (One copy per ALREADY-CACHED write — cold addresses cost
+  // nothing.)
   if (cache_ != nullptr) {
     for (const WriteRecord& w : writes_) {
       ObjectCache::Entry entry;
       if (cache_->Lookup(w.ref.addr, &entry)) {
-        cache_->Insert(w.ref.addr, w.new_seqnum, w.payload);
+        cache_->Insert(w.ref.addr, w.new_seqnum,
+                       std::make_shared<const std::string>(
+                           w.payload.data(), w.payload.size()));
       }
     }
   }

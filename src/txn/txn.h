@@ -28,6 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/payload.h"
 #include "common/status.h"
 #include "sinfonia/coordinator.h"
 #include "txn/object.h"
@@ -51,17 +53,28 @@ class DynamicTxn {
              Options options);
 
   // --- Transactional operations ------------------------------------------
-  Result<std::string> Read(const ObjectRef& ref);
-  Result<std::string> DirtyRead(const ObjectRef& ref);
+  //
+  // Every read flavor comes in two shapes. The *View variants are the hot
+  // path: they return a Payload — a Slice over the image bytes plus
+  // a shared owner that pins them — so serving a read-set or cache hit is a
+  // refcount bump, never a byte copy. The std::string variants are thin
+  // copying wrappers kept for control-plane callers (GC, allocator, catalog)
+  // where a copy per call is irrelevant.
+  Result<Payload> ReadView(const ObjectRef& ref);
+  Result<Payload> DirtyReadView(const ObjectRef& ref);
   // Cache-first transactional read: like Read, but a proxy-cache hit joins
   // the read set WITHOUT fetching (commit-time validation catches staleness,
   // as when Aguilera et al. validate cached internal nodes against the
   // replicated seqnum table, and when Minuet proxies validate their cached
   // tip snapshot id). Falls back to a fetch on miss.
-  Result<std::string> ReadCached(const ObjectRef& ref);
+  Result<Payload> ReadCachedView(const ObjectRef& ref);
   // Fetch without consulting or populating the proxy cache, and without
   // joining the read set: used for leaf reads on read-only snapshots, which
   // the paper validates by fence keys alone (§4.2).
+  Result<Payload> FetchFreshView(const ObjectRef& ref);
+  Result<std::string> Read(const ObjectRef& ref);
+  Result<std::string> DirtyRead(const ObjectRef& ref);
+  Result<std::string> ReadCached(const ObjectRef& ref);
   Result<std::string> FetchFresh(const ObjectRef& ref);
   // Batched transactional read (the read-side analogue of the buffered
   // write set): every ref not already served by the read/write set is
@@ -69,11 +82,12 @@ class DynamicTxn {
   // many objects or memnodes are involved — and joins the read set, with
   // the usual piggy-backed validation. `(*this)[i]` of the result is
   // refs[i]'s payload; duplicate addresses are fetched once.
-  Result<std::vector<std::string>> ReadBatch(const std::vector<ObjectRef>& refs);
+  Result<std::vector<Payload>> ReadBatchViews(
+      const std::vector<ObjectRef>& refs);
   // Batched FetchFresh: one minitransaction, no cache, no read set. Used
   // for the grouped leaf reads of snapshot MultiGet (§4.2: fence-key
   // checks replace validation).
-  Result<std::vector<std::string>> FetchFreshBatch(
+  Result<std::vector<Payload>> FetchFreshBatchViews(
       const std::vector<ObjectRef>& refs);
   // Batched DirtyRead (§3): each ref is served from the write/read set or
   // the proxy cache when possible; ALL remaining misses are fetched in ONE
@@ -81,19 +95,34 @@ class DynamicTxn {
   // cache per entry, WITHOUT joining the read set. This is the frontier
   // fetch of level-synchronized B-tree descents: a cold cache pays one
   // coordinator round per tree level, not one per node per key.
-  Result<std::vector<std::string>> DirtyReadBatch(
+  Result<std::vector<Payload>> DirtyReadBatchViews(
       const std::vector<ObjectRef>& refs);
   // Batched ReadCached: cache hits join the read set without fetching;
   // all misses are fetched in ONE minitransaction, join the read set, and
   // fill the cache. Used for the tip-object pair, so a cold tip resolution
   // costs one round instead of two.
+  Result<std::vector<Payload>> ReadCachedBatchViews(
+      const std::vector<ObjectRef>& refs);
+  Result<std::vector<std::string>> ReadBatch(const std::vector<ObjectRef>& refs);
+  Result<std::vector<std::string>> FetchFreshBatch(
+      const std::vector<ObjectRef>& refs);
+  Result<std::vector<std::string>> DirtyReadBatch(
+      const std::vector<ObjectRef>& refs);
   Result<std::vector<std::string>> ReadCachedBatch(
       const std::vector<ObjectRef>& refs);
-  Status Write(const ObjectRef& ref, std::string payload);
+  // Buffer a write. The payload bytes are COPIED into the transaction arena
+  // (std::string arguments convert to Slice and are safe to pass as
+  // temporaries — the dup happens before Write returns).
+  Status Write(const ObjectRef& ref, Slice payload);
   // Write an object this transaction knows to be freshly allocated: expects
   // the slab's seqnum to still be zero at commit (fails validation if any
   // other transaction initialized it concurrently).
-  Status WriteNew(const ObjectRef& ref, std::string payload);
+  Status WriteNew(const ObjectRef& ref, Slice payload);
+  // Zero-copy variants: the caller guarantees `payload` stays valid and
+  // unmodified until the transaction is destroyed — in practice, bytes
+  // encoded directly into this transaction's arena(). No dup is taken.
+  Status WriteStable(const ObjectRef& ref, Slice payload);
+  Status WriteNewStable(const ObjectRef& ref, Slice payload);
 
   // Commit. Returns OK, Aborted (validation failed — retry the whole
   // transaction), Busy (persistent lock contention) or Unavailable.
@@ -108,7 +137,9 @@ class DynamicTxn {
   // --- Introspection (B-tree cache refresh, tests) ------------------------
   struct WriteRecord {
     ObjectRef ref;
-    std::string payload;
+    // Points into the transaction arena (or caller-stable bytes via
+    // WriteStable); valid for the transaction's lifetime.
+    Slice payload;
     uint64_t new_seqnum;
   };
   const std::vector<WriteRecord>& write_set() const { return writes_; }
@@ -124,17 +155,19 @@ class DynamicTxn {
     }
   }
 
-  // Serve `ref` from the write or read set WITHOUT fetching; nullptr when
+  // Serve `ref` from the write or read set WITHOUT fetching; nullopt when
   // this transaction has not touched it. The zero-allocation fast path
-  // for repeatedly re-read hot objects (the tip pair).
-  const std::string* Peek(const ObjectRef& ref) const {
+  // for repeatedly re-read hot objects (the tip pair). The Slice is valid
+  // for the transaction's lifetime (it points into pinned images or the
+  // arena, not into the record vectors themselves).
+  std::optional<Slice> Peek(const ObjectRef& ref) const {
     if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
-      return &writes_[it->second].payload;
+      return writes_[it->second].payload;
     }
     if (auto it = read_index_.find(ref.addr); it != read_index_.end()) {
-      return &reads_[it->second].payload;
+      return reads_[it->second].payload.data;
     }
-    return nullptr;
+    return std::nullopt;
   }
 
   // Addresses in the read set — callers use this to invalidate proxy-cache
@@ -151,12 +184,17 @@ class DynamicTxn {
 
   ObjectCache* cache() { return cache_; }
   sinfonia::Coordinator* coordinator() { return coord_; }
+  // Transaction-lifetime bump allocator: node encodings, object images and
+  // staging buffers allocate here so a whole minitransaction's worth of
+  // buffers is one malloc in the steady state. Never Reset() while the
+  // transaction is live — the write set points into it.
+  Arena& arena() { return arena_; }
 
  private:
   struct ReadRecord {
     ObjectRef ref;
     uint64_t seqnum;
-    std::string payload;
+    Payload payload;
   };
 
   // What one batched-fetch flavor does at each stage. The four public
@@ -176,8 +214,12 @@ class DynamicTxn {
     bool join_read_set;         // fetched entries join the read set
     bool piggyback;             // validate the read set inside the fetch
   };
-  Result<std::vector<std::string>> BatchFetch(
+  Result<std::vector<Payload>> BatchFetch(
       const std::vector<ObjectRef>& refs, const BatchPolicy& policy);
+
+  // Shared body of the four Write* flavors; `stable` skips the arena dup.
+  Status WriteImpl(const ObjectRef& ref, Slice payload, bool fresh,
+                   bool stable);
 
   // Fetch `ref` from a memnode, piggy-backing read-set validation.
   // On validation failure dooms the transaction and returns Aborted.
@@ -193,6 +235,7 @@ class DynamicTxn {
   sinfonia::Coordinator* coord_;
   ObjectCache* cache_;
   Options options_;
+  Arena arena_;
 
   std::vector<ReadRecord> reads_;
   std::unordered_map<Addr, size_t, sinfonia::AddrHash> read_index_;

@@ -194,8 +194,19 @@ TEST_F(CoordinatorTest, ContendingWritersAllEventuallyCommit) {
         MiniTxn w;
         // All threads hammer the same address: worst-case lock contention.
         w.AddWrite(Addr{0, 64}, std::string(1, static_cast<char>('a' + t)));
-        MiniResult r;
-        if (!coord_->Execute(w, &r).ok() || !r.committed) failures++;
+        for (;;) {
+          MiniResult r;
+          const Status st = coord_->Execute(w, &r);
+          if (st.ok() && r.committed) break;
+          // Busy (coordinator retry budget exhausted) is legitimate under
+          // oversubscription — e.g. the whole suite running under TSan —
+          // and "eventually commit" means we go again. Anything else is a
+          // real failure.
+          if (!st.IsBusy()) {
+            failures++;
+            break;
+          }
+        }
       }
     });
   }
@@ -215,7 +226,9 @@ TEST_F(CoordinatorTest, ConcurrentIncrementsAreAtomic) {
           MiniTxn rd;
           rd.AddRead(Addr{0, 512}, 8);
           MiniResult r;
-          ASSERT_TRUE(coord_->Execute(rd, &r).ok());
+          Status st = coord_->Execute(rd, &r);
+          if (st.IsBusy()) continue;  // contention under load: go again
+          ASSERT_TRUE(st.ok());
           const uint64_t old = DecodeFixed64(r.read_results[0].data());
           std::string olds(8, '\0'), news(8, '\0');
           EncodeFixed64(olds.data(), old);
@@ -223,7 +236,9 @@ TEST_F(CoordinatorTest, ConcurrentIncrementsAreAtomic) {
           MiniTxn cas;
           cas.AddCompare(Addr{0, 512}, olds);
           cas.AddWrite(Addr{0, 512}, news);
-          ASSERT_TRUE(coord_->Execute(cas, &r).ok());
+          st = coord_->Execute(cas, &r);
+          if (st.IsBusy()) continue;
+          ASSERT_TRUE(st.ok());
           if (r.committed) break;
         }
       }

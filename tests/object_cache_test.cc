@@ -18,7 +18,7 @@ TEST(ObjectCacheTest, MissThenHit) {
   cache.Insert(Addr{0, 100}, 7, "data");
   ASSERT_TRUE(cache.Lookup(Addr{0, 100}, &e));
   EXPECT_EQ(e.seqnum, 7u);
-  EXPECT_EQ(e.payload, "data");
+  EXPECT_EQ(*e.payload, "data");
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
 }
@@ -29,7 +29,7 @@ TEST(ObjectCacheTest, NewerVersionReplacesOlder) {
   cache.Insert(Addr{0, 100}, 2, "new");
   ObjectCache::Entry e;
   ASSERT_TRUE(cache.Lookup(Addr{0, 100}, &e));
-  EXPECT_EQ(e.payload, "new");
+  EXPECT_EQ(*e.payload, "new");
 }
 
 TEST(ObjectCacheTest, OlderVersionNeverReplacesNewer) {
@@ -39,7 +39,7 @@ TEST(ObjectCacheTest, OlderVersionNeverReplacesNewer) {
   ObjectCache::Entry e;
   ASSERT_TRUE(cache.Lookup(Addr{0, 100}, &e));
   EXPECT_EQ(e.seqnum, 5u);
-  EXPECT_EQ(e.payload, "newer");
+  EXPECT_EQ(*e.payload, "newer");
 }
 
 TEST(ObjectCacheTest, InvalidateRemoves) {
@@ -126,7 +126,7 @@ TEST(ObjectCacheTest, ShardedCacheKeepsPointSemantics) {
   ObjectCache::Entry e;
   ASSERT_TRUE(cache.Lookup(a, &e));
   EXPECT_EQ(e.seqnum, 5u);
-  EXPECT_EQ(e.payload, "newer");
+  EXPECT_EQ(*e.payload, "newer");
   cache.Invalidate(a);
   EXPECT_FALSE(cache.Lookup(a, &e));
   EXPECT_EQ(cache.size(), 0u);
