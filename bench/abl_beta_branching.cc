@@ -92,8 +92,8 @@ int main() {
     std::printf("%4u  %8zu  %20llu  %10llu  %15llu  %11.3f\n", beta,
                 tips.size(),
                 static_cast<unsigned long long>(
-                    stats.discretionary_copies.load()),
-                static_cast<unsigned long long>(stats.cow_copies.load()),
+                    stats.discretionary_copies.Value()),
+                static_cast<unsigned long long>(stats.cow_copies.Value()),
                 static_cast<unsigned long long>(
                     cluster.allocator()->allocated_count() - slabs_before),
                 puts.mean_latency_ms());

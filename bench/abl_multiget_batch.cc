@@ -117,15 +117,8 @@ int main(int argc, char** argv) {
   }
   json += "]}\n";
 
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("# wrote %s\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
+  if (!json_path.empty() && !WriteBenchJson(json_path, json, cluster.get())) {
+    return 1;
   }
   return 0;
 }

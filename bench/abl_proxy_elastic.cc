@@ -208,15 +208,8 @@ int main(int argc, char** argv) {
   std::snprintf(tail, sizeof(tail), "],\"speedup\":%.3f}\n", speedup);
   json += tail;
 
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("# wrote %s\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
+  if (!json_path.empty() && !WriteBenchJson(json_path, json, &cluster)) {
+    return 1;
   }
   return speedup >= 2.0 ? 0 : 2;
 }

@@ -168,15 +168,8 @@ int main(int argc, char** argv) {
   std::snprintf(tail, sizeof(tail), "],\"speedup\":%.3f}\n", ratio);
   json += tail;
 
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("# wrote %s\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
+  if (!json_path.empty() && !WriteBenchJson(json_path, json, &cluster)) {
+    return 1;
   }
 
   // --- Scale-IN: drain + retire one memnode under load ----------------------
@@ -250,15 +243,8 @@ int main(int argc, char** argv) {
                 ratio_during, ratio_after);
   in_json += in_tail;
 
-  if (!scalein_json_path.empty()) {
-    if (std::FILE* f = std::fopen(scalein_json_path.c_str(), "w")) {
-      std::fputs(in_json.c_str(), f);
-      std::fclose(f);
-      std::printf("# wrote %s\n", scalein_json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", scalein_json_path.c_str());
-      return 1;
-    }
+  if (!scalein_json_path.empty() && !WriteBenchJson(scalein_json_path, in_json, &cluster)) {
+    return 1;
   }
   if (ratio < 1.5) return 2;
   return ratio_after >= 0.6 ? 0 : 3;

@@ -52,6 +52,36 @@ inline void PreloadCdb(cdb::CdbCluster& cdb, uint32_t table, uint64_t n) {
   }
 }
 
+// Write a benchmark's result JSON to `path`, plus — when `cluster` is
+// non-null — the cluster's full observability snapshot
+// (Cluster::DumpStatsJson) next to it: the basename's "BENCH_" prefix
+// becomes "STATS_" (BENCH_foo.json -> STATS_foo.json; other basenames just
+// gain the prefix). CI uploads the pair and round-trips the snapshot
+// through tools/statsdump. Returns false with a diagnostic if a write
+// fails.
+inline bool WriteBenchJson(const std::string& path, const std::string& json,
+                           const Cluster* cluster = nullptr) {
+  auto write = [](const std::string& p, const std::string& body) {
+    std::FILE* f = std::fopen(p.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", p.c_str());
+      return false;
+    }
+    std::fputs(body.c_str(), f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", p.c_str());
+    return true;
+  };
+  if (!write(path, json)) return false;
+  if (cluster == nullptr) return true;
+  const size_t slash = path.find_last_of('/');
+  const size_t base = slash == std::string::npos ? 0 : slash + 1;
+  std::string stats = path.substr(0, base) + "STATS_";
+  stats += path.compare(base, 6, "BENCH_") == 0 ? path.substr(base + 6)
+                                                : path.substr(base);
+  return write(stats, cluster->DumpStatsJson() + "\n");
+}
+
 inline void PrintHeader(const char* title, const char* columns) {
   std::printf("# %s\n", title);
   std::printf(

@@ -119,8 +119,8 @@ int main() {
 
   const auto& stats = proxy.tree(*tree)->stats();
   std::printf("copy-on-write copies: %llu (discretionary: %llu)\n",
-              static_cast<unsigned long long>(stats.cow_copies.load()),
+              static_cast<unsigned long long>(stats.cow_copies.Value()),
               static_cast<unsigned long long>(
-                  stats.discretionary_copies.load()));
+                  stats.discretionary_copies.Value()));
   return 0;
 }

@@ -28,14 +28,14 @@ namespace minuet::btree {
 
 Status BTree::AbortDescent(DynamicTxn& txn, Addr at,
                            const std::vector<Addr>& visited,
-                           const char* reason) {
+                           const char* reason, AbortReason why) {
   if (cache_ != nullptr) {
     cache_->Invalidate(at);
     for (const Addr& a : visited) cache_->Invalidate(a);
   }
-  stats_.traversal_aborts.fetch_add(1, std::memory_order_relaxed);
-  txn.MarkAborted();
-  return Status::Aborted(reason);
+  stats_->traversal_aborts.Increment();
+  txn.MarkAborted(why);
+  return Status::Aborted(why, reason);
 }
 
 Status BTree::SettleNodeForSid(DynamicTxn& txn, uint64_t sid,
@@ -64,13 +64,16 @@ Status BTree::SettleNodeForSid(DynamicTxn& txn, uint64_t sid,
     }
     // Rare: follow the discretionary chain with (cached) point hops — the
     // level batch could not have known about the hop target up front.
-    stats_.redirects.fetch_add(1, std::memory_order_relaxed);
+    stats_->redirects.Increment();
     *at = applicable.copy_addr;
     auto fetched = FetchView(txn, *at, /*as_leaf=*/false, mode);
     if (!fetched.ok()) {
       if (fetched.status().IsCorruption()) {
         return AbortDescent(txn, *at, *visited,
-                            "undecodable node (stale pointer)");
+                            "undecodable node (stale pointer)",
+                            coord_->retired(at->memnode)
+                                ? AbortReason::kRetiredMemnode
+                                : AbortReason::kStaleCachePointer);
       }
       return fetched.status();
     }
@@ -88,7 +91,8 @@ Status BTree::MaybeRetiredAbort(DynamicTxn& txn, Status st,
     for (const ObjectRef& r : refs) {
       if (coord_->retired(r.addr.memnode)) {
         return AbortDescent(txn, r.addr, visited,
-                            "pointer to a retired memnode");
+                            "pointer to a retired memnode",
+                            AbortReason::kRetiredMemnode);
       }
     }
   }

@@ -179,7 +179,7 @@ Status BTree::MigrateNode(const NodePlacement& expected,
   // Count COMMITTED relocations only (the in-txn flag alone may belong to
   // an attempt whose commit failed validation).
   if (st.ok() && *migrated) {
-    stats_.migrations.fetch_add(1, std::memory_order_relaxed);
+    stats_->migrations.Increment();
   }
   return st;
 }

@@ -1,5 +1,6 @@
 #include "btree/node_view.h"
 
+#include <atomic>
 #include <cassert>
 
 #include "common/byteio.h"
@@ -11,9 +12,18 @@ namespace {
 // Mirrors the constants in node.cc; the wire format is defined there.
 constexpr uint16_t kNodeMagic = 0xB7EE;
 constexpr size_t kFixedHeader = 18;
+
+// Process-wide like Node::DecodeCalls — a test/diagnostic counter, not a
+// per-tree stat (tests assert deltas across single-threaded phases).
+std::atomic<uint64_t> g_init_calls{0};  // lint:allow(metrics): test probe, linked as gauge
 }  // namespace
 
+uint64_t NodeView::InitCalls() {
+  return g_init_calls.load(std::memory_order_relaxed);
+}
+
 Status NodeView::Init(Slice image) {
+  g_init_calls.fetch_add(1, std::memory_order_relaxed);
   valid_ = false;
   image_ = image;
   if (image.size() < kFixedHeader) return Status::Corruption("node too short");

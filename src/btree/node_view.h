@@ -46,6 +46,11 @@ class NodeView {
   // `image` must stay alive and unmodified while the view is used.
   Status Init(Slice image);
 
+  // View initializations since process start — the zero-copy counterpart of
+  // Node::DecodeCalls(). The "decodes vs. view reads" registry metric pairs
+  // the two so a regression to full decodes on the read path is visible.
+  static uint64_t InitCalls();
+
   bool valid() const { return valid_; }
 
   // --- Header -------------------------------------------------------------

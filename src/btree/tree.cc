@@ -64,13 +64,14 @@ CatalogEntry DecodeCatalogEntry(Slice payload) {
 
 BTree::BTree(sinfonia::Coordinator* coord, NodeAllocator* allocator,
              ObjectCache* cache, const VersionOracle* oracle,
-             uint32_t tree_slot, TreeOptions options)
+             uint32_t tree_slot, TreeOptions options, Stats* shared_stats)
     : coord_(coord),
       allocator_(allocator),
       cache_(cache),
       oracle_(oracle),
       tree_slot_(tree_slot),
-      options_(options) {
+      options_(options),
+      stats_(shared_stats != nullptr ? shared_stats : &own_stats_) {
   assert(options_.beta >= 1 && options_.beta <= kMaxDescendants);
 }
 
@@ -265,14 +266,19 @@ Result<std::vector<BTree::PathEntry>> BTree::Traverse(DynamicTxn& txn,
                                                       const Slice& key,
                                                       TraverseMode mode) {
   std::vector<PathEntry> path;
-  auto abort = [&](Addr at, const char* reason) -> Status {
+  // Every traversal abort is, at bottom, a stale cached pointer or node
+  // image — except the retired-memnode case, which gets its own taxonomy
+  // bucket (the caller passes it explicitly).
+  auto abort = [&](Addr at, const char* reason,
+                   AbortReason why =
+                       AbortReason::kStaleCachePointer) -> Status {
     if (cache_ != nullptr) {
       cache_->Invalidate(at);
       for (const PathEntry& p : path) cache_->Invalidate(p.addr);
     }
-    stats_.traversal_aborts.fetch_add(1, std::memory_order_relaxed);
-    txn.MarkAborted();
-    return Status::Aborted(reason);
+    stats_->traversal_aborts.Increment();
+    txn.MarkAborted(why);
+    return Status::Aborted(why, reason);
   };
 
   Addr addr = root;
@@ -287,7 +293,10 @@ Result<std::vector<BTree::PathEntry>> BTree::Traverse(DynamicTxn& txn,
     auto fetched = FetchView(txn, addr, known_leaf, mode);
     if (!fetched.ok()) {
       if (fetched.status().IsCorruption()) {
-        return abort(addr, "undecodable node (stale pointer)");
+        return abort(addr, "undecodable node (stale pointer)",
+                     coord_->retired(addr.memnode)
+                         ? AbortReason::kRetiredMemnode
+                         : AbortReason::kStaleCachePointer);
       }
       return fetched.status();
     }
@@ -318,7 +327,7 @@ Result<std::vector<BTree::PathEntry>> BTree::Traverse(DynamicTxn& txn,
         // link_addr — because nothing ever links to a discretionary copy).
         // Safe with respect to GC: discretionary copies belong to
         // branching histories, which the collector does not reclaim.
-        stats_.redirects.fetch_add(1, std::memory_order_relaxed);
+        stats_->redirects.Increment();
         addr = applicable->copy_addr;
         continue;
       }
@@ -446,7 +455,7 @@ Status BTree::RecordCopy(DynamicTxn& txn, Addr old_addr, Node old_node,
     if (!disc_addr.ok()) return disc_addr.status();
     keep.push_back(DescendantEntry{best_lca, *disc_addr, true});
     old_node.descendants = std::move(keep);
-    stats_.discretionary_copies.fetch_add(1, std::memory_order_relaxed);
+    stats_->discretionary_copies.Increment();
   }
 
   return txn.WriteStable(NodeRef(old_addr, old_node.height > 0),
@@ -468,7 +477,7 @@ Result<Addr> BTree::CopyNodeInTxn(DynamicTxn& txn, Addr node_addr,
   copy.descendants.clear();
   auto copy_addr = WriteFreshNode(txn, copy);
   if (!copy_addr.ok()) return copy_addr.status();
-  stats_.cow_copies.fetch_add(1, std::memory_order_relaxed);
+  stats_->cow_copies.Increment();
   if (net::OpTrace* tr = net::Fabric::ThreadTrace()) tr->nodes_copied++;
 
   if (record_copy) {
@@ -501,8 +510,9 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
       // Materialize it from the view — the mutation boundary's one decode.
       auto pr = path[i].view.ToNode();
       if (!pr.ok()) {
-        txn.MarkAborted();
-        return Status::Aborted("leaf no longer decodable");
+        txn.MarkAborted(AbortReason::kStaleCachePointer);
+        return Status::Aborted(AbortReason::kStaleCachePointer,
+                               "leaf no longer decodable");
       }
       pristine = std::move(pr).value();
       modified = std::move(leaf);
@@ -513,8 +523,9 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
       if (!raw.ok()) return raw.status();
       auto decoded = Node::Decode(raw->data);
       if (!decoded.ok()) {
-        txn.MarkAborted();
-        return Status::Aborted("parent no longer decodable");
+        txn.MarkAborted(AbortReason::kStaleCachePointer);
+        return Status::Aborted(AbortReason::kStaleCachePointer,
+                               "parent no longer decodable");
       }
       pristine = std::move(decoded).value();
       modified = pristine;
@@ -531,8 +542,9 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
       if (modified.height != path[i].view.height() ||
           idx == modified.entries.size()) {
         if (cache_ != nullptr) cache_->Invalidate(addr);
-        txn.MarkAborted();
-        return Status::Aborted("parent changed during operation");
+        txn.MarkAborted(AbortReason::kStaleCachePointer);
+        return Status::Aborted(AbortReason::kStaleCachePointer,
+                               "parent changed during operation");
       }
       if (child_changed) modified.entries[idx].child = new_child;
       if (have_split) modified.Upsert(split_sep, "", split_right);
@@ -567,7 +579,7 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
       if (!right_addr.ok()) return right_addr.status();
       split_right = *right_addr;
       have_split = true;
-      stats_.splits.fetch_add(1, std::memory_order_relaxed);
+      stats_->splits.Increment();
     }
 
     // -- Write this level -----------------------------------------------------
@@ -575,7 +587,7 @@ Status BTree::ApplyLeafMutation(DynamicTxn& txn, const TipContext& tip,
       auto copy_addr = WriteFreshNode(txn, modified);
       if (!copy_addr.ok()) return copy_addr.status();
       target = *copy_addr;
-      stats_.cow_copies.fetch_add(1, std::memory_order_relaxed);
+      stats_->cow_copies.Increment();
       if (net::OpTrace* tr = net::Fabric::ThreadTrace()) tr->nodes_copied++;
       MINUET_RETURN_NOT_OK(
           RecordCopy(txn, addr, std::move(pristine), tip.sid, target));
@@ -703,7 +715,7 @@ Status BTree::MultiGetAt(DynamicTxn& txn, uint64_t sid, Addr root,
       }
       // Rare: follow the discretionary chain with point reads (the batch
       // could not have known about the hop).
-      stats_.redirects.fetch_add(1, std::memory_order_relaxed);
+      stats_->redirects.Increment();
       at = applicable.copy_addr;
       auto raw = mode == TraverseMode::kUpToDate
                      ? txn.ReadView(NodeRef(at, /*internal=*/false))
@@ -884,6 +896,11 @@ Status BTree::CheckGcHorizon(uint64_t sid) {
   DynamicTxn txn(coord_, /*cache=*/nullptr);
   auto raw = txn.FetchFresh(layout().LowestSidRef(tree_slot_));
   if (raw.ok() && DecodeTipId(*raw) > sid) {
+    // Non-retryable (the snapshot is gone for good), but worth a taxonomy
+    // bucket: persistent retries that die here are a GC-pacing signal.
+    coord_->metrics()
+        .txn_aborts[static_cast<unsigned>(AbortReason::kGcHorizon)]
+        .Increment();
     return Status::InvalidArgument("snapshot below the GC horizon");
   }
   return Status::OK();

@@ -30,6 +30,7 @@
 #include "btree/version_oracle.h"
 #include "common/payload.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "txn/txn.h"
 
 namespace minuet::btree {
@@ -72,19 +73,38 @@ struct SnapshotRef {
 
 class BTree {
  public:
+  // Operation counters. Sharded obs::Counter cells, so concurrent proxy
+  // threads do not contend; read them with .Value(). When several BTree
+  // instances serve the same tree slot (one per attached proxy), the
+  // TreeCatalog hands them one shared Stats so per-tree rollups aggregate
+  // across the whole cluster — pass it via the constructor's
+  // `shared_stats`; standalone trees default to a private instance.
   struct Stats {
-    std::atomic<uint64_t> op_aborts{0};
-    std::atomic<uint64_t> traversal_aborts{0};
-    std::atomic<uint64_t> cow_copies{0};
-    std::atomic<uint64_t> discretionary_copies{0};
-    std::atomic<uint64_t> splits{0};
-    std::atomic<uint64_t> redirects{0};
-    std::atomic<uint64_t> migrations{0};  // live slab relocations
+    obs::Counter op_aborts;
+    obs::Counter traversal_aborts;
+    obs::Counter cow_copies;
+    obs::Counter discretionary_copies;
+    obs::Counter splits;
+    obs::Counter redirects;
+    obs::Counter migrations;  // live slab relocations
+
+    // Link every counter into `registry` under `subsystem`.
+    void BindMetrics(obs::MetricsRegistry* registry,
+                     const std::string& subsystem) const {
+      registry->LinkCounter(subsystem, "op_aborts", &op_aborts);
+      registry->LinkCounter(subsystem, "traversal_aborts", &traversal_aborts);
+      registry->LinkCounter(subsystem, "cow_copies", &cow_copies);
+      registry->LinkCounter(subsystem, "discretionary_copies",
+                            &discretionary_copies);
+      registry->LinkCounter(subsystem, "splits", &splits);
+      registry->LinkCounter(subsystem, "redirects", &redirects);
+      registry->LinkCounter(subsystem, "migrations", &migrations);
+    }
   };
 
   BTree(sinfonia::Coordinator* coord, NodeAllocator* allocator,
         ObjectCache* cache, const VersionOracle* oracle, uint32_t tree_slot,
-        TreeOptions options);
+        TreeOptions options, Stats* shared_stats = nullptr);
 
   // One-time, cluster-wide: initialize tip objects, catalog entry 0 and an
   // empty root leaf. Exactly one proxy calls this per tree.
@@ -283,7 +303,7 @@ class BTree {
   Result<Addr> CopyNodeInTxn(DynamicTxn& txn, Addr node_addr, uint64_t sid,
                              bool record_copy);
 
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const { return *stats_; }
   const Layout& layout() const { return allocator_->layout(); }
   uint32_t tree_slot() const { return tree_slot_; }
   const TreeOptions& options() const { return options_; }
@@ -343,7 +363,8 @@ class BTree {
   // implicated address plus everything the descent leaned on (`visited`),
   // count the abort, and doom the transaction — same rules as Traverse.
   Status AbortDescent(DynamicTxn& txn, Addr at,
-                      const std::vector<Addr>& visited, const char* reason);
+                      const std::vector<Addr>& visited, const char* reason,
+                      AbortReason why = AbortReason::kStaleCachePointer);
   // The §4.2/§5.2 node-settling checks shared by the batched descents:
   // verify version lineage, follow discretionary-copy redirects with
   // (cached) point hops — `*hop` is the caller's scratch storage, `*node`
@@ -497,7 +518,10 @@ class BTree {
   const VersionOracle* oracle_;
   uint32_t tree_slot_;
   TreeOptions options_;
-  mutable Stats stats_;
+  // Private fallback storage; stats_ points here unless the constructor was
+  // handed a catalog-shared Stats (see Stats doc above).
+  mutable Stats own_stats_;
+  Stats* stats_;
 };
 
 // Encoders for the small tip/catalog payloads (shared with mvcc/version).
@@ -521,15 +545,23 @@ Status BTree::RunOp(Body&& body) {
     // if validation aborts.
     if (st.IsCommittableAnswer()) {
       Status cst = txn.Commit();
-      if (cst.ok()) return st;
-      if (!cst.IsRetryable()) return cst;
+      if (cst.ok()) {
+        coord_->RecordTxnAttempt(st);
+        return st;
+      }
+      if (!cst.IsRetryable()) {
+        coord_->RecordTxnAttempt(cst);
+        return cst;
+      }
       last = cst;
     } else if (st.IsRetryable()) {
       last = st;
     } else {
+      coord_->RecordTxnAttempt(st);
       return st;
     }
-    stats_.op_aborts.fetch_add(1, std::memory_order_relaxed);
+    coord_->RecordTxnAttempt(last);
+    stats_->op_aborts.Increment();
     // The failed validation implicates something the transaction read from
     // the proxy cache (the tip objects, or — with dirty traversals off —
     // cached internal nodes). Drop them all so the retry refetches.
@@ -559,9 +591,13 @@ Status BTree::RunSnapshotOp(uint64_t sid, Body&& body) {
   for (uint32_t attempt = 0; attempt < options_.max_attempts; attempt++) {
     DynamicTxn txn(coord_, cache_);
     Status st = body(txn);
-    if (st.ok() || !st.IsRetryable()) return st;
+    if (st.ok() || !st.IsRetryable()) {
+      coord_->RecordTxnAttempt(st);
+      return st;
+    }
     last = st;
-    stats_.op_aborts.fetch_add(1, std::memory_order_relaxed);
+    coord_->RecordTxnAttempt(last);
+    stats_->op_aborts.Increment();
     if (attempt % 64 == 5) MINUET_RETURN_NOT_OK(CheckGcHorizon(sid));
     if (attempt >= 3) {
       // lint:allow(sleep-in-src): bounded contention backoff inside the

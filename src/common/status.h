@@ -11,6 +11,34 @@
 
 namespace minuet {
 
+// Why an optimistic retry attempt aborted (the taxonomy PR 9 replaced the
+// opaque Status::Aborted(...) strings with on the retry paths). Recorded per
+// attempt by txn::RunTransaction / BTree::RunOp and counted in the metrics
+// registry, so abort causes are queryable instead of buried in log strings.
+enum class AbortReason : unsigned char {
+  kNone = 0,              // not an abort (or reason unknown)
+  kValidationConflict,    // seqnum compare failed (piggy-backed or commit)
+  kStaleCachePointer,     // traversal safety check failed on cached state
+  kRetiredMemnode,        // stale pointer into a retired memnode
+  kLockBusy,              // minitransaction lock contention (Busy/TimedOut)
+  kGcHorizon,             // snapshot fell below the GC horizon
+  kOther,                 // aborted for a reason outside the taxonomy
+};
+inline constexpr unsigned kNumAbortReasons = 7;
+
+inline const char* AbortReasonName(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kValidationConflict: return "validation_conflict";
+    case AbortReason::kStaleCachePointer: return "stale_cache_pointer";
+    case AbortReason::kRetiredMemnode: return "retired_memnode";
+    case AbortReason::kLockBusy: return "lock_busy";
+    case AbortReason::kGcHorizon: return "gc_horizon";
+    case AbortReason::kOther: return "other";
+  }
+  return "unknown";
+}
+
 class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
@@ -35,6 +63,12 @@ class [[nodiscard]] Status {
   }
   static Status Aborted(std::string msg = "") {
     return Status(Code::kAborted, std::move(msg));
+  }
+  // Abort tagged with its taxonomy reason (see AbortReason above).
+  static Status Aborted(AbortReason reason, std::string msg = "") {
+    Status st(Code::kAborted, std::move(msg));
+    st.reason_ = reason;
+    return st;
   }
   static Status Busy(std::string msg = "") {
     return Status(Code::kBusy, std::move(msg));
@@ -91,6 +125,10 @@ class [[nodiscard]] Status {
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
+  // The taxonomy reason attached by Aborted(AbortReason, ...); kNone when
+  // untagged. Busy/TimedOut statuses are untagged here — classify them with
+  // obs::ClassifyAbort, which maps lock contention onto kLockBusy.
+  AbortReason abort_reason() const { return reason_; }
 
   std::string ToString() const {
     if (ok()) return "OK";
@@ -125,6 +163,7 @@ class [[nodiscard]] Status {
   Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
 
   Code code_;
+  AbortReason reason_ = AbortReason::kNone;
   std::string msg_;
 };
 

@@ -52,6 +52,13 @@ Cluster::Cluster(ClusterOptions options) : options_(options) {
   for (uint32_t i = 0; i < n_proxies; i++) {
     proxies_.push_back(std::unique_ptr<Proxy>(new Proxy(this, i)));
   }
+
+  slow_op_log_.set_threshold_ns(options_.slow_op_threshold_ns);
+  if (options_.metrics) {
+    BindCoreMetrics();
+    for (uint32_t i = 0; i < options_.machines; i++) BindMemnodeMetrics(i);
+    for (const auto& proxy : proxies_) BindProxyMetrics(*proxy);
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -98,6 +105,7 @@ Result<uint32_t> Cluster::AddProxy() {
   // Construction is local (cache allocation only — no fabric I/O under the
   // registry lock); the proxy attaches per-tree state lazily on first use.
   proxies_.push_back(std::unique_ptr<Proxy>(new Proxy(this, id)));
+  if (options_.metrics) BindProxyMetrics(*proxies_.back());
   return id;
 }
 
@@ -158,6 +166,7 @@ Result<uint32_t> Cluster::AddMemnode() {
                                           layout_.alloc_meta_base()));
   memnodes_.push_back(std::move(node));
   MINUET_RETURN_NOT_OK(allocator_->AddMemnode());
+  if (options_.metrics) BindMemnodeMetrics(id);
   return id;
 }
 
@@ -234,6 +243,7 @@ rebalance::Rebalancer* Cluster::rebalancer() {
   std::lock_guard<std::mutex> g(rebalancer_mu_);
   if (rebalancer_ == nullptr) {
     rebalancer_ = std::make_unique<rebalance::Rebalancer>(this);
+    if (options_.metrics) BindRebalancerMetrics();
   }
   return rebalancer_.get();
 }
@@ -252,7 +262,9 @@ Result<TreeHandle> Cluster::CreateTree(bool branching) {
   // One registration, total: the catalog owns the slot, the branching
   // flag, the snapshot service and the GC. Proxies — including ones added
   // after this call — attach their own view stacks lazily on first use.
-  return catalog_->Register(branching, topts, sopts, snapshot_clock_);
+  auto handle = catalog_->Register(branching, topts, sopts, snapshot_clock_);
+  if (handle.ok() && options_.metrics) BindTreeMetrics(handle->slot());
+  return handle;
 }
 
 Result<TreeHandle> Cluster::OpenTree(uint32_t slot) const {

@@ -46,6 +46,8 @@
 #include "mvcc/gc.h"
 #include "mvcc/snapshot_service.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sinfonia/coordinator.h"
 #include "version/version_manager.h"
 #include "ycsb/workload.h"
@@ -81,7 +83,29 @@ struct ClusterOptions {
   double snapshot_min_interval_seconds = 0;  // the paper's k
   uint64_t retain_snapshots = 16;
   uint32_t max_op_attempts = 10000;
+  // Bind every subsystem's counters into the cluster metrics registry
+  // (Cluster::DumpStats). The counters themselves always count — binding
+  // only affects whether DumpStats sees them — so disabling this is a
+  // measurement knob, not a fast path (see bench/abl_node_micro's
+  // registry-overhead section).
+  bool metrics = true;
+  // Slow-op log: a view-layer operation slower than this (wall ns) prints
+  // its full minitransaction trace to stderr. 0 = disabled.
+  uint64_t slow_op_threshold_ns = 0;
 };
+
+// Client-op kinds instrumented by the view layer: per-op latency
+// histograms in the metrics registry, plus the slow-op trace hook.
+enum class ClientOp : uint8_t {
+  kGet = 0,
+  kPut,
+  kInsert,
+  kRemove,
+  kMultiGet,
+  kScan,
+};
+inline constexpr size_t kNumClientOps = 6;
+const char* ClientOpName(ClientOp op);
 
 class Cluster;
 
@@ -178,6 +202,7 @@ class Proxy {
   txn::ObjectCache* cache() { return cache_.get(); }
 
   uint32_t id() const { return id_; }
+  Cluster* cluster() const { return cluster_; }
   // The identity under which this proxy's snapshot leases are accounted
   // (mvcc::SnapshotService per-owner pinning; RemoveProxy bulk-releases
   // it).
@@ -413,6 +438,30 @@ class Cluster {
   // caches are incoherent by design and refill on demand.
   void DropProxyCaches();
 
+  // --- Observability ---------------------------------------------------------
+  // The cluster-wide metrics registry. Every subsystem's counters are bound
+  // here at construction / membership-change time (unless
+  // options.metrics=false); components keep counting either way — the
+  // registry only reads.
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  // The slow-op log the view layer consults per operation; arm it at
+  // runtime with slow_op_log().set_threshold_ns(ns) or via
+  // ClusterOptions::slow_op_threshold_ns.
+  obs::SlowOpLog& slow_op_log() { return slow_op_log_; }
+  // Per-op latency histogram (view-layer wall time, ns).
+  obs::HistogramMetric& op_histogram(ClientOp op) {
+    return op_latency_[static_cast<size_t>(op)];
+  }
+  // Human-readable stats report: cluster shape, per-memnode / per-proxy /
+  // per-tree rollups, then the full registry dump.
+  std::string DumpStats() const;
+  // The same data as stable JSON:
+  //   {"cluster": {...}, "memnodes": [...], "proxies": [...],
+  //    "trees": [...], "metrics": {"subsystem": {"name": value, ...}, ...}}
+  // tools/statsdump pretty-prints and diffs this shape.
+  std::string DumpStatsJson() const;
+
   // --- Plumbing (benchmarks, tests) -----------------------------------------
   net::Fabric* fabric() { return fabric_.get(); }
   sinfonia::Coordinator* coordinator() { return coord_.get(); }
@@ -431,6 +480,22 @@ class Cluster {
   bool OwnsHandle(const TreeHandle& tree) const {
     return catalog_->Owns(tree);
   }
+
+  // Bind one subsystem's counters/gauges into registry_. Implemented in
+  // stats_dump.cc; no-ops when options_.metrics is false.
+  void BindCoreMetrics();
+  void BindMemnodeMetrics(uint32_t id);
+  void BindProxyMetrics(const Proxy& proxy);
+  void BindTreeMetrics(uint32_t slot);
+  void BindRebalancerMetrics();
+
+  // Declared FIRST so they are destroyed LAST: registry entries point into
+  // the components below, and links must outlive nothing they reference
+  // (the registry's destructor never dereferences pointees, but ordering
+  // keeps Snapshot() safe for the cluster's whole lifetime).
+  obs::MetricsRegistry registry_;
+  obs::SlowOpLog slow_op_log_;
+  obs::HistogramMetric op_latency_[kNumClientOps];
 
   ClusterOptions options_;
   alloc::Layout layout_;

@@ -31,8 +31,10 @@ Result<TreeHandle> TreeCatalog::Register(
   Entry& e = entries_[slot];
   e.branching = branching;
   e.tree_options = topts;
+  e.stats = std::make_unique<btree::BTree::Stats>();
   e.service_tree = std::make_unique<btree::BTree>(
-      coord_, allocator_, service_cache_.get(), linear_oracle_, slot, topts);
+      coord_, allocator_, service_cache_.get(), linear_oracle_, slot, topts,
+      e.stats.get());
   // Branching trees: the service tree needs the branch oracle installed
   // (same as any proxy instance) before the create minitransaction writes
   // catalog entry 0.
@@ -66,7 +68,8 @@ TreeCatalog::ProxyTree TreeCatalog::Materialize(uint32_t slot,
   const Entry& e = entries_[slot];
   ProxyTree out;
   out.tree = std::make_unique<btree::BTree>(
-      coord_, allocator_, cache, linear_oracle_, slot, e.tree_options);
+      coord_, allocator_, cache, linear_oracle_, slot, e.tree_options,
+      e.stats.get());
   if (e.branching) {
     out.version_manager =
         std::make_unique<version::VersionManager>(out.tree.get());

@@ -105,10 +105,19 @@ class TreeCatalog {
   // Factory for the stack above. Precondition: slot < n_trees().
   ProxyTree Materialize(uint32_t slot, txn::ObjectCache* cache) const;
 
+  // The per-tree stats shared by EVERY BTree instance serving this slot
+  // (the service tree and each proxy's materialized view), so per-tree
+  // rollups aggregate across the whole cluster; nullptr for an
+  // unregistered slot.
+  const btree::BTree::Stats* tree_stats(uint32_t slot) const {
+    return slot < n_trees() ? entries_[slot].stats.get() : nullptr;
+  }
+
  private:
   struct Entry {
     bool branching = false;
     btree::TreeOptions tree_options;
+    std::unique_ptr<btree::BTree::Stats> stats;
     std::unique_ptr<btree::BTree> service_tree;
     std::unique_ptr<version::VersionManager> service_vm;
     std::unique_ptr<mvcc::SnapshotService> snapshots;

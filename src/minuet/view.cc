@@ -24,6 +24,43 @@ Status CheckProxyLive(const Proxy* proxy) {
   return Status::OK();
 }
 
+// Per-call instrumentation for the view-layer client surface: wall time
+// lands in the cluster's per-op histogram, and — when the slow-op log is
+// armed and the caller has not installed a TraceContext of their own — a
+// local context is armed so a threshold hit emits the op's full
+// span-per-round timeline. One thread-local null check when disarmed.
+class OpObserver {
+ public:
+  OpObserver(const Proxy* proxy, ClientOp op)
+      : cluster_(proxy != nullptr ? proxy->cluster() : nullptr), op_(op) {
+    if (cluster_ == nullptr) return;
+    t0_ = obs::NowNs();
+    if (cluster_->slow_op_log().armed() &&
+        obs::TraceContext::Current() == nullptr) {
+      scoped_.emplace(&trace_);
+    }
+  }
+
+  ~OpObserver() {
+    if (cluster_ == nullptr) return;
+    const uint64_t wall = obs::NowNs() - t0_;
+    cluster_->op_histogram(op_).Observe(static_cast<double>(wall));
+    if (scoped_.has_value()) {
+      cluster_->slow_op_log().MaybeEmit(ClientOpName(op_), trace_, wall);
+    }
+  }
+
+  OpObserver(const OpObserver&) = delete;
+  OpObserver& operator=(const OpObserver&) = delete;
+
+ private:
+  Cluster* cluster_;
+  ClientOp op_;
+  uint64_t t0_ = 0;
+  obs::TraceContext trace_;
+  std::optional<obs::ScopedTrace> scoped_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -179,6 +216,7 @@ Status View::MultiGet(const std::vector<std::string>& keys,
 
 Status View::Scan(const std::string& start, size_t limit,
                   std::vector<std::pair<std::string, std::string>>* out) {
+  OpObserver obs(proxy_, ClientOp::kScan);
   out->clear();
   Cursor::Options copts;
   if (limit > 0) {
@@ -193,24 +231,28 @@ Status View::Scan(const std::string& start, size_t limit,
 // TipView
 
 Status TipView::Get(const std::string& key, std::string* value) {
+  OpObserver obs(proxy_, ClientOp::kGet);
   MINUET_RETURN_NOT_OK(CheckUsable());
   MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
   return btree()->Get(key, value);
 }
 
 Status TipView::Put(const std::string& key, const std::string& value) {
+  OpObserver obs(proxy_, ClientOp::kPut);
   MINUET_RETURN_NOT_OK(CheckUsable());
   MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
   return btree()->Put(key, value);
 }
 
 Status TipView::Insert(const std::string& key, const std::string& value) {
+  OpObserver obs(proxy_, ClientOp::kInsert);
   MINUET_RETURN_NOT_OK(CheckUsable());
   MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
   return btree()->Insert(key, value);
 }
 
 Status TipView::Remove(const std::string& key) {
+  OpObserver obs(proxy_, ClientOp::kRemove);
   MINUET_RETURN_NOT_OK(CheckUsable());
   MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
   return btree()->Remove(key);
@@ -218,6 +260,7 @@ Status TipView::Remove(const std::string& key) {
 
 Status TipView::MultiGet(const std::vector<std::string>& keys,
                          std::vector<std::optional<std::string>>* values) {
+  OpObserver obs(proxy_, ClientOp::kMultiGet);
   // All-or-nothing contract: every exit path of a failed MultiGet — early
   // validation errors included — leaves only nullopt answers behind.
   values->assign(keys.size(), std::nullopt);
@@ -239,6 +282,7 @@ Status TipView::MultiGet(const std::vector<std::string>& keys,
 
 Status TipView::Scan(const std::string& start, size_t limit,
                      std::vector<std::pair<std::string, std::string>>* out) {
+  OpObserver obs(proxy_, ClientOp::kScan);
   MINUET_RETURN_NOT_OK(CheckUsable());
   MINUET_RETURN_NOT_OK(CheckLinearAccess(tree_));
   // One transaction end-to-end: the whole range validates together at
@@ -315,12 +359,14 @@ SnapshotView::~SnapshotView() {
 }
 
 Status SnapshotView::Get(const std::string& key, std::string* value) {
+  OpObserver obs(proxy_, ClientOp::kGet);
   MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->SnapshotGet(snap_, key, value);
 }
 
 Status SnapshotView::MultiGet(const std::vector<std::string>& keys,
                               std::vector<std::optional<std::string>>* values) {
+  OpObserver obs(proxy_, ClientOp::kMultiGet);
   values->assign(keys.size(), std::nullopt);  // no partial answers, ever
   MINUET_RETURN_NOT_OK(CheckUsable());
   Status st = btree()->SnapshotMultiGet(snap_, keys, values);
@@ -540,27 +586,32 @@ std::unique_ptr<Cursor> SnapshotView::NewCursor(const std::string& start,
 // TipView): a stale or foreign TreeHandle must fail loudly instead of
 // dereferencing a tree it does not name.
 Status BranchView::Get(const std::string& key, std::string* value) {
+  OpObserver obs(proxy_, ClientOp::kGet);
   MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->BranchGet(sid_, key, value);
 }
 
 Status BranchView::Put(const std::string& key, const std::string& value) {
+  OpObserver obs(proxy_, ClientOp::kPut);
   MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->BranchPut(sid_, key, value);
 }
 
 Status BranchView::Insert(const std::string& key, const std::string& value) {
+  OpObserver obs(proxy_, ClientOp::kInsert);
   MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->BranchInsert(sid_, key, value);
 }
 
 Status BranchView::Remove(const std::string& key) {
+  OpObserver obs(proxy_, ClientOp::kRemove);
   MINUET_RETURN_NOT_OK(CheckUsable());
   return btree()->BranchRemove(sid_, key);
 }
 
 Status BranchView::MultiGet(const std::vector<std::string>& keys,
                             std::vector<std::optional<std::string>>* values) {
+  OpObserver obs(proxy_, ClientOp::kMultiGet);
   values->assign(keys.size(), std::nullopt);  // no partial answers, ever
   MINUET_RETURN_NOT_OK(CheckUsable());
   auto info = proxy_->BranchInfo(tree_, sid_);

@@ -105,7 +105,7 @@ Result<GarbageCollector::Report> GarbageCollector::CollectOnce(
       }
       if (*freed) {
         report.freed++;
-        total_freed_++;
+        total_freed_.Increment();
       }
     }
   }

@@ -31,7 +31,7 @@ class GarbageCollector {
   // observe it.
   Result<Report> CollectOnce(uint64_t lowest_sid);
 
-  uint64_t total_freed() const { return total_freed_; }
+  uint64_t total_freed() const { return total_freed_.Value(); }
 
  private:
   // Frees one slab in its own small transaction; returns true if freed.
@@ -39,7 +39,9 @@ class GarbageCollector {
                            Report* report);
 
   btree::BTree* tree_;
-  uint64_t total_freed_ = 0;
+  // Counter (not a plain integer): the metrics registry samples it from
+  // whatever thread runs DumpStats while a GC pass is incrementing it.
+  obs::Counter total_freed_;
 };
 
 }  // namespace minuet::mvcc

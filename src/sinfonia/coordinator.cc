@@ -92,14 +92,24 @@ Status Coordinator::Execute(const MiniTxn& mtx, MiniResult* result) {
   // mid-replication.
   std::shared_lock<std::shared_mutex> membership(membership_mu_);
   const std::vector<PerNode> parts = Partition(mtx);
+  metrics_.executions.Increment();
   if (parts.empty()) {
     result->committed = true;
     return Status::OK();
+  }
+  obs::TraceContext* const trace = obs::TraceContext::Current();
+  int items = 0;
+  if (trace != nullptr) {
+    for (const PerNode& pn : parts) {
+      items += static_cast<int>(pn.compares.size() + pn.reads.size() +
+                                pn.writes.size());
+    }
   }
 
   Status last = Status::OK();
   for (uint32_t attempt = 0; attempt <= options_.max_retries; attempt++) {
     if (attempt > 0) {
+      metrics_.busy_retries.Increment();
       if (net::OpTrace* tr = net::Fabric::ThreadTrace()) tr->retries++;
       // Give the lock holder a chance to finish. On a machine with fewer
       // cores than threads, a holder can sit preempted mid-commit for a
@@ -122,10 +132,27 @@ Status Coordinator::Execute(const MiniTxn& mtx, MiniResult* result) {
     result->failed_compares.clear();
     result->read_results.assign(mtx.reads.size(), std::string());
 
-    Status st = parts.size() == 1
-                    ? ExecuteSingle(tx, parts[0], mtx.blocking, result)
-                    : ExecuteTwoPhase(tx, parts, mtx.blocking, result);
-    if (st.ok()) return Status::OK();
+    const bool one_phase = parts.size() == 1;
+    (one_phase ? metrics_.one_phase : metrics_.two_phase).Increment();
+    const uint64_t t0 = trace != nullptr ? obs::NowNs() : 0;
+    Status st = one_phase ? ExecuteSingle(tx, parts[0], mtx.blocking, result)
+                          : ExecuteTwoPhase(tx, parts, mtx.blocking, result);
+    if (trace != nullptr) {
+      // A decided compare mismatch returns OK with committed=false; stamp
+      // the span with the abort it means rather than a bare OK.
+      const Status span_outcome =
+          st.ok() && !result->committed
+              ? Status::Aborted(AbortReason::kValidationConflict)
+              : st;
+      trace->RecordRound(one_phase ? "1pc" : "2pc",
+                         static_cast<int>(parts.size()), items, span_outcome,
+                         obs::NowNs() - t0);
+    }
+    if (st.ok()) {
+      (result->committed ? metrics_.committed : metrics_.compare_aborts)
+          .Increment();
+      return Status::OK();
+    }
     if (!st.IsRetryable()) return st;  // Unavailable etc.
     last = st;
   }

@@ -16,6 +16,8 @@
 
 #include "common/status.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sinfonia/memnode.h"
 #include "sinfonia/minitxn.h"
 
@@ -23,6 +25,24 @@ namespace minuet::sinfonia {
 
 class Coordinator {
  public:
+  // Protocol-outcome counters, owned here and LINKED into the cluster's
+  // MetricsRegistry at bind time (obs/metrics.h). The txn_* members are the
+  // shared accounting for every optimistic retry loop above the coordinator
+  // (txn::RunTransaction, BTree::RunOp/RunSnapshotOp) — the loops already
+  // hold a coordinator pointer, so per-attempt abort taxonomy lands here
+  // without extra plumbing.
+  struct Metrics {
+    obs::Counter executions;       // Execute() calls
+    obs::Counter one_phase;        // single-memnode collapsed executions
+    obs::Counter two_phase;        // multi-memnode two-phase executions
+    obs::Counter committed;        // minitransactions that committed
+    obs::Counter compare_aborts;   // decided aborts (compare mismatch)
+    obs::Counter busy_retries;     // busy-lock re-executions inside Execute
+    obs::Counter txn_attempts;     // optimistic attempts seen by retry loops
+    obs::Counter txn_retries;      // attempts that ended retryable
+    obs::Counter txn_aborts[kNumAbortReasons];  // indexed by AbortReason
+  };
+
   struct Options {
     // Give up after this many busy-lock re-executions. The paper's library
     // retries "automatically and transparently"; the cap only bounds
@@ -59,6 +79,23 @@ class Coordinator {
   Memnode* memnode(MemnodeId id) { return memnodes_[id]; }
   net::Fabric* fabric() { return fabric_; }
   const Options& options() const { return options_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  // Per-attempt outcome accounting for the optimistic retry loops: counts
+  // the attempt, classifies a retryable failure into the abort taxonomy,
+  // and closes the attempt span on the thread's TraceContext, if armed.
+  void RecordTxnAttempt(const Status& st) {
+    metrics_.txn_attempts.Increment();
+    const AbortReason r = obs::ClassifyAbort(st);
+    if (r != AbortReason::kNone) {
+      metrics_.txn_retries.Increment();
+      metrics_.txn_aborts[static_cast<unsigned>(r)].Increment();
+    }
+    if (obs::TraceContext* t = obs::TraceContext::Current()) {
+      t->RecordAttemptEnd(st);
+    }
+  }
 
   // The live node hosting `id`'s backup image: the next live node on the
   // ring (retired ids are skipped — the ring closes around the gap).
@@ -142,6 +179,7 @@ class Coordinator {
   std::atomic<uint32_t> n_memnodes_;
   std::atomic<uint32_t> n_live_;
   Options options_;
+  Metrics metrics_;
   std::atomic<TxId> next_tx_{1};
   // Held shared by Execute, exclusively by AddMemnode: a membership change
   // happens only between minitransactions, never under one.

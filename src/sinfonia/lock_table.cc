@@ -4,10 +4,19 @@
 
 namespace minuet::sinfonia {
 
-LockTable::LockTable(uint32_t n_stripes, uint32_t granularity)
-    : n_stripes_(n_stripes),
+LockTable::LockTable(uint32_t n_stripes, uint32_t granularity,
+                     uint32_t n_shards)
+    : n_stripes_(std::max<uint32_t>(1, n_stripes)),
       granularity_(granularity),
-      stripes_(n_stripes) {}
+      n_shards_(std::clamp<uint32_t>(n_shards, 1,
+                                     std::min(kMaxShards, n_stripes_))),
+      shards_(n_shards_) {
+  // Shard s holds global ids {s, s + n_shards, s + 2*n_shards, ...}.
+  for (uint32_t s = 0; s < n_shards_; s++) {
+    const uint32_t count = (n_stripes_ - s + n_shards_ - 1) / n_shards_;
+    shards_[s].stripes = std::vector<Stripe>(count);
+  }
+}
 
 std::vector<uint32_t> LockTable::StripesFor(
     const std::vector<Range>& ranges) const {
@@ -17,7 +26,7 @@ std::vector<uint32_t> LockTable::StripesFor(
     const uint64_t first = r.offset / granularity_;
     const uint64_t last = (r.offset + r.len - 1) / granularity_;
     for (uint64_t s = first; s <= last; s++) {
-      out.push_back(StripeFor(s));
+      out.push_back(GlobalStripeFor(s));
     }
   }
   std::sort(out.begin(), out.end());
@@ -33,14 +42,17 @@ Status LockTable::Lock(TxId tx, const std::vector<Range>& ranges,
 
   Status failure = Status::OK();
   for (uint32_t s : want) {
-    Stripe& st = stripes_[s];
+    Shard& shard = shards_[s % n_shards_];
+    Stripe& st = shard.stripes[s / n_shards_];
     std::unique_lock<std::mutex> lk(st.mu);
     if (st.owner == tx) continue;  // re-entrant within a transaction
     if (st.owner == 0) {
       st.owner = tx;
+      shard.acquires.Increment();
       taken.push_back(s);
       continue;
     }
+    shard.contended.Increment();
     if (max_wait.count() == 0) {
       failure = Status::Busy("lock stripe busy");
     } else {
@@ -50,15 +62,17 @@ Status LockTable::Lock(TxId tx, const std::vector<Range>& ranges,
                                       [&st] { return st.owner == 0; });
       if (got) {
         st.owner = tx;
+        shard.acquires.Increment();
         taken.push_back(s);
         continue;
       }
+      shard.timeouts.Increment();
       failure = Status::TimedOut("lock wait threshold exceeded");
     }
     // Failure: roll back everything this call acquired.
     lk.unlock();
     for (uint32_t t : taken) {
-      Stripe& rt = stripes_[t];
+      Stripe& rt = StripeAt(t);
       std::lock_guard<std::mutex> g(rt.mu);
       rt.owner = 0;
       rt.cv.notify_all();
@@ -67,47 +81,95 @@ Status LockTable::Lock(TxId tx, const std::vector<Range>& ranges,
   }
 
   if (!taken.empty()) {
-    std::lock_guard<std::mutex> g(held_mu_);
-    for (auto& [htx, stripes] : held_) {
-      if (htx == tx) {
-        stripes.insert(stripes.end(), taken.begin(), taken.end());
-        return Status::OK();
+    // Record what this call took. Bucket by shard outside the locks, then
+    // splice each bucket into the shard's held map under its mutex.
+    std::vector<std::vector<uint32_t>> per_shard(n_shards_);
+    for (uint32_t t : taken) per_shard[t % n_shards_].push_back(t / n_shards_);
+    for (uint32_t s = 0; s < n_shards_; s++) {
+      if (per_shard[s].empty()) continue;
+      Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> g(shard.held_mu);
+      std::vector<uint32_t>& mine = shard.held[tx];
+      if (mine.empty()) {
+        mine = std::move(per_shard[s]);
+      } else {
+        mine.insert(mine.end(), per_shard[s].begin(), per_shard[s].end());
       }
     }
-    held_.emplace_back(tx, std::move(taken));
   }
   return Status::OK();
 }
 
 void LockTable::Unlock(TxId tx) {
-  std::vector<uint32_t> stripes;
-  {
-    std::lock_guard<std::mutex> g(held_mu_);
-    for (auto it = held_.begin(); it != held_.end(); ++it) {
-      if (it->first == tx) {
-        stripes = std::move(it->second);
-        held_.erase(it);
-        break;
-      }
+  for (Shard& shard : shards_) {
+    std::vector<uint32_t> local;
+    {
+      std::lock_guard<std::mutex> g(shard.held_mu);
+      auto it = shard.held.find(tx);
+      if (it == shard.held.end()) continue;
+      local = std::move(it->second);
+      shard.held.erase(it);
     }
-  }
-  for (uint32_t s : stripes) {
-    Stripe& st = stripes_[s];
-    std::lock_guard<std::mutex> g(st.mu);
-    if (st.owner == tx) {
-      st.owner = 0;
-      st.cv.notify_all();
+    for (uint32_t idx : local) {
+      Stripe& st = shard.stripes[idx];
+      std::lock_guard<std::mutex> g(st.mu);
+      if (st.owner == tx) {
+        st.owner = 0;
+        st.cv.notify_all();
+      }
     }
   }
 }
 
 bool LockTable::IsLocked(const Range& r) {
   for (uint32_t s : StripesFor({r})) {
-    Stripe& st = stripes_[s];
+    Stripe& st = StripeAt(s);
     std::lock_guard<std::mutex> g(st.mu);
     if (st.owner != 0) return true;
   }
   return false;
+}
+
+LockTable::ShardStats LockTable::StatsForShard(uint32_t shard) const {
+  ShardStats out;
+  if (shard >= n_shards_) return out;
+  out.acquires = shards_[shard].acquires.Value();
+  out.contended = shards_[shard].contended.Value();
+  out.timeouts = shards_[shard].timeouts.Value();
+  return out;
+}
+
+LockTable::ShardStats LockTable::TotalStats() const {
+  ShardStats out;
+  for (uint32_t s = 0; s < n_shards_; s++) {
+    const ShardStats ss = StatsForShard(s);
+    out.acquires += ss.acquires;
+    out.contended += ss.contended;
+    out.timeouts += ss.timeouts;
+  }
+  return out;
+}
+
+void LockTable::BindMetrics(obs::MetricsRegistry* registry,
+                            const std::string& subsystem) const {
+  for (uint32_t s = 0; s < n_shards_; s++) {
+    const std::string prefix = "shard" + std::to_string(s) + ".";
+    registry->LinkCounter(subsystem, prefix + "acquires",
+                          &shards_[s].acquires);
+    registry->LinkCounter(subsystem, prefix + "contended",
+                          &shards_[s].contended);
+    registry->LinkCounter(subsystem, prefix + "timeouts",
+                          &shards_[s].timeouts);
+  }
+  registry->LinkGauge(subsystem, "total.acquires", [this] {
+    return static_cast<int64_t>(TotalStats().acquires);
+  });
+  registry->LinkGauge(subsystem, "total.contended", [this] {
+    return static_cast<int64_t>(TotalStats().contended);
+  });
+  registry->LinkGauge(subsystem, "total.timeouts", [this] {
+    return static_cast<int64_t>(TotalStats().timeouts);
+  });
 }
 
 }  // namespace minuet::sinfonia

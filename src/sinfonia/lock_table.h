@@ -1,18 +1,34 @@
-// Striped range-lock table used by each memnode to lock the memory regions
-// touched by a minitransaction (Sinfonia's phase-one locking). Locks are
-// exclusive, owned by a transaction id so they can be held across the
+// Sharded, striped range-lock table used by each memnode to lock the memory
+// regions touched by a minitransaction (Sinfonia's phase-one locking). Locks
+// are exclusive, owned by a transaction id so they can be held across the
 // prepare/commit boundary of two-phase commit, and support both try-lock
 // (ordinary minitransactions abort on busy locks) and bounded blocking
 // acquisition (the blocking minitransactions of paper §4.1).
+//
+// PR 9 sharded the table the way PR 3 sharded the ObjectCache: stripes and
+// the per-transaction held bookkeeping are split across kMaxShards-bounded
+// shards (global stripe id s lives in shard s % n_shards), so concurrent
+// minitransactions touching different regions no longer serialize on one
+// global held-set mutex. Deadlock avoidance is unchanged: stripes are still
+// acquired in sorted GLOBAL id order, a total order every caller shares.
+// Each shard carries acquire/contend/timeout counters surfaced through the
+// cluster metrics registry.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+
+namespace minuet::obs {
+class MetricsRegistry;
+}  // namespace minuet::obs
 
 namespace minuet::sinfonia {
 
@@ -20,10 +36,14 @@ using TxId = uint64_t;
 
 class LockTable {
  public:
+  static constexpr uint32_t kMaxShards = 16;
+
   // `granularity` is the number of bytes covered by one stripe slot before
   // hashing; regions closer than this may false-share a stripe, which is
-  // safe (coarser locking) but can cause spurious Busy results.
-  explicit LockTable(uint32_t n_stripes = 4096, uint32_t granularity = 64);
+  // safe (coarser locking) but can cause spurious Busy results. `n_shards`
+  // is clamped to [1, min(kMaxShards, n_stripes)].
+  explicit LockTable(uint32_t n_stripes = 4096, uint32_t granularity = 64,
+                     uint32_t n_shards = 8);
 
   struct Range {
     uint64_t offset;
@@ -31,7 +51,7 @@ class LockTable {
   };
 
   // Acquire every stripe covering `ranges` for `tx`. Stripes are acquired
-  // in sorted order (deadlock avoidance within a memnode). If
+  // in sorted global-id order (deadlock avoidance within a memnode). If
   // `max_wait` == 0, fails immediately with Busy when any stripe is held by
   // another transaction; otherwise waits up to `max_wait` per acquisition
   // and fails with TimedOut on expiry. On failure all stripes taken by this
@@ -45,29 +65,54 @@ class LockTable {
   // True if any stripe covering `r` is currently held (test hook).
   bool IsLocked(const Range& r);
 
+  // --- Observability -------------------------------------------------------
+  struct ShardStats {
+    uint64_t acquires = 0;   // stripes successfully acquired
+    uint64_t contended = 0;  // acquisitions that found the stripe held
+    uint64_t timeouts = 0;   // blocking waits that expired
+  };
+  uint32_t shard_count() const { return n_shards_; }
+  ShardStats StatsForShard(uint32_t shard) const;
+  ShardStats TotalStats() const;
+
+  // Link the per-shard counters (and totals) into `registry` under
+  // `subsystem`, e.g. "memnode3.locks" → "shard0.acquires", ....
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const std::string& subsystem) const;
+
  private:
-  uint32_t StripeFor(uint64_t slot) const {
-    // Mix to avoid adjacent slots mapping to adjacent stripes.
-    uint64_t h = slot * 0x9E3779B97F4A7C15ULL;
-    return static_cast<uint32_t>(h >> 32) % n_stripes_;
-  }
-
-  // Collect the sorted, deduplicated stripe set for `ranges`.
-  std::vector<uint32_t> StripesFor(const std::vector<Range>& ranges) const;
-
   struct Stripe {
     std::mutex mu;
     std::condition_variable cv;
     TxId owner = 0;  // 0 = free
   };
 
+  struct Shard {
+    std::vector<Stripe> stripes;  // global id s at local index s / n_shards
+    // Which local stripes each transaction holds in THIS shard.
+    std::mutex held_mu;
+    std::unordered_map<TxId, std::vector<uint32_t>> held;
+    obs::Counter acquires;
+    obs::Counter contended;
+    obs::Counter timeouts;
+  };
+
+  uint32_t GlobalStripeFor(uint64_t slot) const {
+    // Mix to avoid adjacent slots mapping to adjacent stripes.
+    uint64_t h = slot * 0x9E3779B97F4A7C15ULL;
+    return static_cast<uint32_t>(h >> 32) % n_stripes_;
+  }
+  Stripe& StripeAt(uint32_t global) {
+    return shards_[global % n_shards_].stripes[global / n_shards_];
+  }
+
+  // Collect the sorted, deduplicated global stripe set for `ranges`.
+  std::vector<uint32_t> StripesFor(const std::vector<Range>& ranges) const;
+
   uint32_t n_stripes_;
   uint32_t granularity_;
-  std::vector<Stripe> stripes_;
-
-  // Which stripes each transaction holds; guarded by held_mu_.
-  std::mutex held_mu_;
-  std::vector<std::pair<TxId, std::vector<uint32_t>>> held_;
+  uint32_t n_shards_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace minuet::sinfonia

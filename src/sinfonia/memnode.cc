@@ -66,7 +66,8 @@ uint64_t ByteSpace::Extent() const {
 Memnode::Memnode(MemnodeId id, Options options)
     : id_(id),
       options_(options),
-      locks_(options.lock_stripes, options.lock_granularity) {}
+      locks_(options.lock_stripes, options.lock_granularity,
+             options.lock_shards) {}
 
 std::vector<LockTable::Range> Memnode::TouchedRanges(
     const std::vector<MiniTxn::CompareItem>& compares,

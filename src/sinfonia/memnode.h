@@ -50,6 +50,7 @@ class Memnode {
   struct Options {
     uint32_t lock_stripes = 4096;
     uint32_t lock_granularity = 64;
+    uint32_t lock_shards = 8;  // LockTable shard count (clamped there)
     // Lock-wait threshold for blocking minitransactions (paper §4.1: "the
     // waiting time is bounded by a threshold small enough so that blocking
     // minitransactions do not trigger Sinfonia's recovery mechanism").

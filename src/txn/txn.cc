@@ -53,9 +53,10 @@ Result<DynamicTxn::ReadRecord> DynamicTxn::Fetch(const ObjectRef& ref) {
   if (!result.committed) {
     // Piggy-backed validation failed: some object read earlier has been
     // overwritten. The transaction cannot commit; abort now.
-    doomed_ = true;
+    MarkAborted(AbortReason::kValidationConflict);
     if (net::OpTrace* tr = net::Fabric::ThreadTrace()) tr->validation_aborts++;
-    return Status::Aborted("piggyback validation failed");
+    return Status::Aborted(AbortReason::kValidationConflict,
+                           "piggyback validation failed");
   }
   // Every read-set record compared above held its seqnum at this instant.
   if (options_.piggyback_validation) validated_reads_ = reads_.size();
@@ -71,7 +72,7 @@ Result<DynamicTxn::ReadRecord> DynamicTxn::Fetch(const ObjectRef& ref) {
 }
 
 Result<Payload> DynamicTxn::ReadView(const ObjectRef& ref) {
-  if (doomed_) return Status::Aborted("transaction doomed");
+  if (doomed_) return DoomedStatus();
   if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
     return Payload::Borrowed(writes_[it->second].payload);
   }
@@ -90,7 +91,7 @@ Result<Payload> DynamicTxn::ReadView(const ObjectRef& ref) {
 }
 
 Result<Payload> DynamicTxn::DirtyReadView(const ObjectRef& ref) {
-  if (doomed_) return Status::Aborted("transaction doomed");
+  if (doomed_) return DoomedStatus();
   if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
     return Payload::Borrowed(writes_[it->second].payload);
   }
@@ -115,7 +116,7 @@ Result<Payload> DynamicTxn::DirtyReadView(const ObjectRef& ref) {
 }
 
 Result<Payload> DynamicTxn::ReadCachedView(const ObjectRef& ref) {
-  if (doomed_) return Status::Aborted("transaction doomed");
+  if (doomed_) return DoomedStatus();
   if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
     return Payload::Borrowed(writes_[it->second].payload);
   }
@@ -147,7 +148,7 @@ Result<Payload> DynamicTxn::ReadCachedView(const ObjectRef& ref) {
 }
 
 Result<Payload> DynamicTxn::FetchFreshView(const ObjectRef& ref) {
-  if (doomed_) return Status::Aborted("transaction doomed");
+  if (doomed_) return DoomedStatus();
   if (auto it = write_index_.find(ref.addr); it != write_index_.end()) {
     return Payload::Borrowed(writes_[it->second].payload);
   }
@@ -183,7 +184,7 @@ Result<std::string> DynamicTxn::FetchFresh(const ObjectRef& ref) {
 // per-entry bookkeeping (cache fill, read-set join).
 Result<std::vector<Payload>> DynamicTxn::BatchFetch(
     const std::vector<ObjectRef>& refs, const BatchPolicy& policy) {
-  if (doomed_) return Status::Aborted("transaction doomed");
+  if (doomed_) return DoomedStatus();
 
   // Distinct addresses this call resolved WITHOUT the read set: cache hits
   // that must not join it, and fetched entries of non-joining flavors.
@@ -233,14 +234,16 @@ Result<std::vector<Payload>> DynamicTxn::BatchFetch(
     MiniResult result;
     MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
     if (!result.committed) {
-      doomed_ = true;
       if (policy.piggyback) {
+        MarkAborted(AbortReason::kValidationConflict);
         if (net::OpTrace* tr = net::Fabric::ThreadTrace()) {
           tr->validation_aborts++;
         }
-        return Status::Aborted("piggyback validation failed");
+        return Status::Aborted(AbortReason::kValidationConflict,
+                               "piggyback validation failed");
       }
-      return Status::Aborted("batched fetch failed");
+      MarkAborted(AbortReason::kOther);
+      return Status::Aborted(AbortReason::kOther, "batched fetch failed");
     }
     for (size_t k = 0; k < fetched.size(); k++) {
       ReadRecord rec;
@@ -350,7 +353,7 @@ Result<std::vector<std::string>> DynamicTxn::ReadCachedBatch(
 
 Status DynamicTxn::WriteImpl(const ObjectRef& ref, Slice payload,
                              bool fresh, bool stable) {
-  if (doomed_) return Status::Aborted("transaction doomed");
+  if (doomed_) return DoomedStatus();
   if (payload.size() > ref.payload_len) {
     return Status::InvalidArgument("payload exceeds object size");
   }
@@ -408,7 +411,7 @@ Status DynamicTxn::WriteNewStable(const ObjectRef& ref,
 }
 
 Status DynamicTxn::Commit() {
-  if (doomed_) return Status::Aborted("transaction doomed");
+  if (doomed_) return DoomedStatus();
   if (committed_) return Status::InvalidArgument("already committed");
 
   if (writes_.empty() && options_.piggyback_validation &&
@@ -472,9 +475,10 @@ Status DynamicTxn::Commit() {
   MiniResult result;
   MINUET_RETURN_NOT_OK(coord_->Execute(mtx, &result));
   if (!result.committed) {
-    doomed_ = true;
+    MarkAborted(AbortReason::kValidationConflict);
     if (net::OpTrace* tr = net::Fabric::ThreadTrace()) tr->validation_aborts++;
-    return Status::Aborted("commit validation failed");
+    return Status::Aborted(AbortReason::kValidationConflict,
+                           "commit validation failed");
   }
   committed_ = true;
   // Refresh the proxy cache with what we just wrote: the cache is

@@ -128,10 +128,16 @@ class DynamicTxn {
   // transaction), Busy (persistent lock contention) or Unavailable.
   Status Commit();
 
-  // Mark the transaction as doomed (traversal safety check failed). All
-  // further operations and Commit return Aborted.
-  void MarkAborted() { doomed_ = true; }
+  // Mark the transaction as doomed (traversal safety check failed, stale
+  // cached pointer, ...). All further operations and Commit return Aborted
+  // carrying `reason`, so the retry loop's abort taxonomy sees WHY the
+  // transaction died rather than a generic "doomed".
+  void MarkAborted(AbortReason reason = AbortReason::kOther) {
+    doomed_ = true;
+    if (abort_reason_ == AbortReason::kNone) abort_reason_ = reason;
+  }
   bool doomed() const { return doomed_; }
+  AbortReason abort_reason() const { return abort_reason_; }
   bool committed() const { return committed_; }
 
   // --- Introspection (B-tree cache refresh, tests) ------------------------
@@ -225,6 +231,15 @@ class DynamicTxn {
   // On validation failure dooms the transaction and returns Aborted.
   Result<ReadRecord> Fetch(const ObjectRef& ref);
 
+  // The Aborted status a doomed transaction answers every operation with,
+  // tagged with the reason it was doomed.
+  Status DoomedStatus() const {
+    return Status::Aborted(
+        abort_reason_ == AbortReason::kNone ? AbortReason::kOther
+                                            : abort_reason_,
+        "transaction doomed");
+  }
+
   // Where a read of `ref` should be served.
   sinfonia::MemnodeId ReadHome(const ObjectRef& ref) const;
   // Add `ref`'s seqnum compare to `mtx`, validating replicated objects at
@@ -251,6 +266,7 @@ class DynamicTxn {
   size_t validated_reads_ = 0;
 
   bool doomed_ = false;
+  AbortReason abort_reason_ = AbortReason::kNone;
   bool committed_ = false;
 };
 
@@ -272,16 +288,26 @@ Status RunTransaction(sinfonia::Coordinator* coord, ObjectCache* cache,
     bool retryable = false;
     if (st.IsCommittableAnswer()) {
       Status cst = txn.Commit();
-      if (cst.ok()) return st;
-      if (!cst.IsRetryable()) return cst;
+      if (cst.ok()) {
+        coord->RecordTxnAttempt(st);
+        return st;
+      }
+      if (!cst.IsRetryable()) {
+        coord->RecordTxnAttempt(cst);
+        return cst;
+      }
       last = cst;
       retryable = true;
     } else if (st.IsRetryable()) {
       last = st;
       retryable = true;
     } else {
+      coord->RecordTxnAttempt(st);
       return st;
     }
+    // Attempt ended retryable: count it (and its taxonomy reason) before
+    // looping.
+    coord->RecordTxnAttempt(last);
     if (retryable && cache != nullptr) {
       // The failed validation implicates something served from the proxy
       // cache (e.g. a stale tip object); drop the transaction's cached

@@ -81,7 +81,7 @@ TEST_F(BTreeTest, ManyKeysForceSplitsAndStayFindable) {
     ASSERT_TRUE(tree().Put(EncodeUserKey(i * 7), EncodeValue(i)).ok())
         << "i=" << i;
   }
-  EXPECT_GT(tree().stats().splits.load(), 10u);
+  EXPECT_GT(tree().stats().splits.Value(), 10u);
   for (int i = 0; i < kKeys; i++) {
     std::string value;
     ASSERT_TRUE(tree().Get(EncodeUserKey(i * 7), &value).ok()) << "i=" << i;
@@ -387,11 +387,11 @@ TEST_F(BTreeTest, ConcurrentUpsertsOnHotKeysStayCorrect) {
 }
 
 TEST_F(BTreeTest, StatsTrackSplits) {
-  EXPECT_EQ(tree().stats().splits.load(), 0u);
+  EXPECT_EQ(tree().stats().splits.Value(), 0u);
   for (int i = 0; i < 200; i++) {
     ASSERT_TRUE(tree().Put(EncodeUserKey(i), EncodeValue(i)).ok());
   }
-  EXPECT_GT(tree().stats().splits.load(), 0u);
+  EXPECT_GT(tree().stats().splits.Value(), 0u);
 }
 
 TEST_F(BTreeTest, WorksWithReplicationEnabled) {

@@ -198,13 +198,13 @@ TEST_F(MvccTest, CopyOnWriteCopiesPathOnce) {
   SnapshotService scs = MakeService();
   ASSERT_TRUE(Snap(scs).ok());
 
-  const uint64_t before = tree().stats().cow_copies.load();
+  const uint64_t before = tree().stats().cow_copies.Value();
   ASSERT_TRUE(tree().Put(EncodeUserKey(10), EncodeValue(999)).ok());
-  const uint64_t first = tree().stats().cow_copies.load();
+  const uint64_t first = tree().stats().cow_copies.Value();
   EXPECT_GT(first, before);  // first write after snapshot copies the path
 
   ASSERT_TRUE(tree().Put(EncodeUserKey(10), EncodeValue(1000)).ok());
-  const uint64_t second = tree().stats().cow_copies.load();
+  const uint64_t second = tree().stats().cow_copies.Value();
   EXPECT_EQ(second, first);  // same leaf again: already at the tip snapshot
 }
 

@@ -131,7 +131,7 @@ TEST(RebalanceTest, MigrateNodeMovesSlabAndKeepsTreeIntact) {
     moved += migrated ? 1 : 0;
   }
   EXPECT_GT(moved, 0u);
-  EXPECT_EQ(t->stats().migrations.load(), moved);
+  EXPECT_EQ(t->stats().migrations.Value(), moved);
 
   // The whole population now answers from the new home, through both
   // proxies (one of which has only stale cached pointers).

@@ -190,9 +190,9 @@ TEST_F(VersionTest, DiscretionaryCopiesBoundDescendantSets) {
 
   ASSERT_TRUE(tree().BranchPut(3, EncodeUserKey(5), EncodeValue(3)).ok());
   ASSERT_TRUE(tree().BranchPut(4, EncodeUserKey(5), EncodeValue(4)).ok());
-  const uint64_t disc_before = tree().stats().discretionary_copies.load();
+  const uint64_t disc_before = tree().stats().discretionary_copies.Value();
   ASSERT_TRUE(tree().BranchPut(2, EncodeUserKey(5), EncodeValue(2)).ok());
-  EXPECT_GT(tree().stats().discretionary_copies.load(), disc_before);
+  EXPECT_GT(tree().stats().discretionary_copies.Value(), disc_before);
 
   // Every version still reads its own value; the frozen interior versions
   // read the original.

@@ -24,6 +24,12 @@ docs/ARCHITECTURE.md, "Concurrency invariants & tooling"):
                       serialize every thread behind the lock. shared_lock on
                       the coordinator's membership mutex is the documented
                       exception and is not matched.
+  metrics             stat counters in src/ (outside src/obs/) must be
+                      obs::Counter, not raw std::atomic integers — raw
+                      atomics are invisible to the MetricsRegistry and
+                      false-share under contention. Counters that genuinely
+                      cannot use obs (and are linked into the registry some
+                      other way) must be annotated.
 
 A violating line can be suppressed with an annotation on the same line or
 the line above:
@@ -68,6 +74,15 @@ JOIN_RE = re.compile(r"\.join\s*\(\s*\)|\bjoinable\s*\(")
 GUARD_RE = re.compile(r"\bstd::(?:lock_guard|scoped_lock|unique_lock)\s*<")
 FABRIC_SEND_RE = re.compile(
     r"\bChargeMessage(?:Async)?\s*\(|(?:->|\.)Execute(?:AndCommit)?\s*\(")
+
+# Rule: metrics. A raw std::atomic integer DECLARATION whose identifier
+# reads like a stat counter. Matches plain members/globals and array forms
+# (e.g. unique_ptr<std::atomic<uint64_t>[]>); loads/stores of such members
+# on later lines do not match (no '<' context).
+ATOMIC_STAT_RE = re.compile(
+    r"std::atomic<\s*u?int(?:8|16|32|64)?(?:_t)?\s*>(?:\[\])?>?\s*"
+    r"\w*(?:count|calls|hits|miss|evict|abort|retr|copie|split|migrat|"
+    r"freed|msgs|messages|decode)\w*")
 
 STRING_OR_CHAR_RE = re.compile(
     r'"(?:[^"\\]|\\.)*"|' r"'(?:[^'\\]|\\.)'")
@@ -165,6 +180,14 @@ def lint_file(path, rel, findings):
                     thread_sites.append(lineno)
             if JOIN_RE.search(code):
                 has_join = True
+
+            # --- metrics -------------------------------------------------
+            if (not rel.startswith("src/obs/")
+                    and ATOMIC_STAT_RE.search(code)
+                    and not allowed("metrics", raw_lines, i)):
+                findings.add(rel, lineno, "metrics",
+                             "raw std::atomic stat counter in src/; use "
+                             "obs::Counter so it lands in the registry")
 
             # --- lock-across-fabric --------------------------------------
             # Depth-tracked scan: a guard declared at depth d is live until
