@@ -1,12 +1,35 @@
 #include "minuet/cluster.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "rebalance/rebalancer.h"
 
 namespace minuet {
+
+namespace {
+
+// Fresh per-cluster temp data directory (durability with no caller-provided
+// data_dir): unique across processes (pid) and across clusters in one
+// process (counter).
+std::string MakeTempDataDir() {
+  // lint:allow(metrics): directory-name sequence number, not a stat counter
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed);
+  std::error_code ec;
+  std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+  if (ec) base = ".";
+  return (base / ("minuet-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(seq)))
+      .string();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Cluster
@@ -36,7 +59,32 @@ Cluster::Cluster(ClusterOptions options) : options_(options) {
   }
   sinfonia::Coordinator::Options copts;
   copts.replication = options_.replication;
+  copts.durability = options_.durability;
   coord_ = std::make_unique<sinfonia::Coordinator>(fabric_.get(), raw, copts);
+
+  // Durable stores attach before ANY traffic (the first allocator write
+  // below already logs): a record missing from the head of a WAL would
+  // silently corrupt every later recovery.
+  if (options_.durability != wal::DurabilityMode::kNone) {
+    if (options_.data_dir.empty()) {
+      data_dir_ = MakeTempDataDir();
+      owns_data_dir_ = true;
+    } else {
+      data_dir_ = options_.data_dir;
+    }
+    stores_.reserve(capacity);
+    for (uint32_t i = 0; i < options_.machines; i++) {
+      const Status st = OpenDurableStore(i);
+      if (!st.ok()) {
+        // The constructor has no error channel and a half-durable cluster
+        // is worse than none: fail loudly.
+        std::fprintf(stderr, "Cluster: cannot open durable store %u: %s\n",
+                     i, st.ToString().c_str());
+        std::abort();
+      }
+    }
+  }
+  ckpt_sid_floor_.reset(new std::atomic<uint64_t>[layout_.max_trees()]());
 
   alloc::NodeAllocator::Options aopts;
   aopts.batch = options_.alloc_batch;
@@ -59,9 +107,96 @@ Cluster::Cluster(ClusterOptions options) : options_(options) {
     for (uint32_t i = 0; i < options_.machines; i++) BindMemnodeMetrics(i);
     for (const auto& proxy : proxies_) BindProxyMetrics(*proxy);
   }
+
+  if (options_.durability != wal::DurabilityMode::kNone &&
+      options_.checkpoint_interval_ms > 0) {
+    ckpt_thread_ = std::thread([this] {
+      const auto interval =
+          std::chrono::milliseconds(options_.checkpoint_interval_ms);
+      std::unique_lock<std::mutex> lk(ckpt_mu_);
+      while (!ckpt_stop_) {
+        if (ckpt_cv_.wait_for(lk, interval, [this] { return ckpt_stop_; })) {
+          break;
+        }
+        // Run the pass OUTSIDE ckpt_mu_: a checkpoint streams the whole
+        // byte space through minitransactions and must not block the
+        // destructor's stop signal.
+        lk.unlock();
+        IgnoreStatus(CheckpointAll());
+        lk.lock();
+      }
+    });
+  }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  {
+    std::lock_guard<std::mutex> g(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (ckpt_thread_.joinable()) ckpt_thread_.join();
+  if (owns_data_dir_) {
+    for (auto& ds : stores_) {
+      if (ds != nullptr) ds->Close();
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(data_dir_, ec);
+  }
+}
+
+Status Cluster::OpenDurableStore(uint32_t id) {
+  auto ds = std::make_unique<store::CheckpointedStore>(
+      data_dir_ + "/mn" + std::to_string(id));
+  MINUET_RETURN_NOT_OK(ds->Open());
+  if (stores_.size() <= id) stores_.resize(id + 1);
+  stores_[id] = std::move(ds);
+  coord_->SetDurableStore(id, stores_[id].get());
+  return Status::OK();
+}
+
+Status Cluster::CheckpointMemnode(uint32_t id) {
+  if (options_.durability == wal::DurabilityMode::kNone) {
+    return Status::InvalidArgument("cluster durability is off");
+  }
+  return coord_->CheckpointMemnode(id);
+}
+
+Status Cluster::CheckpointAll() {
+  if (options_.durability == wal::DurabilityMode::kNone) {
+    return Status::InvalidArgument("cluster durability is off");
+  }
+  // Record each tree's horizon BEFORE the pass: the images about to be
+  // dumped capture at least this much state, so after a COMPLETE pass the
+  // GC may reclaim up to it (and no further — see ckpt_sid_floor_).
+  const uint32_t trees = n_trees();
+  std::vector<uint64_t> floors(trees, 0);
+  for (uint32_t slot = 0; slot < trees; slot++) {
+    floors[slot] = catalog_->snapshot_service(slot)->LowestRetained();
+  }
+  Status first_error = Status::OK();
+  bool complete = true;
+  const uint32_t n = coord_->n_memnodes();
+  for (uint32_t id = 0; id < n; id++) {
+    if (coord_->retired(id)) continue;
+    const Status st = coord_->CheckpointMemnode(id);
+    if (!st.ok()) {
+      complete = false;
+      if (first_error.ok()) first_error = st;
+    }
+  }
+  if (complete) {
+    for (uint32_t slot = 0; slot < trees; slot++) {
+      std::atomic<uint64_t>& floor = ckpt_sid_floor_[slot];
+      uint64_t cur = floor.load(std::memory_order_relaxed);
+      while (cur < floors[slot] &&
+             !floor.compare_exchange_weak(cur, floors[slot],
+                                          std::memory_order_acq_rel)) {
+      }
+    }
+  }
+  return first_error;
+}
 
 Proxy& Cluster::proxy(uint32_t i) {
   std::shared_lock<std::shared_mutex> g(proxies_mu_);
@@ -158,6 +293,11 @@ void Cluster::DropProxyCaches() {
 Result<uint32_t> Cluster::AddMemnode() {
   const uint32_t id = coord_->n_memnodes();
   auto node = std::make_unique<sinfonia::Memnode>(id);
+  // The durable store must exist BEFORE the node joins: its first
+  // replicated write logs through it.
+  if (options_.durability != wal::DurabilityMode::kNone) {
+    MINUET_RETURN_NOT_OK(OpenDurableStore(id));
+  }
   // The coordinator seeds the new node's replicated region ([0,
   // alloc_meta_base): tip objects, version catalogs, seqnum-table mirrors)
   // and rewires the backup ring, all between in-flight minitransactions.
@@ -167,6 +307,13 @@ Result<uint32_t> Cluster::AddMemnode() {
   memnodes_.push_back(std::move(node));
   MINUET_RETURN_NOT_OK(allocator_->AddMemnode());
   if (options_.metrics) BindMemnodeMetrics(id);
+  if (options_.durability != wal::DurabilityMode::kNone) {
+    // Seed checkpoint: the cloned replicated region exists only in RAM
+    // until an image captures it. A node that crashes before its first
+    // write must recover that seed from an empty WAL + this checkpoint
+    // (tests/failure_test.cc proves exactly this path).
+    IgnoreStatus(coord_->CheckpointMemnode(id));
+  }
   return id;
 }
 
@@ -277,13 +424,31 @@ Result<mvcc::GarbageCollector::Report> Cluster::CollectGarbage(
   if (gc == nullptr) {
     return Status::InvalidArgument("no such tree slot");
   }
-  return gc->CollectOnce(catalog_->snapshot_service(tree)->LowestRetained());
+  // With durability on, reclamation may not pass the last complete
+  // checkpoint pass: a recovered image is as old as its checkpoint + WAL,
+  // and must never chase a reference into a slab reused since then.
+  const uint64_t floor =
+      options_.durability == wal::DurabilityMode::kNone
+          ? UINT64_MAX
+          : ckpt_sid_floor_[tree].load(std::memory_order_acquire);
+  return gc->CollectOnce(catalog_->snapshot_service(tree)->LowestRetained(),
+                         floor);
 }
 
 void Cluster::CrashMemnode(uint32_t id) { coord_->Crash(id); }
 
 // No-op for retired ids (the coordinator guards: retirement is permanent).
 void Cluster::RecoverMemnode(uint32_t id) { coord_->Recover(id); }
+
+void Cluster::CrashAllMemnodes() { coord_->CrashAll(); }
+
+void Cluster::RecoverAllMemnodes() {
+  const uint32_t n = coord_->n_memnodes();
+  for (uint32_t id = 0; id < n; id++) {
+    if (coord_->retired(id)) continue;
+    coord_->Recover(id);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Proxy

@@ -30,10 +30,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alloc/allocator.h"
@@ -49,7 +51,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sinfonia/coordinator.h"
+#include "store/checkpointed_store.h"
 #include "version/version_manager.h"
+#include "wal/wal.h"
 #include "ycsb/workload.h"
 
 namespace minuet {
@@ -92,6 +96,20 @@ struct ClusterOptions {
   // Slow-op log: a view-layer operation slower than this (wall ns) prints
   // its full minitransaction trace to stderr. 0 = disabled.
   uint64_t slow_op_threshold_ns = 0;
+  // --- Durability (docs/ARCHITECTURE.md "Durability") ----------------------
+  // kNone:  RAM-only memnodes, the paper's deployment. kAsync: committed
+  // write sets land in a per-memnode WAL without commit-path fsyncs (a
+  // crash falls back to the backup ring). kSync: group-commit fsync before
+  // the commit is acknowledged (a crashed node recovers from its own log).
+  wal::DurabilityMode durability = wal::DurabilityMode::kNone;
+  // Directory for per-memnode durable state (<data_dir>/mn<i>/...). Empty =
+  // a fresh temp directory, removed when the Cluster is destroyed; a
+  // caller-provided directory is kept (and reused on the next cold start).
+  std::string data_dir;
+  // Periodic checkpoint daemon: every interval, checkpoint every live
+  // memnode (image dump + superblock flip + WAL truncation). 0 = manual
+  // checkpoints only (Cluster::CheckpointMemnode / CheckpointAll).
+  uint32_t checkpoint_interval_ms = 0;
 };
 
 // Client-op kinds instrumented by the view layer: per-op latency
@@ -430,9 +448,34 @@ class Cluster {
   }
   Result<mvcc::GarbageCollector::Report> CollectGarbage(uint32_t tree);
 
+  // --- Durability ------------------------------------------------------------
+  // Fuzzy checkpoint of one memnode (see Coordinator::CheckpointMemnode):
+  // capture WAL position, dump the byte space through minitransaction
+  // reads, flip the superblock root, truncate covered WAL segments.
+  // InvalidArgument when durability is off.
+  Status CheckpointMemnode(uint32_t id);
+  // Checkpoint every live memnode; on success advances the GC reclaim
+  // floor (slabs freed after the last complete checkpoint pass are not
+  // reused until the next one — recovery must never chase a reference into
+  // a reclaimed slab). Returns the first error, after attempting all.
+  Status CheckpointAll();
+  // The durable state bundle behind memnode `id`; nullptr when durability
+  // is off. Test access (WAL metrics, DiscardDurableState).
+  store::CheckpointedStore* durable_store(uint32_t id) {
+    return coord_->durable_store(id);
+  }
+
   // --- Fault injection -------------------------------------------------------
   void CrashMemnode(uint32_t id);
   void RecoverMemnode(uint32_t id);
+  // Full-cluster power failure: every memnode loses its primary space, its
+  // hosted backup images, and its unsynced WAL bytes — recovery can only
+  // come from checkpoints + WAL (RecoverAllMemnodes).
+  void CrashAllMemnodes();
+  // Recover every crashed memnode (ascending id). After CrashAllMemnodes
+  // with durability=sync, every node takes the local-log path and the
+  // backup ring re-forms from the recovered images.
+  void RecoverAllMemnodes();
   // Drop every proxy's object cache (tests/benchmarks: forces the cold
   // descent path, as after a mass invalidation). Correctness-neutral — the
   // caches are incoherent by design and refill on demand.
@@ -501,6 +544,12 @@ class Cluster {
   alloc::Layout layout_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<sinfonia::Memnode>> memnodes_;
+  // Per-memnode durable state (<data_dir>/mn<i>), indexed by memnode id;
+  // empty when durability is off. Destroyed after coord_ (declared before
+  // it) since the coordinator holds raw pointers.
+  std::vector<std::unique_ptr<store::CheckpointedStore>> stores_;
+  std::string data_dir_;
+  bool owns_data_dir_ = false;  // temp dir: removed in the destructor
   std::unique_ptr<sinfonia::Coordinator> coord_;
   std::unique_ptr<alloc::NodeAllocator> allocator_;
   btree::LinearOracle linear_oracle_;
@@ -517,6 +566,24 @@ class Cluster {
   std::vector<std::unique_ptr<Proxy>> proxies_;  // append-only; never shrinks
   std::mutex rebalancer_mu_;
   std::unique_ptr<rebalance::Rebalancer> rebalancer_;
+
+  // Per-tree GC reclaim floor (indexed by slot, sized to the catalog's
+  // capacity): the snapshot horizon as of the last COMPLETE checkpoint
+  // pass. With durability on, CollectGarbage clamps its horizon here so a
+  // recovered image never references a reclaimed (reused) slab. 0 until
+  // the first full pass — GC reclaims nothing before durable state exists.
+  std::unique_ptr<std::atomic<uint64_t>[]> ckpt_sid_floor_;
+
+  // Checkpoint daemon (options_.checkpoint_interval_ms > 0): wakes on a
+  // condition variable, drops the lock, runs CheckpointAll. Joined in the
+  // destructor.
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  std::thread ckpt_thread_;
+
+  // Open one memnode's durable store and hand it to the coordinator.
+  Status OpenDurableStore(uint32_t id);
 };
 
 }  // namespace minuet

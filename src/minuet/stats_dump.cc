@@ -95,6 +95,23 @@ void Cluster::BindMemnodeMetrics(uint32_t id) {
     return static_cast<int64_t>(fabric->NodeMessages(id));
   });
   memnodes_[id]->lock_table().BindMetrics(&registry_, sub + ".locks");
+  if (store::CheckpointedStore* ds = coord_->durable_store(id)) {
+    wal::Wal::Metrics& w = ds->wal().metrics();
+    registry_.LinkCounter(sub + ".wal", "appends", &w.appends);
+    registry_.LinkCounter(sub + ".wal", "append_bytes", &w.append_bytes);
+    registry_.LinkCounter(sub + ".wal", "fsyncs", &w.fsyncs);
+    registry_.LinkCounter(sub + ".wal", "truncations", &w.truncations);
+    store::CheckpointedStore::Metrics& s = ds->metrics();
+    registry_.LinkCounter(sub + ".store", "checkpoints", &s.checkpoints);
+    registry_.LinkCounter(sub + ".store", "replayed", &s.replayed);
+    registry_.LinkCounter(sub + ".store", "recoveries_local",
+                          &s.recoveries_local);
+    registry_.LinkCounter(sub + ".store", "recoveries_reseed",
+                          &s.recoveries_reseed);
+    registry_.LinkGauge(sub + ".store", "checkpoint_lsn", [ds] {
+      return static_cast<int64_t>(ds->LastCheckpointLsn());
+    });
+  }
 }
 
 void Cluster::BindProxyMetrics(const Proxy& proxy) {
@@ -186,6 +203,12 @@ void JsonField(std::string* out, const char* key, bool v) {
   *out += v ? "true" : "false";
 }
 
+void JsonField(std::string* out, const char* key, const char* v) {
+  obs::AppendJsonString(out, key);
+  *out += ':';
+  obs::AppendJsonString(out, v);
+}
+
 }  // namespace
 
 std::string Cluster::DumpStats() const {
@@ -196,7 +219,8 @@ std::string Cluster::DumpStats() const {
          std::to_string(n_proxies()) + " (live " +
          std::to_string(n_live_proxies()) + ")  trees=" +
          std::to_string(n_trees()) + "  fabric_messages=" +
-         std::to_string(fabric_->TotalMessages()) + "\n";
+         std::to_string(fabric_->TotalMessages()) + "  durability=" +
+         wal::DurabilityModeName(options_.durability) + "\n";
 
   out += "=== memnodes ===\n";
   for (uint32_t i = 0; i < n_memnodes(); i++) {
@@ -210,7 +234,14 @@ std::string Cluster::DumpStats() const {
     const auto locks = memnodes_[i]->lock_table().TotalStats();
     AppendKv(&out, "lock_acquires", locks.acquires);
     AppendKv(&out, "lock_contended", locks.contended);
-    AppendKv(&out, "lock_timeouts", locks.timeouts, "\n");
+    if (store::CheckpointedStore* ds = coord_->durable_store(i)) {
+      AppendKv(&out, "lock_timeouts", locks.timeouts);
+      AppendKv(&out, "wal_appends", ds->wal().metrics().appends.Value());
+      AppendKv(&out, "wal_fsyncs", ds->wal().metrics().fsyncs.Value());
+      AppendKv(&out, "checkpoint_lsn", ds->LastCheckpointLsn(), "\n");
+    } else {
+      AppendKv(&out, "lock_timeouts", locks.timeouts, "\n");
+    }
   }
 
   out += "=== proxies ===\n";
@@ -271,6 +302,8 @@ std::string Cluster::DumpStatsJson() const {
   JsonField(&out, "trees", static_cast<uint64_t>(n_trees()));
   out += ',';
   JsonField(&out, "fabric_messages", fabric_->TotalMessages());
+  out += ',';
+  JsonField(&out, "durability", wal::DurabilityModeName(options_.durability));
   out += "},\"memnodes\":[";
 
   for (uint32_t i = 0; i < n_memnodes(); i++) {
@@ -292,6 +325,33 @@ std::string Cluster::DumpStatsJson() const {
       out += ',';
       JsonField(&out, "timeouts", locks.timeouts);
       out += '}';
+      if (store::CheckpointedStore* ds = coord_->durable_store(i)) {
+        const wal::Wal::Metrics& w = ds->wal().metrics();
+        const store::CheckpointedStore::Metrics& s = ds->metrics();
+        out += ",\"wal\":{";
+        JsonField(&out, "appends", w.appends.Value());
+        out += ',';
+        JsonField(&out, "append_bytes", w.append_bytes.Value());
+        out += ',';
+        JsonField(&out, "fsyncs", w.fsyncs.Value());
+        out += ',';
+        JsonField(&out, "truncations", w.truncations.Value());
+        out += ',';
+        JsonField(&out, "current_lsn", ds->wal().CurrentLsn());
+        out += ',';
+        JsonField(&out, "synced_lsn", ds->wal().SyncedLsn());
+        out += ',';
+        JsonField(&out, "checkpoint_lsn", ds->LastCheckpointLsn());
+        out += ',';
+        JsonField(&out, "checkpoints", s.checkpoints.Value());
+        out += ',';
+        JsonField(&out, "replayed", s.replayed.Value());
+        out += ',';
+        JsonField(&out, "recoveries_local", s.recoveries_local.Value());
+        out += ',';
+        JsonField(&out, "recoveries_reseed", s.recoveries_reseed.Value());
+        out += '}';
+      }
     }
     out += '}';
   }

@@ -1,4 +1,5 @@
 #include "mvcc/gc.h"
+#include <algorithm>
 #include <cstdlib>
 #include <cstdio>
 #include <string>
@@ -110,6 +111,11 @@ Result<GarbageCollector::Report> GarbageCollector::CollectOnce(
     }
   }
   return report;
+}
+
+Result<GarbageCollector::Report> GarbageCollector::CollectOnce(
+    uint64_t lowest_sid, uint64_t reclaim_floor) {
+  return CollectOnce(std::min(lowest_sid, reclaim_floor));
 }
 
 }  // namespace minuet::mvcc

@@ -31,6 +31,13 @@ class GarbageCollector {
   // observe it.
   Result<Report> CollectOnce(uint64_t lowest_sid);
 
+  // As above, but the effective horizon is min(lowest_sid, reclaim_floor).
+  // With durability on, the cluster passes the snapshot horizon as of the
+  // last COMPLETE checkpoint pass as the floor: a recovered memnode image
+  // is only as new as its checkpoint + WAL, and must never find a slab it
+  // references reclaimed (reused) by a pass the durable state predates.
+  Result<Report> CollectOnce(uint64_t lowest_sid, uint64_t reclaim_floor);
+
   uint64_t total_freed() const { return total_freed_.Value(); }
 
  private:

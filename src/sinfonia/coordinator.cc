@@ -9,6 +9,8 @@ Coordinator::Coordinator(net::Fabric* fabric, std::vector<Memnode*> memnodes,
                          Options options)
     : fabric_(fabric),
       memnodes_(std::move(memnodes)),
+      durable_stores_(fabric->max_nodes(), nullptr),
+      crash_points_(new std::atomic<uint8_t>[fabric->max_nodes()]()),
       n_memnodes_(static_cast<uint32_t>(memnodes_.size())),
       n_live_(static_cast<uint32_t>(memnodes_.size())),
       options_(options) {
@@ -162,22 +164,35 @@ Status Coordinator::Execute(const MiniTxn& mtx, MiniResult* result) {
 Status Coordinator::ExecuteSingle(TxId tx, const PerNode& pn, bool blocking,
                                   MiniResult* result) {
   MINUET_RETURN_NOT_OK(fabric_->ChargeMessage(pn.node));
-  // Replication must happen inside the primary's lock window, or two
-  // conflicting commits could reach the backup image concurrently and out
-  // of commit order — so a committed execution keeps its range locks until
-  // the backup write lands.
+  // Logging and replication must happen inside the primary's lock window,
+  // or two conflicting commits could reach the WAL / backup image
+  // concurrently and out of commit order — so a committed execution keeps
+  // its range locks until the log record and the backup write land.
   const bool replicate = options_.replication && !pn.writes.empty();
+  const bool durable = options_.durability != wal::DurabilityMode::kNone &&
+                       durable_stores_[pn.node] != nullptr &&
+                       !pn.writes.empty();
+  const bool hold = replicate || durable;
   MiniResult local;
   MINUET_RETURN_NOT_OK(memnodes_[pn.node]->ExecuteLocal(
       tx, pn.compares, pn.reads, pn.writes, blocking, &local,
-      /*hold_locks_on_commit=*/replicate));
+      /*hold_locks_on_commit=*/hold));
   result->committed = local.committed;
   if (local.committed) {
     for (uint32_t i = 0; i < local.read_results.size(); i++) {
       result->read_results[pn.read_index[i]] = std::move(local.read_results[i]);
     }
-    if (replicate) {
-      ReplicateWrites(pn);
+    if (hold) {
+      uint64_t lsn = 0;
+      const Status logged = LogDurable(pn, &lsn);
+      if (!logged.ok()) {
+        // Crash injection / log failure: the write applied locally but the
+        // commit is NOT acknowledged. The node is down; recovery decides
+        // whether the record survived.
+        memnodes_[pn.node]->Release(tx);
+        return logged;
+      }
+      if (replicate) ReplicateWrites(pn, lsn);
       memnodes_[pn.node]->Release(tx);
     }
   } else {
@@ -260,6 +275,7 @@ Status Coordinator::ExecuteTwoPhase(TxId tx,
   // multi-node minitransaction costs ONE observed round, like Sinfonia's.
   bool read_only = true;
   for (const PerNode* pn : prepared) read_only &= pn->writes.empty();
+  Status commit_failure = Status::OK();
   {
     net::RoundTripScope rt;
     for (const PerNode* pn : prepared) {
@@ -270,23 +286,95 @@ Status Coordinator::ExecuteTwoPhase(TxId tx,
       } else {
         IgnoreStatus(fabric_->ChargeMessage(pn->node));
       }
-      // Replicate BEFORE Commit releases the prepare locks: conflicting
-      // write sets must reach the backup image in commit order (and never
-      // concurrently).
-      if (options_.replication && !pn->writes.empty()) ReplicateWrites(*pn);
+      // Log and replicate BEFORE Commit releases the prepare locks:
+      // conflicting write sets must reach the WAL and the backup image in
+      // commit order (and never concurrently).
+      uint64_t lsn = 0;
+      if (!pn->writes.empty()) {
+        const Status logged = LogDurable(*pn, &lsn);
+        if (!logged.ok()) {
+          // This participant crashed at its durability point. The other
+          // participants still commit — a torn cross-node commit, exactly
+          // the window 2PC leaves when a participant dies after voting yes
+          // (docs/ARCHITECTURE.md, Durability: known limitation). Its
+          // locks are released; recovery decides whether its record
+          // survived.
+          memnodes_[pn->node]->Abort(tx);
+          commit_failure = logged;
+          continue;
+        }
+      }
+      if (options_.replication && !pn->writes.empty()) {
+        ReplicateWrites(*pn, lsn);
+      }
       memnodes_[pn->node]->Commit(tx, pn->writes);
     }
   }
+  if (!commit_failure.ok()) return commit_failure;
   result->committed = true;
   std::sort(result->failed_compares.begin(), result->failed_compares.end());
   return Status::OK();
 }
 
-void Coordinator::ReplicateWrites(const PerNode& pn) {
+Status Coordinator::LogDurable(const PerNode& pn, uint64_t* lsn) {
+  *lsn = 0;
+  store::CheckpointedStore* ds = durable_stores_[pn.node];
+  if (ds == nullptr || options_.durability == wal::DurabilityMode::kNone ||
+      pn.writes.empty()) {
+    return Status::OK();
+  }
+  if (FireCrashPoint(pn.node, CrashPoint::kBeforeWalAppend)) {
+    return Status::Unavailable("crash injected before WAL append");
+  }
+  std::vector<wal::WalWrite> writes;
+  writes.reserve(pn.writes.size());
+  for (const auto& w : pn.writes) {
+    writes.push_back(wal::WalWrite{w.addr.offset, w.data});
+  }
+  auto appended = ds->wal().Append(writes);
+  MINUET_RETURN_NOT_OK(appended.status());
+  *lsn = *appended;
+  if (FireCrashPoint(pn.node, CrashPoint::kAfterWalAppendBeforeSync)) {
+    return Status::Unavailable("crash injected after WAL append");
+  }
+  if (options_.durability == wal::DurabilityMode::kSync) {
+    MINUET_RETURN_NOT_OK(ds->wal().Sync(*lsn));
+  }
+  if (FireCrashPoint(pn.node, CrashPoint::kAfterWalSyncBeforeAck)) {
+    // The record IS durable; the ack (and the ring replication that
+    // follows) never happens. Recovery's local log runs ahead of the
+    // ring's watermark here — the local path must win.
+    return Status::Unavailable("crash injected after WAL sync");
+  }
+  return Status::OK();
+}
+
+bool Coordinator::FireCrashPoint(MemnodeId id, CrashPoint point) {
+  uint8_t expected = static_cast<uint8_t>(point);
+  if (crash_points_[id].load(std::memory_order_acquire) != expected) {
+    return false;
+  }
+  if (!crash_points_[id].compare_exchange_strong(
+          expected, static_cast<uint8_t>(CrashPoint::kNone),
+          std::memory_order_acq_rel)) {
+    return false;
+  }
+  // The "machine" loses power: page-cache WAL bytes are gone and the node
+  // stops answering. (The RAM image is NOT wiped here — recovery Resets it
+  // before rebuilding; wiping under a shared membership lock could race a
+  // concurrent reader on another range.)
+  if (store::CheckpointedStore* ds = durable_stores_[id]) {
+    ds->CrashLoseVolatile();
+  }
+  fabric_->SetUp(id, false);
+  return true;
+}
+
+void Coordinator::ReplicateWrites(const PerNode& pn, uint64_t lsn) {
   const MemnodeId backup = BackupOf(pn.node);
   if (backup == pn.node) return;  // single-memnode cluster: no peer
   IgnoreStatus(fabric_->ChargeMessage(backup));
-  memnodes_[backup]->ApplyBackupWrites(pn.node, pn.writes);
+  memnodes_[backup]->ApplyBackupWrites(pn.node, pn.writes, lsn);
 }
 
 void Coordinator::Crash(MemnodeId id) {
@@ -300,15 +388,156 @@ void Coordinator::Crash(MemnodeId id) {
   if (retired(id)) return;  // already permanently gone
   fabric_->SetUp(id, false);
   memnodes_[id]->LoseState();
+  if (store::CheckpointedStore* ds = durable_stores_[id]) {
+    ds->CrashLoseVolatile();
+  }
+}
+
+void Coordinator::CrashAll() {
+  std::unique_lock<std::shared_mutex> membership(membership_mu_);
+  const uint32_t n = n_memnodes_.load(std::memory_order_relaxed);
+  for (MemnodeId id = 0; id < n; id++) {
+    if (retired(id)) continue;
+    fabric_->SetUp(id, false);
+    memnodes_[id]->LoseState();
+    memnodes_[id]->LoseBackups();
+    if (store::CheckpointedStore* ds = durable_stores_[id]) {
+      ds->CrashLoseVolatile();
+    }
+  }
 }
 
 void Coordinator::Recover(MemnodeId id) {
   std::shared_lock<std::shared_mutex> membership(membership_mu_);
   if (retired(id)) return;  // retirement is permanent, not a crash state
   const MemnodeId backup = BackupOf(id);
-  if (backup == id) return;
+  store::CheckpointedStore* const ds =
+      options_.durability != wal::DurabilityMode::kNone ? durable_stores_[id]
+                                                        : nullptr;
+  obs::TraceContext* const trace = obs::TraceContext::Current();
+
+  // Local-log path: checkpoint image + WAL redo, taken iff the local log
+  // is at least as current as the ring's replicated watermark for `id`.
+  if (ds != nullptr) {
+    const uint64_t t0 = trace != nullptr ? obs::NowNs() : 0;
+    store::CheckpointedStore::RecoveryInfo info;
+    const Status st = ds->RecoverInto(memnodes_[id]->mutable_space(), &info);
+    const uint64_t ring_lsn =
+        backup == id ? 0 : memnodes_[backup]->BackupLsn(id);
+    if (st.ok() && info.lsn >= ring_lsn) {
+      ds->metrics().recoveries_local.Increment();
+      if (options_.replication && backup != id) {
+        // Converge the ring onto the recovered image: the peer's backup
+        // must mirror what local recovery rebuilt (the local log may have
+        // run AHEAD of the ring — crash after fsync, before replication).
+        memnodes_[backup]->SeedBackupFrom(id, *memnodes_[id]);
+        memnodes_[backup]->SetBackupLsn(id, info.lsn);
+      }
+      fabric_->SetUp(id, true);
+      if (trace != nullptr) {
+        trace->RecordRound("recover.replay", 1,
+                           static_cast<int>(info.replayed), st,
+                           obs::NowNs() - t0);
+      }
+      return;
+    }
+    // Local log behind the ring (async-mode losses) or unreadable: fall
+    // back to the peer image below. Drop the partial local rebuild first.
+    memnodes_[id]->LoseState();
+  }
+
+  if (backup == id) return;  // single-node cluster, nothing to reseed from
+  const uint64_t t0 = trace != nullptr ? obs::NowNs() : 0;
   memnodes_[id]->RestoreFrom(*memnodes_[backup]);
+  if (ds != nullptr) {
+    ds->metrics().recoveries_reseed.Increment();
+    // Re-anchor durable state to the restored image (quiesced: the node is
+    // still fenced off the fabric, so raw reads cannot race writers). A
+    // failure here only costs the NEXT crash a re-seed.
+    IgnoreStatus(CheckpointNode(id, /*quiesced=*/true));
+    memnodes_[backup]->SetBackupLsn(id, ds->wal().CurrentLsn());
+  }
   fabric_->SetUp(id, true);
+  if (trace != nullptr) {
+    trace->RecordRound("recover.reseed", 2, 0, Status::OK(),
+                       obs::NowNs() - t0);
+  }
+}
+
+Status Coordinator::CheckpointMemnode(MemnodeId id) {
+  return CheckpointNode(id, /*quiesced=*/false);
+}
+
+Status Coordinator::CheckpointNode(MemnodeId id, bool quiesced) {
+  if (id >= n_memnodes() || retired(id)) {
+    return Status::InvalidArgument("no such live memnode");
+  }
+  store::CheckpointedStore* const ds = durable_stores_[id];
+  if (ds == nullptr) {
+    return Status::InvalidArgument("memnode has no durable store");
+  }
+  if (!quiesced && !fabric_->IsUp(id)) {
+    return Status::Unavailable("memnode is down");
+  }
+  if (!ds->TryBeginCheckpoint()) {
+    return Status::Busy("checkpoint already in flight");
+  }
+  const Status st = RunCheckpoint(id, ds, quiesced);
+  ds->EndCheckpoint();
+  return st;
+}
+
+Status Coordinator::RunCheckpoint(MemnodeId id, store::CheckpointedStore* ds,
+                                  bool quiesced) {
+  // Fuzzy capture: L is taken BEFORE the dump, so records with lsn > L may
+  // or may not already be reflected in the image — replaying them anyway is
+  // idempotent physical redo. The FULL extent is dumped (not just the live
+  // tree frontier): free-list chains thread through freed slabs, and the
+  // replicated region / sequence tables / allocator metadata live outside
+  // any tree.
+  const uint64_t ckpt_lsn = ds->wal().CurrentLsn();
+  const uint64_t extent = memnodes_[id]->Extent();
+  MINUET_RETURN_NOT_OK(ds->StageCheckpoint(ckpt_lsn, extent));
+  constexpr uint32_t kBlock = 64 * 1024;
+  std::string block;
+  for (uint64_t off = 0; off < extent; off += kBlock) {
+    const uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(kBlock, extent - off));
+    if (quiesced) {
+      // Node fenced off the fabric (recovery re-anchor): no writer can
+      // race, read the space directly.
+      memnodes_[id]->RawRead(off, n, &block);
+    } else {
+      // One minitransaction per block: its range lock serializes the read
+      // against concurrent commits, so every block is internally
+      // consistent (cross-block skew is what makes the checkpoint fuzzy —
+      // the WAL redo squares it).
+      MiniTxn mtx;
+      mtx.AddRead(Addr{id, off}, n);
+      mtx.blocking = true;
+      MiniResult res;
+      MINUET_RETURN_NOT_OK(Execute(mtx, &res));
+      if (!res.committed || res.read_results.size() != 1) {
+        return Status::Unavailable("checkpoint block read aborted");
+      }
+      block = std::move(res.read_results[0]);
+    }
+    if (FireCrashPoint(id, CrashPoint::kMidCheckpoint)) {
+      // Staged image half-written, root never flipped: the previous
+      // checkpoint (or none) stays the recovery root.
+      return Status::Unavailable("crash injected mid-checkpoint");
+    }
+    if (!store::IsAllZero(block)) {
+      MINUET_RETURN_NOT_OK(ds->WriteImageBlock(off, block));
+    }
+  }
+  MINUET_RETURN_NOT_OK(ds->SealImageAndFlipRoot());
+  if (FireCrashPoint(id, CrashPoint::kAfterRootFlipBeforeTruncate)) {
+    // New root is live but covered WAL segments linger: recovery replays
+    // records with lsn <= ckpt_lsn over the image — idempotent, benign.
+    return Status::Unavailable("crash injected after root flip");
+  }
+  return ds->TruncateWal();
 }
 
 Status Coordinator::AddMemnode(Memnode* node, uint64_t replicated_bytes) {

@@ -20,8 +20,24 @@
 #include "obs/trace.h"
 #include "sinfonia/memnode.h"
 #include "sinfonia/minitxn.h"
+#include "store/checkpointed_store.h"
+#include "wal/wal.h"
 
 namespace minuet::sinfonia {
+
+// Crash-injection points on the durability path. Arm one per memnode with
+// ArmCrashPoint; when the commit or checkpoint protocol reaches it, the
+// node "crashes": its WAL loses appended-but-unsynced bytes (page cache),
+// it drops off the fabric, and the in-flight operation returns Unavailable.
+// The recovery test matrix proves each point recovers to a correct image.
+enum class CrashPoint : uint8_t {
+  kNone = 0,
+  kBeforeWalAppend,            // commit acked nowhere, record lost
+  kAfterWalAppendBeforeSync,   // record in page cache only
+  kAfterWalSyncBeforeAck,      // record durable, ack (and ring) missed
+  kMidCheckpoint,              // staged image half-dumped, root unflipped
+  kAfterRootFlipBeforeTruncate,  // new root live, covered WAL not yet gone
+};
 
 class Coordinator {
  public:
@@ -49,6 +65,9 @@ class Coordinator {
     // pathological livelock in tests.
     uint32_t max_retries = 256;
     bool replication = false;  // primary-backup mirroring of writes
+    // WAL durability of committed write sets (wal/wal.h). Requires a
+    // CheckpointedStore per memnode (SetDurableStore) to take effect.
+    wal::DurabilityMode durability = wal::DurabilityMode::kNone;
   };
 
   Coordinator(net::Fabric* fabric, std::vector<Memnode*> memnodes)
@@ -109,13 +128,51 @@ class Coordinator {
                                            n_memnodes()));
   }
 
+  // --- Durability -------------------------------------------------------
+  // Attach `id`'s durable state bundle (WAL + checkpoint images). Must be
+  // installed before the node serves writes (cluster construction, or under
+  // AddMemnode's quiescence). Ownership stays with the caller.
+  void SetDurableStore(MemnodeId id, store::CheckpointedStore* store) {
+    durable_stores_[id] = store;
+  }
+  store::CheckpointedStore* durable_store(MemnodeId id) {
+    return durable_stores_[id];
+  }
+
+  // Arm a one-shot crash injection on `id`'s durability path (see
+  // CrashPoint). The next protocol step that reaches the armed point fires
+  // it: the node drops off the fabric with its unsynced WAL bytes lost.
+  void ArmCrashPoint(MemnodeId id, CrashPoint point) {
+    crash_points_[id].store(static_cast<uint8_t>(point),
+                            std::memory_order_release);
+  }
+
+  // Take a fuzzy checkpoint of `id`: capture the WAL position, dump the
+  // byte space through minitransaction reads (range locks serialize each
+  // block against writers), fsync the image, flip the superblock root, and
+  // truncate covered WAL segments. Busy if a checkpoint is already in
+  // flight for the node; Unavailable if the node is down or crashes
+  // mid-dump. Does NOT hold the membership lock across the dump — each
+  // block read is its own minitransaction.
+  Status CheckpointMemnode(MemnodeId id);
+
   // Crash-inject `id`: mark it down on the fabric and wipe its primary
   // space. Takes the membership lock exclusively so in-flight executions
   // drain first — the wipe lands between minitransactions, never under a
-  // half-applied write. No-op for a retired id.
+  // half-applied write. No-op for a retired id. Durable state survives up
+  // to its synced watermark (the WAL drops page-cache-only bytes).
   void Crash(MemnodeId id);
-  // Restore a recovered memnode's state from its backup peer. No-op for a
-  // retired id (retirement is permanent).
+  // Full-cluster power failure: every live node goes down, losing its
+  // primary space, hosted backup images, and unsynced WAL bytes. Recovery
+  // must come from checkpoints + WAL alone (Recover per node).
+  void CrashAll();
+  // Bring a crashed memnode back. With a durable store attached the local
+  // log is tried first: checkpoint image + WAL redo. If the recovered LSN
+  // is at least the backup ring's watermark for `id`, the local image wins
+  // and the peer's backup image is re-seeded from it; otherwise (local log
+  // behind the ring, discarded, or unreadable) the node is re-seeded from
+  // its backup peer and a quiesced checkpoint re-anchors the durable state.
+  // No-op for a retired id (retirement is permanent).
   void Recover(MemnodeId id);
 
   // --- Elastic membership (online scale-out) ------------------------------
@@ -170,12 +227,29 @@ class Coordinator {
                        MiniResult* result);
   Status ExecuteTwoPhase(TxId tx, const std::vector<PerNode>& parts,
                          bool blocking, MiniResult* result);
-  void ReplicateWrites(const PerNode& pn);
+  void ReplicateWrites(const PerNode& pn, uint64_t lsn);
+
+  // Append pn's write set to its node's WAL (inside the lock window) and,
+  // in sync mode, group-commit fsync it. *lsn = 0 when nothing was logged
+  // (durability off, no store, read-only). Fires the commit-path crash
+  // points.
+  Status LogDurable(const PerNode& pn, uint64_t* lsn);
+  // True (and the node is down, WAL rolled to its synced watermark) iff
+  // `point` was armed for `id`. One-shot: disarms on fire.
+  bool FireCrashPoint(MemnodeId id, CrashPoint point);
+  Status CheckpointNode(MemnodeId id, bool quiesced);
+  Status RunCheckpoint(MemnodeId id, store::CheckpointedStore* ds,
+                       bool quiesced);
 
   net::Fabric* fabric_;
   // Reserved to the fabric's max_nodes at construction so concurrent
   // indexed reads never race a reallocation; only [0, n_memnodes_) is live.
   std::vector<Memnode*> memnodes_;
+  // Indexed like memnodes_, sized to the fabric's max up front (stable
+  // under concurrent indexed reads); nullptr = no durable state attached.
+  std::vector<store::CheckpointedStore*> durable_stores_;
+  // One armed CrashPoint per node slot (kNone = disarmed).
+  std::unique_ptr<std::atomic<uint8_t>[]> crash_points_;
   std::atomic<uint32_t> n_memnodes_;
   std::atomic<uint32_t> n_live_;
   Options options_;

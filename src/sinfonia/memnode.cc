@@ -5,64 +5,6 @@
 
 namespace minuet::sinfonia {
 
-// ---------------------------------------------------------------------------
-// ByteSpace
-
-const char* ByteSpace::ChunkAt(uint64_t index) const {
-  std::lock_guard<std::mutex> g(grow_mu_);
-  if (index >= chunks_.size()) return nullptr;
-  return chunks_[index].get();
-}
-
-char* ByteSpace::MutableChunkAt(uint64_t index) {
-  std::lock_guard<std::mutex> g(grow_mu_);
-  while (index >= chunks_.size()) {
-    auto chunk = std::make_unique<char[]>(kChunkBytes);
-    std::memset(chunk.get(), 0, kChunkBytes);
-    chunks_.push_back(std::move(chunk));
-  }
-  return chunks_[index].get();
-}
-
-void ByteSpace::Read(uint64_t offset, uint32_t len, std::string* out) const {
-  out->assign(len, '\0');
-  uint32_t done = 0;
-  while (done < len) {
-    const uint64_t pos = offset + done;
-    const uint64_t chunk = pos / kChunkBytes;
-    const uint64_t in_chunk = pos % kChunkBytes;
-    const uint32_t n = static_cast<uint32_t>(
-        std::min<uint64_t>(len - done, kChunkBytes - in_chunk));
-    if (const char* base = ChunkAt(chunk)) {
-      std::memcpy(out->data() + done, base + in_chunk, n);
-    }  // else: unallocated region reads as zeros
-    done += n;
-  }
-}
-
-void ByteSpace::Write(uint64_t offset, const char* data, uint32_t len) {
-  uint32_t done = 0;
-  while (done < len) {
-    const uint64_t pos = offset + done;
-    const uint64_t chunk = pos / kChunkBytes;
-    const uint64_t in_chunk = pos % kChunkBytes;
-    const uint32_t n = static_cast<uint32_t>(
-        std::min<uint64_t>(len - done, kChunkBytes - in_chunk));
-    std::memcpy(MutableChunkAt(chunk) + in_chunk, data + done, n);
-    done += n;
-  }
-  std::lock_guard<std::mutex> g(grow_mu_);
-  extent_ = std::max(extent_, offset + len);
-}
-
-uint64_t ByteSpace::Extent() const {
-  std::lock_guard<std::mutex> g(grow_mu_);
-  return extent_;
-}
-
-// ---------------------------------------------------------------------------
-// Memnode
-
 Memnode::Memnode(MemnodeId id, Options options)
     : id_(id),
       options_(options),
@@ -173,7 +115,8 @@ void Memnode::Commit(TxId tx, const std::vector<MiniTxn::WriteItem>& writes) {
 void Memnode::Abort(TxId tx) { locks_.Unlock(tx); }
 
 void Memnode::ApplyBackupWrites(MemnodeId primary,
-                                const std::vector<MiniTxn::WriteItem>& writes) {
+                                const std::vector<MiniTxn::WriteItem>& writes,
+                                uint64_t lsn) {
   // backup_mu_ is held across the WHOLE batch, not just the map lookup:
   // a transaction's backup writes must be atomic against RestoreFrom
   // streaming the image back into a recovering primary. (Conflicting
@@ -186,12 +129,21 @@ void Memnode::ApplyBackupWrites(MemnodeId primary,
     slot->Write(w.addr.offset, w.data.data(),
                 static_cast<uint32_t>(w.data.size()));
   }
+  if (lsn != 0) {
+    uint64_t& mark = backup_lsns_[primary];
+    mark = std::max(mark, lsn);
+  }
 }
 
-void ByteSpace::Reset() {
-  std::lock_guard<std::mutex> g(grow_mu_);
-  chunks_.clear();
-  extent_ = 0;
+uint64_t Memnode::BackupLsn(MemnodeId primary) const {
+  std::lock_guard<std::mutex> g(backup_mu_);
+  auto it = backup_lsns_.find(primary);
+  return it == backup_lsns_.end() ? 0 : it->second;
+}
+
+void Memnode::SetBackupLsn(MemnodeId primary, uint64_t lsn) {
+  std::lock_guard<std::mutex> g(backup_mu_);
+  backup_lsns_[primary] = lsn;
 }
 
 void Memnode::LoseState() {
@@ -200,11 +152,18 @@ void Memnode::LoseState() {
   space_.Reset();
 }
 
+void Memnode::LoseBackups() {
+  std::lock_guard<std::mutex> g(backup_mu_);
+  backups_.clear();
+  backup_lsns_.clear();
+}
+
 namespace {
 
 // Block copy of [0, limit) from one space into another; unwritten source
 // ranges read as zeros, which a fresh destination already holds.
-void CopySpace(const ByteSpace& src, uint64_t limit, ByteSpace* dst) {
+void CopySpace(const store::SlabStore& src, uint64_t limit,
+               store::SlabStore* dst) {
   const uint64_t extent = std::min(limit, src.Extent());
   std::string data;
   constexpr uint32_t kBlock = 1 << 16;
@@ -236,6 +195,26 @@ void Memnode::SeedBackupFrom(MemnodeId primary, const Memnode& peer) {
 void Memnode::DropBackup(MemnodeId primary) {
   std::lock_guard<std::mutex> g(backup_mu_);
   backups_.erase(primary);
+  backup_lsns_.erase(primary);
+}
+
+bool Memnode::CopyBackupImage(MemnodeId primary, std::string* out) const {
+  std::lock_guard<std::mutex> g(backup_mu_);
+  auto it = backups_.find(primary);
+  if (it == backups_.end()) return false;
+  const ByteSpace& image = *it->second;
+  const uint64_t extent = image.Extent();
+  out->clear();
+  out->reserve(extent);
+  std::string block;
+  constexpr uint32_t kBlock = 1 << 16;
+  for (uint64_t off = 0; off < extent; off += kBlock) {
+    const uint32_t n =
+        static_cast<uint32_t>(std::min<uint64_t>(kBlock, extent - off));
+    image.Read(off, n, &block);
+    out->append(block);
+  }
+  return true;
 }
 
 void Memnode::RestoreFrom(const Memnode& peer) {

@@ -17,33 +17,14 @@
 #include "sinfonia/addr.h"
 #include "sinfonia/lock_table.h"
 #include "sinfonia/minitxn.h"
+#include "store/slab_store.h"
 
 namespace minuet::sinfonia {
 
-// Growable chunked byte space. Chunks never move once allocated, so reads
-// and writes under stripe locks do not race with growth. Unwritten bytes
-// read as zero.
-class ByteSpace {
- public:
-  static constexpr size_t kChunkBytes = 1 << 20;  // 1 MiB
-
-  void Read(uint64_t offset, uint32_t len, std::string* out) const;
-  void Write(uint64_t offset, const char* data, uint32_t len);
-
-  // High-water mark: one past the last byte ever written.
-  uint64_t Extent() const;
-
-  // Drop all content (crash simulation).
-  void Reset();
-
- private:
-  const char* ChunkAt(uint64_t index) const;
-  char* MutableChunkAt(uint64_t index);
-
-  mutable std::mutex grow_mu_;
-  std::vector<std::unique_ptr<char[]>> chunks_;
-  uint64_t extent_ = 0;
-};
+// The memnode byte space lives behind store::SlabStore now; the historical
+// name stays as an alias for the RAM implementation (tests and the GC use
+// it directly).
+using ByteSpace = store::RamSlabStore;
 
 class Memnode {
  public:
@@ -68,8 +49,8 @@ class Memnode {
   // locks could not be acquired; `result->committed` reports compare
   // outcome. With `hold_locks_on_commit` the locks stay held after a
   // COMMITTED execution (abort paths always release) so the coordinator
-  // can replicate the write set to the backup image inside the lock
-  // window — conflicting transactions then reach the backup in commit
+  // can log and replicate the write set inside the lock window —
+  // conflicting transactions then reach the WAL and the backup in commit
   // order. The caller must follow up with Release(tx).
   Status ExecuteLocal(TxId tx, const std::vector<MiniTxn::CompareItem>& compares,
                       const std::vector<MiniTxn::ReadItem>& reads,
@@ -99,12 +80,22 @@ class Memnode {
   // primary still holds the transaction's range locks — conflicting write
   // sets therefore arrive here already serialized, in commit order. The
   // whole batch runs under backup_mu_ so it is also atomic against
-  // RestoreFrom reading the image.
+  // RestoreFrom reading the image. `lsn` (when nonzero) advances the ring's
+  // durability watermark for `primary`: recovery compares it against the
+  // local WAL to pick the local-log vs peer-re-seed path.
   void ApplyBackupWrites(MemnodeId primary,
-                         const std::vector<MiniTxn::WriteItem>& writes);
+                         const std::vector<MiniTxn::WriteItem>& writes,
+                         uint64_t lsn = 0);
+
+  // Highest LSN this node has seen replicated for `primary` (0 = none).
+  uint64_t BackupLsn(MemnodeId primary) const;
+  // Force the watermark (backup-ring rewires and post-recovery re-anchor).
+  void SetBackupLsn(MemnodeId primary, uint64_t lsn);
 
   // Wipe this node's primary space (simulates a crash losing main memory).
   void LoseState();
+  // Drop every hosted backup image (full-cluster crash simulation).
+  void LoseBackups();
   // Reload this node's primary space from the backup image held by `peer`.
   void RestoreFrom(const Memnode& peer);
 
@@ -121,6 +112,11 @@ class Memnode {
   // Drop a hosted backup image this node is no longer responsible for.
   void DropBackup(MemnodeId primary);
 
+  // Snapshot the hosted backup image of `primary` into *out (byte-for-byte,
+  // [0, image extent)). False if no image is hosted. Test/verification
+  // helper: recovery proofs compare this against the recovered primary.
+  bool CopyBackupImage(MemnodeId primary, std::string* out) const;
+
   // ---- Direct access (garbage collector, recovery, tests) ---------------
   // Raw read that bypasses the minitransaction protocol. The GC uses this
   // under its own slab locking discipline.
@@ -131,6 +127,10 @@ class Memnode {
     space_.Write(offset, data.data(), static_cast<uint32_t>(data.size()));
   }
   uint64_t Extent() const { return space_.Extent(); }
+
+  // The primary byte space itself — recovery streams checkpoint images and
+  // WAL redo into it while the node is fenced off the fabric.
+  store::SlabStore* mutable_space() { return &space_; }
 
   LockTable& lock_table() { return locks_; }
 
@@ -153,9 +153,11 @@ class Memnode {
   ByteSpace space_;
   LockTable locks_;
 
-  // Backup images of peer primaries (primary-backup replication).
+  // Backup images of peer primaries (primary-backup replication), plus the
+  // highest replicated LSN per primary (the ring durability watermark).
   mutable std::mutex backup_mu_;
   std::unordered_map<MemnodeId, std::unique_ptr<ByteSpace>> backups_;
+  std::unordered_map<MemnodeId, uint64_t> backup_lsns_;
 };
 
 }  // namespace minuet::sinfonia

@@ -1,0 +1,112 @@
+// Per-memnode durable state bundle: a directory holding
+//
+//   <dir>/superblock    — dual-slot root (src/store/superblock.h)
+//   <dir>/ckpt-0.img    — checkpoint image, slot 0 (sparse FileSlabStore)
+//   <dir>/ckpt-1.img    — checkpoint image, slot 1
+//   <dir>/wal/          — segmented WAL (src/wal/wal.h)
+//
+// Checkpoint protocol (driven by Coordinator::CheckpointMemnode):
+//   1. TryBeginCheckpoint() — at most one checkpoint in flight per node.
+//   2. StageCheckpoint(L, extent) with L = wal CurrentLsn captured BEFORE
+//      the dump: the image is fuzzy, records with lsn > L may or may not be
+//      reflected in it, and replay of them is idempotent physical redo.
+//   3. WriteImageBlock(...) for each non-zero block of the byte space,
+//      into the slot the current root does NOT point at.
+//   4. SealImageAndFlipRoot() — fsync the image, then one O(1) superblock
+//      slot write + fsync publishes {L, extent, slot} atomically.
+//   5. TruncateWal() — only after the flip; a crash between 4 and 5 leaves
+//      extra covered records that replay harmlessly under the new root.
+//   An abandoned attempt (crash injection, node down) just calls
+//   EndCheckpoint(); the staged slot is garbage until the next flip.
+//
+// RecoverInto replays local durable state into a byte space: load the root,
+// stream the image, redo WAL records with lsn > checkpoint_lsn. The caller
+// (Coordinator::Recover) compares the recovered LSN against the backup
+// ring's watermark to decide local-log vs peer-re-seed recovery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "store/slab_store.h"
+#include "store/superblock.h"
+#include "wal/wal.h"
+
+namespace minuet::store {
+
+class CheckpointedStore {
+ public:
+  struct Metrics {
+    obs::Counter checkpoints;        // successful root flips
+    obs::Counter replayed;           // WAL records redone by RecoverInto
+    obs::Counter recoveries_local;   // recoveries served from local log
+    obs::Counter recoveries_reseed;  // recoveries that fell back to a peer
+  };
+
+  struct RecoveryInfo {
+    uint64_t lsn = 0;        // highest LSN the recovered image reflects
+    uint64_t replayed = 0;   // WAL records redone
+    bool from_checkpoint = false;
+  };
+
+  explicit CheckpointedStore(std::string dir);
+  ~CheckpointedStore();
+
+  Status Open();
+  void Close();
+
+  wal::Wal& wal() { return *wal_; }
+
+  // --- checkpoint protocol ---------------------------------------------
+  bool TryBeginCheckpoint();
+  void EndCheckpoint();  // pairs every TryBeginCheckpoint()==true
+
+  Status StageCheckpoint(uint64_t checkpoint_lsn, uint64_t extent);
+  Status WriteImageBlock(uint64_t offset, const std::string& block);
+  Status SealImageAndFlipRoot();
+  Status TruncateWal();
+
+  // --- recovery ---------------------------------------------------------
+  Status RecoverInto(SlabStore* space, RecoveryInfo* info);
+
+  // --- crash simulation / test helpers ---------------------------------
+  // Drop appended-but-unsynced WAL bytes (models losing the page cache).
+  void CrashLoseVolatile();
+  // Destroy all durable state (superblock, images, WAL) and reopen empty.
+  // Forces the next recovery onto the peer-re-seed path.
+  Status DiscardDurableState();
+
+  uint64_t LastCheckpointLsn() const {
+    return last_ckpt_lsn_.load(std::memory_order_acquire);
+  }
+
+  Metrics& metrics() { return metrics_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  FileSlabStore* StagingImage() { return images_[staging_.image_slot].get(); }
+
+  const std::string dir_;
+  Superblock superblock_;
+  std::unique_ptr<FileSlabStore> images_[2];
+  std::unique_ptr<wal::Wal> wal_;
+
+  // Serializes root flips, recovery, truncation and discard against each
+  // other. NOT held across the byte-space dump — that streams through
+  // minitransaction reads and must not pin a lexical lock (the checkpoint
+  // critical section is the atomic flag below).
+  std::mutex mu_;
+  SuperblockState state_;       // cached root (mu_)
+  SuperblockState staging_;     // in-flight checkpoint target (mu_)
+  std::atomic<bool> checkpoint_active_{false};
+  std::atomic<uint64_t> last_ckpt_lsn_{0};
+
+  Metrics metrics_;
+};
+
+}  // namespace minuet::store

@@ -1,0 +1,109 @@
+#include "store/superblock.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/byteio.h"
+#include "wal/record.h"  // Crc32
+
+namespace minuet::store {
+
+namespace {
+
+constexpr size_t kCrcOffset = 40;  // magic 8 + version 4 + gen 8 + lsn 8 +
+                                   // extent 8 + image_slot 4
+
+void EncodeSlot(const SuperblockState& state, char* slot) {
+  std::memset(slot, 0, Superblock::kSlotBytes);
+  EncodeFixed64(slot, Superblock::kMagic);
+  EncodeFixed32(slot + 8, Superblock::kVersion);
+  EncodeFixed64(slot + 12, state.generation);
+  EncodeFixed64(slot + 20, state.checkpoint_lsn);
+  EncodeFixed64(slot + 28, state.extent);
+  EncodeFixed32(slot + 36, state.image_slot);
+  EncodeFixed32(slot + kCrcOffset, wal::Crc32(slot, kCrcOffset));
+}
+
+bool DecodeSlot(const char* slot, size_t n, SuperblockState* state) {
+  if (n < Superblock::kSlotBytes) return false;
+  if (DecodeFixed64(slot) != Superblock::kMagic) return false;
+  if (DecodeFixed32(slot + 8) != Superblock::kVersion) return false;
+  if (DecodeFixed32(slot + kCrcOffset) != wal::Crc32(slot, kCrcOffset)) {
+    return false;
+  }
+  state->generation = DecodeFixed64(slot + 12);
+  state->checkpoint_lsn = DecodeFixed64(slot + 20);
+  state->extent = DecodeFixed64(slot + 28);
+  state->image_slot = DecodeFixed32(slot + 36);
+  return true;
+}
+
+}  // namespace
+
+Status Superblock::Load(SuperblockState* state) const {
+  *state = SuperblockState{};
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::OK();  // no superblock: generation-0 state
+  char buf[2 * kSlotBytes];
+  size_t got = 0;
+  while (got < sizeof(buf)) {
+    const ssize_t n = ::pread(fd, buf + got, sizeof(buf) - got,
+                              static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  SuperblockState best;  // generation 0
+  for (int i = 0; i < 2; i++) {
+    const size_t off = static_cast<size_t>(i) * kSlotBytes;
+    SuperblockState s;
+    if (off < got && DecodeSlot(buf + off, got - off, &s) &&
+        s.generation > best.generation) {
+      best = s;
+    }
+  }
+  *state = best;
+  return Status::OK();
+}
+
+Status Superblock::Flip(const SuperblockState& state) {
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("open(" + path_ + "): " +
+                               std::strerror(errno));
+  }
+  char slot[kSlotBytes];
+  EncodeSlot(state, slot);
+  const off_t off =
+      static_cast<off_t>((state.generation % 2) * kSlotBytes);
+  size_t done = 0;
+  Status st = Status::OK();
+  while (done < sizeof(slot)) {
+    const ssize_t n = ::pwrite(fd, slot + done, sizeof(slot) - done,
+                               off + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      st = Status::Unavailable("pwrite(" + path_ + "): " +
+                               std::strerror(errno));
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::Unavailable("fsync(" + path_ + "): " +
+                             std::strerror(errno));
+  }
+  ::close(fd);
+  return st;
+}
+
+void Superblock::Remove() { ::unlink(path_.c_str()); }
+
+}  // namespace minuet::store

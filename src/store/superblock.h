@@ -1,0 +1,53 @@
+// Dual-slot superblock: the O(1) durable root of a memnode's checkpoint
+// state. Two fixed 256-byte slots alternate by generation; flipping the
+// root is one slot write + one fsync, and a torn slot write is harmless
+// because the other slot still holds the previous valid root (the reader
+// picks the highest-generation slot whose CRC checks out).
+//
+// Slot layout (little-endian, CRC over bytes [0, 44)):
+//   [magic u64][version u32][generation u64][checkpoint_lsn u64]
+//   [extent u64][image_slot u32][crc32 u32]  then zero padding to 256 B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace minuet::store {
+
+struct SuperblockState {
+  uint64_t generation = 0;      // 0 = no checkpoint taken yet
+  uint64_t checkpoint_lsn = 0;  // WAL records with lsn <= this are captured
+  uint64_t extent = 0;          // byte-space extent at capture time
+  uint32_t image_slot = 0;      // which ckpt-<slot>.img holds the image
+};
+
+class Superblock {
+ public:
+  static constexpr uint64_t kMagic = 0x4d494e5545545342ull;  // "MINUETSB"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kSlotBytes = 256;
+
+  explicit Superblock(std::string path) : path_(std::move(path)) {}
+
+  // Read both slots; *state gets the highest-generation valid one (or the
+  // default generation-0 state when the file is absent/empty/corrupt —
+  // a torn first flip degrades to "no checkpoint", never to an error).
+  Status Load(SuperblockState* state) const;
+
+  // Durably publish `state` into slot generation % 2 and fsync. Only after
+  // this returns OK may the WAL truncate to checkpoint_lsn.
+  Status Flip(const SuperblockState& state);
+
+  // Remove the superblock file entirely (test helper: forces the
+  // peer-re-seed recovery path).
+  void Remove();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace minuet::store

@@ -1,0 +1,83 @@
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/byteio.h"
+#include "wal/wal.h"
+
+namespace minuet::wal {
+
+std::vector<std::string> ListSegmentFiles(const std::string& dir) {
+  struct Entry {
+    uint64_t seq;
+    std::string path;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return {};
+  for (const auto& de : it) {
+    const std::string name = de.path().filename().string();
+    if (name.size() <= 8 || name.compare(0, 4, "wal-") != 0) continue;
+    if (name.compare(name.size() - 4, 4, ".log") != 0) continue;
+    entries.push_back(
+        {std::strtoull(name.c_str() + 4, nullptr, 10), de.path().string()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (Entry& e : entries) out.push_back(std::move(e.path));
+  return out;
+}
+
+WalReader::WalReader(std::vector<std::string> files)
+    : files_(std::move(files)) {}
+
+bool WalReader::LoadNextFile() {
+  while (file_index_ < files_.size()) {
+    const std::string& path = files_[file_index_++];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;  // segment vanished under us: nothing to replay here
+    buf_.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+    pos_ = 0;
+    if (!buf_.empty()) return true;
+  }
+  return false;
+}
+
+bool WalReader::Next(WalRecord* rec) {
+  if (!status_.ok()) return false;
+  for (;;) {
+    if (pos_ >= buf_.size()) {
+      if (!LoadNextFile()) return false;  // clean end of input
+    }
+    const size_t remaining = buf_.size() - pos_;
+    if (remaining < kFrameHeaderBytes) {
+      status_ = Status::Corruption("wal: torn frame header");
+      return false;
+    }
+    const uint32_t len = DecodeFixed32(buf_.data() + pos_);
+    const uint32_t crc = DecodeFixed32(buf_.data() + pos_ + 4);
+    if (len > kMaxPayloadBytes || kFrameHeaderBytes + len > remaining) {
+      status_ = Status::Corruption("wal: torn record payload");
+      return false;
+    }
+    const char* payload = buf_.data() + pos_ + kFrameHeaderBytes;
+    if (Crc32(payload, len) != crc) {
+      status_ = Status::Corruption("wal: crc mismatch");
+      return false;
+    }
+    if (!DecodePayload(payload, len, rec)) {
+      status_ = Status::Corruption("wal: malformed payload");
+      return false;
+    }
+    pos_ += kFrameHeaderBytes + len;
+    records_read_++;
+    return true;
+  }
+}
+
+}  // namespace minuet::wal

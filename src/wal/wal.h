@@ -1,0 +1,170 @@
+// Per-memnode write-ahead log: an append-only sequence of committed
+// minitransaction write sets, framed by record.h, split into segment files
+// `wal-NNNNNN.log` that rotate at checkpoint truncation.
+//
+// Ordering contract: the coordinator calls Append inside the primary's
+// range-lock window (the same window ReplicateWrites uses), and Append
+// assigns LSNs under the log's own mutex — so for conflicting writes, file
+// order == LSN order == commit order, and replay is idempotent physical
+// redo.
+//
+// Durability modes (ClusterOptions::durability):
+//   kNone  — no WAL at all (the paper's RAM-only behavior).
+//   kAsync — records are written to the OS but never fsynced on the commit
+//            path; a crash loses everything after the last checkpoint
+//            rotation (recovery falls back to the backup ring).
+//   kSync  — group commit: the commit path calls Sync(lsn) and one thread
+//            fsyncs on behalf of every append that landed before it
+//            (followers wait on a condition variable, then observe the
+//            advanced watermark — fsyncs << appends under load).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "wal/record.h"
+
+namespace minuet::wal {
+
+enum class DurabilityMode : uint8_t {
+  kNone = 0,
+  kAsync = 1,
+  kSync = 2,
+};
+
+const char* DurabilityModeName(DurabilityMode mode);
+
+// Segment files of `dir` in replay order (ascending sequence number).
+std::vector<std::string> ListSegmentFiles(const std::string& dir);
+
+class Wal {
+ public:
+  struct Metrics {
+    obs::Counter appends;      // records appended
+    obs::Counter append_bytes; // framed bytes appended
+    obs::Counter fsyncs;       // fsync calls (group commit batches)
+    obs::Counter truncations;  // checkpoint truncations (segment rotations)
+  };
+
+  explicit Wal(std::string dir) : dir_(std::move(dir)) {}
+  ~Wal();
+
+  // Scan existing segments (recovering next LSN and per-segment coverage)
+  // and open a fresh active segment after them.
+  Status Open();
+  void Close();
+
+  // Append one committed write set; returns the assigned LSN. Caller must
+  // hold the owning primary's range locks (see the ordering contract).
+  Result<uint64_t> Append(const std::vector<WalWrite>& writes);
+
+  // Group-commit sync: returns once everything up to `lsn` is durable. One
+  // waiter fsyncs per batch; the rest ride along.
+  Status Sync(uint64_t lsn);
+
+  // Highest LSN assigned / known durable. 0 = none yet.
+  uint64_t CurrentLsn() const {
+    return last_lsn_.load(std::memory_order_acquire);
+  }
+  uint64_t SyncedLsn() const {
+    return synced_lsn_.load(std::memory_order_acquire);
+  }
+
+  // Checkpoint truncation: fsync + close the active segment, open a fresh
+  // one, and delete every closed segment fully covered by `lsn` (its last
+  // record <= the checkpoint LSN).
+  Status TruncateTo(uint64_t lsn);
+
+  // Recovery restart: rotate to a fresh active segment and continue LSNs
+  // from `next_lsn` (old segments stay for the next truncation; replay has
+  // already consumed them and re-replay is idempotent).
+  Status RestartAppend(uint64_t next_lsn);
+
+  // Crash simulation: throw away appended-but-unsynced bytes by truncating
+  // the active segment to its synced watermark — models losing the page
+  // cache. In kAsync mode that is everything since the last rotation.
+  void CrashLoseVolatile();
+
+  // Test hook: runs inside the group-commit fsync slot, before the real
+  // fsync. A slow hook widens the batching window deterministically.
+  void SetSyncHookForTest(std::function<void()> hook);
+
+  Metrics& metrics() { return metrics_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct ClosedSegment {
+    uint64_t seq = 0;
+    std::string path;
+    uint64_t max_lsn = 0;  // highest LSN the segment holds (0 = empty)
+  };
+
+  std::string SegmentPath(uint64_t seq) const;
+  // Close the active segment into closed_ and open seq+1. Both locks held.
+  Status RotateLocked();
+  // Drop closed segments covered by `lsn`. mu_ held.
+  void DeleteCoveredLocked(uint64_t lsn);
+
+  const std::string dir_;
+
+  // Lock order: sync_mu_ before mu_ (Sync snapshots append state; the
+  // rotation/crash paths take both). Append takes only mu_.
+  mutable std::mutex mu_;  // fd_, active segment bookkeeping, closed_
+  int fd_ = -1;
+  uint64_t active_seq_ = 0;
+  uint64_t appended_bytes_ = 0;  // active segment size
+  uint64_t synced_bytes_ = 0;    // active segment bytes known durable
+  uint64_t active_max_lsn_ = 0;  // highest LSN in the active segment
+  uint64_t next_lsn_ = 1;
+  std::vector<ClosedSegment> closed_;
+  std::string scratch_;  // encode buffer, reused under mu_
+
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool sync_in_progress_ = false;
+  std::function<void()> sync_hook_;
+
+  std::atomic<uint64_t> last_lsn_{0};
+  std::atomic<uint64_t> synced_lsn_{0};
+
+  Metrics metrics_;
+};
+
+// Streams WalRecords out of a segment set (or an arbitrary file list, for
+// tests). Never throws and never returns a corrupt record: a bad length,
+// short payload, or CRC mismatch ends iteration at the last whole record,
+// with the reason in status().
+class WalReader {
+ public:
+  // All segments of `dir`, in replay order.
+  explicit WalReader(const std::string& dir)
+      : WalReader(ListSegmentFiles(dir)) {}
+  explicit WalReader(std::vector<std::string> files);
+
+  // False at end of input — clean or torn; check status() to distinguish.
+  bool Next(WalRecord* rec);
+
+  // OK after a clean end; Corruption after a torn/corrupt tail stopped
+  // iteration early.
+  const Status& status() const { return status_; }
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  bool LoadNextFile();
+
+  std::vector<std::string> files_;
+  size_t file_index_ = 0;
+  std::string buf_;     // current file contents
+  size_t pos_ = 0;      // parse cursor into buf_
+  Status status_;
+  uint64_t records_read_ = 0;
+};
+
+}  // namespace minuet::wal

@@ -8,6 +8,8 @@
 #include "common/key_codec.h"
 #include "common/random.h"
 #include "minuet/cluster.h"
+#include "store/checkpointed_store.h"
+#include "wal/wal.h"
 
 namespace minuet {
 namespace {
@@ -292,6 +294,62 @@ TEST(FailureTest, AddedMemnodeRecoversFromBackupRing) {
     ASSERT_TRUE(cluster.proxy(1).Get(*tree, EncodeUserKey(i), &value).ok())
         << i;
     EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
+  }
+}
+
+TEST(FailureTest, AddedMemnodeWithDurabilityCrashesBeforeFirstWrite) {
+  // The gap the seeded checkpoint in Cluster::AddMemnode exists to close:
+  // a node added with durability=sync that crashes before its first write
+  // has an EMPTY WAL. Without the seed, recovery would load a blank image
+  // and call it current (empty-log LSN 0 vs ring watermark 0); with it,
+  // the node's post-join replicated region (tree tip among it) comes back
+  // from the seeded checkpoint alone.
+  ClusterOptions opts = Opts();
+  opts.durability = wal::DurabilityMode::kSync;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  constexpr int kKeys = 300;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(cluster.proxy(0)
+                    .Put(*tree, EncodeUserKey(i), EncodeValue(i))
+                    .ok());
+  }
+
+  auto added = cluster.AddMemnode();
+  ASSERT_TRUE(added.ok());
+  store::CheckpointedStore* ds = cluster.durable_store(*added);
+  ASSERT_NE(ds, nullptr);
+  // Joining wrote nothing through the commit path: the log is empty, the
+  // seeded checkpoint is the only durable state.
+  EXPECT_EQ(ds->wal().CurrentLsn(), 0u);
+  EXPECT_GE(ds->metrics().checkpoints.Value(), 1u);
+  EXPECT_GT(ds->LastCheckpointLsn() + 1, 0u);  // staged, possibly at LSN 0
+
+  cluster.CrashMemnode(*added);
+  cluster.RecoverMemnode(*added);
+  ASSERT_TRUE(cluster.fabric()->IsUp(*added));
+  // Empty WAL + seeded checkpoint ≥ ring watermark: the local path, with
+  // zero records replayed.
+  EXPECT_EQ(ds->metrics().recoveries_local.Value(), 1u);
+  EXPECT_EQ(ds->metrics().recoveries_reseed.Value(), 0u);
+  EXPECT_EQ(ds->metrics().replayed.Value(), 0u);
+
+  // The recovered node serves its replicated region and takes new traffic.
+  std::string value;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(cluster.proxy(1).Get(*tree, EncodeUserKey(i), &value).ok())
+        << i;
+    EXPECT_EQ(DecodeValue(value), static_cast<uint64_t>(i));
+  }
+  for (int i = kKeys; i < kKeys + 50; i++) {
+    ASSERT_TRUE(cluster.proxy(0)
+                    .Put(*tree, EncodeUserKey(i), EncodeValue(i))
+                    .ok());
+  }
+  for (int i = 0; i < kKeys + 50; i++) {
+    ASSERT_TRUE(cluster.proxy(1).Get(*tree, EncodeUserKey(i), &value).ok())
+        << i;
   }
 }
 

@@ -1,6 +1,6 @@
 // Concurrency stress suite: drives the riskiest interleavings of the
 // elastic, multi-threaded subsystems so the sanitizer builds (ctest --preset
-// tsan / asan-ubsan, see CMakePresets.json) have real races to find. Five
+// tsan / asan-ubsan, see CMakePresets.json) have real races to find. Six
 // storms, matching the hot spots that have produced hand-found bugs before:
 //
 //   1. Membership churn (add → rebalance → drain → retire) under concurrent
@@ -17,6 +17,9 @@
 //   5. Proxy churn (AddProxy/RemoveProxy) under traffic — the shared_mutex
 //      proxy registry, the detach flag flipping under in-flight views, and
 //      the snapshot-lease bulk release racing the removed proxy's pins.
+//   6. Durability churn — writers racing a crash/recover cycle of a random
+//      memnode, a checkpoint daemon racing GC's reclaim floor, and the
+//      WAL's group-commit window under concurrent syncers.
 //
 // Iteration counts are fixed (not wall-clock), so a TSan run does the same
 // work ~10x slower instead of racing a timer; the whole suite is sized to
@@ -490,6 +493,124 @@ TEST(StressTest, ProxyChurnUnderConcurrentTraffic) {
   }
   std::vector<std::pair<std::string, std::string>> all;
   ASSERT_TRUE(cluster.proxy(*late).Scan(*tree, "", kKeys + 1, &all).ok());
+  EXPECT_EQ(all.size(), kKeys);
+}
+
+// --- 6. Durability churn -----------------------------------------------------
+// The WAL and checkpoint machinery under fire: writers keep committing
+// (group-commit batches form under real concurrency), a churn loop crashes
+// and recovers a random memnode mid-traffic (CrashLoseVolatile + local-log
+// replay racing the ring watermark), and a checkpoint daemon repeatedly
+// dumps images while the collector advances the horizon against the
+// checkpoint-epoch reclaim floor. Ends with the whole cluster cold-restarted
+// from durable state and every surviving commit re-verified.
+
+TEST(StressTest, DurabilityChurnUnderConcurrentTraffic) {
+  const uint64_t seed = SuiteSeed("DurabilityChurnUnderConcurrentTraffic", 59);
+  ClusterOptions opts = StressOpts(4);
+  opts.durability = wal::DurabilityMode::kSync;
+  Cluster cluster(opts);
+  auto tree = cluster.CreateTree();
+  ASSERT_TRUE(tree.ok());
+  constexpr uint64_t kKeys = 150;
+  Preload(cluster, *tree, kKeys);
+
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::map<std::string, uint64_t> committed;
+
+  // Writers: every acked Put must survive everything below — the crashes,
+  // the checkpoints, and the final cold restart. Failures are expected
+  // while a memnode is down; only acks go into the book.
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; w++) {
+    writers.emplace_back([&, w] {
+      Rng rng(seed ^ (w + 1));
+      Proxy& proxy = cluster.proxy(w % cluster.n_proxies());
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string key = EncodeUserKey(rng.Uniform(kKeys));
+        const uint64_t v = rng.Next();
+        if (proxy.Put(*tree, key, EncodeValue(v)).ok()) {
+          std::lock_guard<std::mutex> g(mu);
+          committed[key] = v;
+        }
+        // A writer that never blinks holds the membership lock (shared)
+        // back-to-back, starving the churn loop's exclusive acquisitions.
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Checkpoint daemon: fuzzy single-node dumps and full-cluster passes,
+  // racing the traffic and the crash loop. Busy (another checkpoint or the
+  // node's recovery staging) and Unavailable (node currently down) are the
+  // daemon's life; anything else is a bug.
+  std::thread checkpointer([&] {
+    Rng rng(seed ^ 0xcc);
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status st = (rng.Uniform(4) == 0)
+                      ? cluster.CheckpointAll()
+                      : cluster.CheckpointMemnode(
+                            rng.Uniform(cluster.n_memnodes()));
+      ASSERT_TRUE(st.ok() || st.IsBusy() || st.IsUnavailable())
+          << st.ToString();
+      // Image dumps are long shared-lock stretches; pace them so the churn
+      // loop's exclusive lock (and the writers) get through.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // Collector: horizon advancement gated by the checkpoint-epoch floor —
+  // a slab freed before its covering checkpoint would break recovery, so
+  // this race is exactly what the floor exists for.
+  std::thread collector([&] {
+    mvcc::SnapshotService* scs = cluster.snapshot_service(*tree);
+    while (!stop.load(std::memory_order_relaxed)) {
+      IgnoreStatus(scs->CreateSnapshot());
+      IgnoreStatus(cluster.CollectGarbage(*tree));
+      std::this_thread::yield();
+    }
+  });
+
+  // The churn itself: fixed cycles, one random victim each — crash (the
+  // volatile image and unsynced WAL tail die), let traffic slam into the
+  // hole, recover (sync mode: always the local-log path), repeat.
+  Rng churn_rng(seed ^ 0xdead);
+  for (int cycle = 0; cycle < 5; cycle++) {
+    const uint32_t victim = churn_rng.Uniform(cluster.n_memnodes());
+    cluster.CrashMemnode(victim);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    cluster.RecoverMemnode(victim);
+    ASSERT_TRUE(cluster.fabric()->IsUp(victim));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  checkpointer.join();
+  collector.join();
+
+  // Every acked commit survived the churn...
+  std::string value;
+  {
+    std::lock_guard<std::mutex> g(mu);
+    for (const auto& [key, v] : committed) {
+      ASSERT_TRUE(cluster.proxy(1).Get(*tree, key, &value).ok()) << key;
+      EXPECT_EQ(DecodeValue(value), v) << key;
+    }
+  }
+
+  // ...and survives losing every in-memory image: the cold restart rebuilds
+  // all four nodes from checkpoints + WAL alone.
+  cluster.CrashAllMemnodes();
+  cluster.RecoverAllMemnodes();
+  cluster.DropProxyCaches();
+  for (const auto& [key, v] : committed) {
+    ASSERT_TRUE(cluster.proxy(2).Get(*tree, key, &value).ok()) << key;
+    EXPECT_EQ(DecodeValue(value), v) << key;
+  }
+  std::vector<std::pair<std::string, std::string>> all;
+  ASSERT_TRUE(cluster.proxy(0).Scan(*tree, "", kKeys + 1, &all).ok());
   EXPECT_EQ(all.size(), kKeys);
 }
 

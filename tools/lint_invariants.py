@@ -24,6 +24,15 @@ docs/ARCHITECTURE.md, "Concurrency invariants & tooling"):
                       serialize every thread behind the lock. shared_lock on
                       the coordinator's membership mutex is the documented
                       exception and is not matched.
+  io-under-guard      no raw file I/O (fsync/fdatasync/pread/pwrite/open/
+                      fopen/ftruncate) while an exclusive mutex guard is
+                      held, outside src/wal/ and src/store/ — an fsync
+                      under a hot lock turns a microsecond critical
+                      section into a millisecond one for every waiter.
+                      The WAL and the checkpointed store are exempt: disk
+                      latency under their own locks is their contract
+                      (group commit exists to amortize it), and all other
+                      code must reach disk THROUGH them.
   metrics             stat counters in src/ (outside src/obs/) must be
                       obs::Counter, not raw std::atomic integers — raw
                       atomics are invisible to the MetricsRegistry and
@@ -74,6 +83,13 @@ JOIN_RE = re.compile(r"\.join\s*\(\s*\)|\bjoinable\s*\(")
 GUARD_RE = re.compile(r"\bstd::(?:lock_guard|scoped_lock|unique_lock)\s*<")
 FABRIC_SEND_RE = re.compile(
     r"\bChargeMessage(?:Async)?\s*\(|(?:->|\.)Execute(?:AndCommit)?\s*\(")
+
+# Rule: io-under-guard. Raw file-I/O calls (C library / syscalls only:
+# going through wal::Wal or store::* wrappers is the sanctioned path and
+# does not match). `::open`/`fopen` are matched exactly so method names
+# like Open()/ReopenSegment() stay clean.
+RAW_IO_RE = re.compile(
+    r"\b(?:fsync|fdatasync|pread|pwrite|ftruncate|fopen)\s*\(|::open\s*\(")
 
 # Rule: metrics. A raw std::atomic integer DECLARATION whose identifier
 # reads like a stat counter. Matches plain members/globals and array forms
@@ -201,6 +217,20 @@ def lint_file(path, rel, findings):
                              "fabric send / coordinator execute while an "
                              "exclusive mutex guard is held (guard "
                              "declared at brace depth %d)" % guard_depths[-1])
+
+            # --- io-under-guard ------------------------------------------
+            # Same guard tracking: raw disk I/O under an exclusive guard
+            # is banned outside the durable-state layer (src/wal/ and
+            # src/store/ own their fd discipline; everyone else reaches
+            # disk through them).
+            if (not rel.startswith(("src/wal/", "src/store/"))
+                    and RAW_IO_RE.search(code) and guard_depths
+                    and not allowed("io-under-guard", raw_lines, i)):
+                findings.add(rel, lineno, "io-under-guard",
+                             "raw file I/O while an exclusive mutex guard "
+                             "is held; route durable writes through "
+                             "wal::Wal / store::* (guard declared at brace "
+                             "depth %d)" % guard_depths[-1])
             for ch in code:
                 if ch == "{":
                     depth += 1

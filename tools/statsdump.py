@@ -11,10 +11,12 @@ is the consumer side:
 
 --check is the CI gate: it asserts the documented top-level shape
 (cluster / memnodes / proxies / trees / metrics), that every leaf is a
-number or a histogram summary object, that registry subsystems and metric
-names are emitted in sorted order (the "stable JSON" contract tests and
-dashboards rely on), and that the document survives a parse -> serialize ->
-parse round-trip unchanged.
+number, a histogram summary object, or a string LABEL (configuration
+identity such as cluster.durability — diffed as a transition, never
+subtracted), that registry subsystems and metric names are emitted in
+sorted order (the "stable JSON" contract tests and dashboards rely on),
+and that the document survives a parse -> serialize -> parse round-trip
+unchanged. The metrics section itself stays strictly numeric.
 
 Stdlib only; exits non-zero on any validation or diff-parse failure.
 """
@@ -53,6 +55,8 @@ def flatten(node, prefix, out):
         out[prefix] = int(node)
     elif isinstance(node, (int, float)):
         out[prefix] = node
+    elif isinstance(node, str):
+        out[prefix] = node  # label leaf: diffed as a transition
     else:
         raise ValueError("non-numeric leaf at %s: %r" % (prefix, node))
 
@@ -72,14 +76,17 @@ def cmd_diff(old_path, new_path):
     changed = 0
     for k in keys:
         if k not in old:
-            print("%-*s  (new) %g" % (width, k, new[k]))
+            print("%-*s  (new) %s" % (width, k, new[k]))
             changed += 1
         elif k not in new:
-            print("%-*s  (gone, was %g)" % (width, k, old[k]))
+            print("%-*s  (gone, was %s)" % (width, k, old[k]))
             changed += 1
         elif old[k] != new[k]:
-            print("%-*s  %g -> %g  (%+g)" % (width, k, old[k], new[k],
-                                             new[k] - old[k]))
+            if isinstance(old[k], str) or isinstance(new[k], str):
+                print("%-*s  %s -> %s" % (width, k, old[k], new[k]))
+            else:
+                print("%-*s  %g -> %g  (%+g)" % (width, k, old[k], new[k],
+                                                 new[k] - old[k]))
             changed += 1
     print("# %d of %d metrics changed" % (changed, len(keys)))
     return 0
